@@ -1,0 +1,30 @@
+//! Criterion bench for experiment E8: cost of the six arbitration
+//! policies (choose + update on a 16-port arbitration point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stbus_protocol::arbitration::{make_arbiter, ArbiterParams, ArbitrationKind};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbitration");
+    let n = 16usize;
+    for kind in ArbitrationKind::ALL {
+        let mut arb = make_arbiter(kind, n, &ArbiterParams::default());
+        let mut requests = vec![false; n];
+        group.bench_with_input(BenchmarkId::from_parameter(kind.to_string()), &(), |b, _| {
+            let mut cycle = 0u64;
+            b.iter(|| {
+                for (i, r) in requests.iter_mut().enumerate() {
+                    *r = !(cycle + i as u64).is_multiple_of(3);
+                }
+                let w = arb.choose(&requests);
+                arb.update(&requests, w, cycle);
+                cycle += 1;
+                w
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

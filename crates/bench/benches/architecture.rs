@@ -1,0 +1,33 @@
+//! Criterion bench for experiment E7: node throughput across the three
+//! architectures (BCA view, saturating stimulus).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stbus_bench::measure_view_speed;
+use stbus_protocol::{Architecture, NodeConfig, ViewKind};
+
+fn bench_architectures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("architecture");
+    for (label, arch) in [
+        ("shared", Architecture::SharedBus),
+        ("partial2", Architecture::PartialCrossbar { lanes: 2 }),
+        ("full", Architecture::FullCrossbar),
+    ] {
+        let cfg = NodeConfig::builder(label)
+            .initiators(4)
+            .targets(4)
+            .bus_bytes(8)
+            .protocol(stbus_protocol::ProtocolType::Type3)
+            .architecture(arch)
+            .arbitration(stbus_protocol::ArbitrationKind::Lru)
+            .build()
+            .expect("valid");
+        let mut dut = catg::build_view(&cfg, ViewKind::Bca);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| measure_view_speed(dut.as_mut(), 500));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_architectures);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation bench: cost of the full common environment (harnesses,
+//! monitors, checkers, scoreboard, coverage) versus stepping the bare
+//! model with equivalent stimulus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stbus_bench::{measure_env_run, measure_view_speed};
+use stbus_protocol::{NodeConfig, ViewKind};
+
+fn bench_overhead(c: &mut Criterion) {
+    let cfg = NodeConfig::reference();
+    let mut group = c.benchmark_group("env_overhead");
+    group.sample_size(10);
+    let mut bare = catg::build_view(&cfg, ViewKind::Bca);
+    group.bench_function("bare_bca_500_cycles", |b| {
+        b.iter(|| measure_view_speed(bare.as_mut(), 500));
+    });
+    let spec = catg::tests_lib::back_to_back(40);
+    let mut dut = catg::build_view(&cfg, ViewKind::Bca);
+    group.bench_function("full_env_one_test", |b| {
+        b.iter(|| measure_env_run(&cfg, dut.as_mut(), &spec, 1));
+    });
+    let mut dut2 = catg::build_view(&cfg, ViewKind::Bca);
+    group.bench_function("env_without_checks_or_coverage", |b| {
+        b.iter(|| {
+            stbus_bench::measure_env_run_with(
+                &cfg,
+                dut2.as_mut(),
+                &spec,
+                1,
+                catg::TestbenchOptions {
+                    checks: false,
+                    collect_coverage: false,
+                    ..catg::TestbenchOptions::default()
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for experiment E5: RTL vs BCA stepping speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stbus_bench::measure_view_speed;
+use stbus_protocol::{NodeConfig, ViewKind};
+
+fn bench_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_speed");
+    for (ni, nt) in [(2usize, 2usize), (4, 4), (8, 8)] {
+        let cfg = NodeConfig::builder(&format!("b{ni}x{nt}"))
+            .initiators(ni)
+            .targets(nt)
+            .bus_bytes(8)
+            .protocol(stbus_protocol::ProtocolType::Type3)
+            .architecture(stbus_protocol::Architecture::FullCrossbar)
+            .arbitration(stbus_protocol::ArbitrationKind::Lru)
+            .build()
+            .expect("valid");
+        for kind in [ViewKind::Rtl, ViewKind::Bca] {
+            let mut dut = catg::build_view(&cfg, kind);
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), format!("{ni}x{nt}")),
+                &(),
+                |b, _| {
+                    b.iter(|| measure_view_speed(dut.as_mut(), 200));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_views
+}
+criterion_main!(benches);

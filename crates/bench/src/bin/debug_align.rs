@@ -1,0 +1,91 @@
+//! Alignment debugging utility: run one test on RTL vs exact-fidelity BCA
+//! for a sweep config and print the first divergence per port.
+//!
+//! ```text
+//! cargo run -p stbus-bench --release --bin debug_align [config_name] [test_name]
+//! ```
+
+use catg::{tests_lib, Testbench, TestbenchOptions};
+use regression::standard_configs;
+use stbus_bca::{BcaNode, Fidelity};
+use stbus_rtl::RtlNode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted_cfg = args.first().cloned();
+    let wanted_test = args.get(1).cloned();
+    let intensity: usize = std::env::var("DEBUG_INTENSITY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let seeds: u64 = std::env::var("DEBUG_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let configs = standard_configs();
+    let suite = tests_lib::all(intensity);
+
+    for config in &configs {
+        if let Some(w) = &wanted_cfg {
+            if &config.name != w {
+                continue;
+            }
+        }
+        let bench = Testbench::new(
+            config.clone(),
+            TestbenchOptions {
+                capture_vcd: true,
+                ..TestbenchOptions::default()
+            },
+        );
+        let mut rtl = RtlNode::new(config.clone());
+        let fidelity = if std::env::var("DEBUG_RELAXED").is_ok() {
+            Fidelity::Relaxed
+        } else {
+            Fidelity::Exact
+        };
+        let mut bca = BcaNode::new(config.clone(), fidelity);
+        let mut worst: f64 = 1.0;
+        for spec in &suite {
+            if let Some(w) = &wanted_test {
+                if &spec.name != w {
+                    continue;
+                }
+            }
+            for seed in 1..=seeds {
+                let a = bench.run(&mut rtl, spec, seed);
+                let b = bench.run(&mut bca, spec, seed);
+                let report = stba::compare_vcd(
+                    a.vcd.as_ref().expect("captured"),
+                    b.vcd.as_ref().expect("captured"),
+                    catg::vcd_cycle_time(),
+                )
+                .expect("same tree");
+                if report.min_rate() < 1.0 {
+                    println!(
+                        "== {} / {} seed {} : min {:.2}%",
+                        config.name,
+                        spec.name,
+                        seed,
+                        report.min_rate() * 100.0
+                    );
+                    for p in &report.ports {
+                        if let Some(c) = p.first_divergence {
+                            println!(
+                                "   {:<8} {:.2}%  first at cycle {}  vars: {}",
+                                p.port,
+                                p.rate() * 100.0,
+                                c,
+                                p.diverging_vars.join(",")
+                            );
+                        }
+                    }
+                }
+                worst = worst.min(report.min_rate());
+            }
+        }
+        if worst == 1.0 {
+            println!("== {} : fully aligned across the suite (Exact fidelity)", config.name);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Experiment E6 — the coverage goals (paper §4): 100% functional
+//! coverage on both views, plus code coverage on the RTL view only
+//! ("no tool is able to generate this metrics for SystemC").
+//!
+//! ```text
+//! cargo run -p stbus-bench --release --bin exp_coverage [intensity]
+//! ```
+
+use catg::{tests_lib, CoverageReport, Testbench, TestbenchOptions};
+use stbus_bca::{BcaNode, Fidelity};
+use stbus_protocol::NodeConfig;
+use stbus_rtl::{ProbePoint, RtlNode};
+
+fn main() {
+    let intensity: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let config = NodeConfig::reference();
+    let bench = Testbench::new(config.clone(), TestbenchOptions::default());
+    let mut rtl = RtlNode::new(config.clone());
+    let mut bca = BcaNode::new(config.clone(), Fidelity::Relaxed);
+
+    let mut cov_rtl: Option<CoverageReport> = None;
+    let mut cov_bca: Option<CoverageReport> = None;
+    for spec in tests_lib::all(intensity) {
+        for seed in [1u64, 2, 3] {
+            let a = bench.run(&mut rtl, &spec, seed);
+            let b = bench.run(&mut bca, &spec, seed);
+            assert!(a.passed() && b.passed(), "{} must pass", spec.name);
+            match &mut cov_rtl {
+                Some(c) => c.merge(&a.coverage),
+                None => cov_rtl = Some(a.coverage.clone()),
+            }
+            match &mut cov_bca {
+                Some(c) => c.merge(&b.coverage),
+                None => cov_bca = Some(b.coverage.clone()),
+            }
+        }
+    }
+    let cov_rtl = cov_rtl.expect("ran");
+    let cov_bca = cov_bca.expect("ran");
+
+    println!("=== E6: coverage goals (paper section 4) ===\n");
+    println!("functional coverage, RTL view:");
+    print!("{cov_rtl}");
+    println!("\nfunctional coverage, BCA view:");
+    print!("{cov_bca}");
+    println!(
+        "\nequal across views (paper: \"of course they must be equal running the same tests\"): {}",
+        if cov_rtl == cov_bca { "YES" } else { "NO" }
+    );
+
+    // Code coverage exists only for the RTL view — exactly the asymmetry
+    // the paper describes.
+    let code = rtl.activity_coverage();
+    println!("\ncode (structural) coverage — RTL view only:");
+    println!(
+        "  processes exercised: {:.1}%   branch points hit: {:.1}%",
+        code.process_coverage() * 100.0,
+        code.branch_coverage() * 100.0
+    );
+    for b in &code.branches {
+        println!("  {:<28} {:>10} hits", b.name, b.hits);
+    }
+    // The paper's goal is "100% of justified code": branch arms that are
+    // structurally unreachable in this configuration are justified, not
+    // holes.
+    let mut unjustified = Vec::new();
+    let mut justified = Vec::new();
+    for b in code.missed_branches() {
+        let point = ProbePoint::ALL
+            .iter()
+            .find(|p| b.name == format!("node/{}", p.name()));
+        match point {
+            Some(p) if !p.reachable_in(&config) => justified.push((b.name.clone(), *p)),
+            _ => unjustified.push(b.name.clone()),
+        }
+    }
+    for (name, _) in &justified {
+        println!("  JUSTIFIED (unreachable in this configuration): {name}");
+    }
+    if unjustified.is_empty() {
+        println!("  100% of justified branch points hit — sign-off goal met");
+    } else {
+        println!("  UNJUSTIFIED holes:");
+        for name in unjustified {
+            println!("    {name}");
+        }
+    }
+    println!("\n(the BCA view has no signal processes, so — as in the paper — no code");
+    println!(" coverage can be collected for it)");
+}

@@ -1,0 +1,259 @@
+//! The *past flow*: the model owner's basic write-then-read testbench.
+//!
+//! Paper §2: "It was based on a very basic model of harnesses written in
+//! SystemC and doing write then read operations towards a memory model.
+//! The tests cases were directive … And a lot of checks were done
+//! visually." This module reproduces that environment so experiment E2
+//! can compare its bug-finding power against the common environment: a
+//! single initiator, a directed write/write/read sequence per target, and
+//! only a final readback comparison (no protocol checkers, no scoreboard,
+//! no coverage).
+
+use crate::record::CycleRecord;
+use crate::target::{TargetBfm, TargetProfile};
+use std::collections::VecDeque;
+use stbus_protocol::packet::{PacketParams, RequestPacket};
+use stbus_protocol::{
+    DutInputs, DutView, InitiatorId, NodeConfig, Opcode, TargetId, TransactionId, TransferSize,
+};
+
+/// What the legacy flow concluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LegacyOutcome {
+    /// True when every readback matched (the only check this flow has).
+    pub passed: bool,
+    /// Readback mismatches, if any.
+    pub mismatches: Vec<String>,
+    /// Directed transactions executed.
+    pub transactions: u64,
+    /// Cycles consumed.
+    pub cycles: u64,
+}
+
+/// The legacy write-then-read testbench.
+#[derive(Clone, Debug)]
+pub struct LegacyTestbench {
+    config: NodeConfig,
+    max_cycles: u64,
+}
+
+struct DirectedOp {
+    packet: RequestPacket,
+    /// `Some(expected)` when this is the checked readback.
+    expect: Option<Vec<u8>>,
+}
+
+impl LegacyTestbench {
+    /// A legacy bench for one configuration.
+    pub fn new(config: NodeConfig) -> Self {
+        LegacyTestbench {
+            config,
+            max_cycles: 20_000,
+        }
+    }
+
+    fn params(&self) -> PacketParams {
+        PacketParams {
+            bus_bytes: self.config.bus_bytes,
+            protocol: self.config.protocol,
+            endianness: self.config.endianness,
+        }
+    }
+
+    /// Builds the directed sequence: per target, a full-word write, a
+    /// sub-word write into it, and a checked readback of the whole word.
+    fn sequence(&self) -> Vec<DirectedOp> {
+        let bus = self.config.bus_bytes;
+        let word = TransferSize::from_bytes(bus.min(8)).expect("bus is a power of two");
+        let word_bytes = word.bytes();
+        let params = self.params();
+        let mut ops = Vec::new();
+        for t in 0..self.config.n_targets {
+            let base = self
+                .config
+                .address_map
+                .base_of(TargetId(t as u8))
+                .unwrap_or(0)
+                + 0x100;
+            let p1: Vec<u8> = (0..word_bytes).map(|k| (0xA0 + k + t) as u8).collect();
+            let mut expected = p1.clone();
+            ops.push(DirectedOp {
+                packet: RequestPacket::build(
+                    Opcode::store(word),
+                    base,
+                    &p1,
+                    params,
+                    InitiatorId(0),
+                    TransactionId(0),
+                    0,
+                    false,
+                )
+                .expect("directed op is legal"),
+                expect: None,
+            });
+            // Sub-word write inside the word, when the bus allows one.
+            if word_bytes >= 4 {
+                let q = [0x5A, 0xC3];
+                expected[2] = q[0];
+                expected[3] = q[1];
+                ops.push(DirectedOp {
+                    packet: RequestPacket::build(
+                        Opcode::store(TransferSize::B2),
+                        base + 2,
+                        &q,
+                        params,
+                        InitiatorId(0),
+                        TransactionId(0),
+                        0,
+                        false,
+                    )
+                    .expect("directed op is legal"),
+                    expect: None,
+                });
+            }
+            ops.push(DirectedOp {
+                packet: RequestPacket::build(
+                    Opcode::load(word),
+                    base,
+                    &[],
+                    params,
+                    InitiatorId(0),
+                    TransactionId(0),
+                    0,
+                    false,
+                )
+                .expect("directed op is legal"),
+                expect: Some(expected),
+            });
+        }
+        ops
+    }
+
+    /// Runs the directed flow against a DUT view.
+    pub fn run(&self, dut: &mut dyn DutView) -> LegacyOutcome {
+        dut.reset();
+        let cfg = &self.config;
+        let mut targets: Vec<TargetBfm> = (0..cfg.n_targets)
+            .map(|t| TargetBfm::new(cfg, t, TargetProfile::fast(), 0xCAFE + t as u64))
+            .collect();
+        let mut ops: VecDeque<DirectedOp> = self.sequence().into();
+        let total_ops = ops.len() as u64;
+        let mut mismatches = Vec::new();
+        let mut transactions = 0u64;
+
+        let mut current: Option<(DirectedOp, usize)> = None;
+        let mut awaiting: Option<DirectedOp> = None;
+        let mut rsp_data: Vec<u8> = Vec::new();
+        let mut cycle = 0u64;
+
+        while cycle < self.max_cycles {
+            if current.is_none() && awaiting.is_none() {
+                match ops.pop_front() {
+                    Some(op) => current = Some((op, 0)),
+                    None => break,
+                }
+            }
+            let mut inputs = DutInputs::idle(cfg);
+            inputs.initiator[0].r_gnt = true;
+            if let Some((op, idx)) = &current {
+                inputs.initiator[0].req = true;
+                inputs.initiator[0].cell = op.packet.cells()[*idx];
+            }
+            for (t, tg) in targets.iter_mut().enumerate() {
+                inputs.target[t] = tg.drive(cycle);
+            }
+            let outputs = dut.step(&inputs);
+            let rec = CycleRecord {
+                cycle,
+                inputs,
+                outputs,
+            };
+            for tg in &mut targets {
+                tg.observe(&rec);
+            }
+
+            // Advance the directed driver.
+            if rec.request_fires(crate::record::PortId::Initiator(0)) {
+                let (op, idx) = current.as_mut().expect("driving");
+                *idx += 1;
+                if *idx == op.packet.len() {
+                    let (op, _) = current.take().expect("driving");
+                    awaiting = Some(op);
+                    rsp_data.clear();
+                }
+            }
+            let (r_req, r_cell, r_gnt) = rec.init_response(0);
+            if r_req && r_gnt {
+                rsp_data.extend_from_slice(r_cell.data.lanes(cfg.bus_bytes));
+                if r_cell.eop {
+                    if let Some(op) = awaiting.take() {
+                        transactions += 1;
+                        if let Some(expected) = op.expect {
+                            // The "visual" check of the old flow: the final
+                            // readback only.
+                            rsp_data.truncate(expected.len());
+                            if rsp_data != expected {
+                                mismatches.push(format!(
+                                    "readback at {:#x}: expected {expected:02x?}, got {:02x?}",
+                                    op.packet.addr(),
+                                    rsp_data
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            cycle += 1;
+        }
+
+        LegacyOutcome {
+            passed: mismatches.is_empty() && transactions == total_ops,
+            mismatches,
+            transactions,
+            cycles: cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stbus_bca::{BcaBug, BcaNode, Fidelity};
+    use stbus_rtl::RtlNode;
+
+    #[test]
+    fn legacy_passes_on_clean_views() {
+        let cfg = NodeConfig::reference();
+        let legacy = LegacyTestbench::new(cfg.clone());
+        let mut rtl = RtlNode::new(cfg.clone());
+        let out = legacy.run(&mut rtl);
+        assert!(out.passed, "{:?}", out.mismatches);
+        let mut bca = BcaNode::new(cfg, Fidelity::Relaxed);
+        let out = legacy.run(&mut bca);
+        assert!(out.passed, "{:?}", out.mismatches);
+        assert!(out.transactions >= 6);
+    }
+
+    #[test]
+    fn legacy_catches_b1_only() {
+        let cfg = NodeConfig::reference();
+        let legacy = LegacyTestbench::new(cfg.clone());
+        // B1 clobbers neighbors of sub-word stores: visible on readback.
+        let mut b1 = BcaNode::new(cfg.clone(), Fidelity::Exact);
+        b1.inject_bug(BcaBug::DroppedByteEnables);
+        assert!(!legacy.run(&mut b1).passed);
+
+        // The other four bugs slip straight through the old flow.
+        for bug in [
+            BcaBug::StuckLruState,
+            BcaBug::CorruptedOooTid,
+            BcaBug::ReorderedT2Responses,
+            BcaBug::IgnoredChunkLock,
+        ] {
+            let mut node = BcaNode::new(cfg.clone(), Fidelity::Exact);
+            node.inject_bug(bug);
+            let out = legacy.run(&mut node);
+            assert!(out.passed, "{bug} should evade the legacy flow: {:?}", out.mismatches);
+        }
+    }
+}

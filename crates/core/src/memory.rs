@@ -1,0 +1,120 @@
+//! A sparse byte-addressable memory, used by target BFMs and the
+//! scoreboard's reference model.
+
+use std::collections::HashMap;
+
+/// A sparse memory: unwritten bytes read back as a deterministic
+/// fill pattern derived from the address, so loads of never-written
+/// locations still produce definite, reproducible data on both views.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SparseMemory {
+    bytes: HashMap<u64, u8>,
+}
+
+impl SparseMemory {
+    /// An empty memory.
+    pub fn new() -> Self {
+        SparseMemory::default()
+    }
+
+    /// The deterministic background pattern of an unwritten byte.
+    pub fn background(addr: u64) -> u8 {
+        // A cheap address hash; stable across runs and views.
+        let x = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (x >> 56) as u8
+    }
+
+    /// Reads one byte.
+    pub fn read_byte(&self, addr: u64) -> u8 {
+        self.bytes
+            .get(&addr)
+            .copied()
+            .unwrap_or_else(|| Self::background(addr))
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: u64, value: u8) {
+        self.bytes.insert(addr, value);
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|k| self.read_byte(addr + k)).collect()
+    }
+
+    /// Writes a slice starting at `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        for (k, b) in data.iter().enumerate() {
+            self.write_byte(addr + k as u64, *b);
+        }
+    }
+
+    /// Writes only the lanes enabled in `be`: byte `k` of `data` is
+    /// written iff bit `k` of `be` is set. The base address is `addr`.
+    pub fn write_masked(&mut self, addr: u64, data: &[u8], be: u32) {
+        for (k, b) in data.iter().enumerate() {
+            if (be >> k) & 1 == 1 {
+                self.write_byte(addr + k as u64, *b);
+            }
+        }
+    }
+
+    /// Number of explicitly written bytes.
+    pub fn written_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn background_is_deterministic_and_varied() {
+        assert_eq!(SparseMemory::background(100), SparseMemory::background(100));
+        let distinct: std::collections::HashSet<u8> =
+            (0..64u64).map(SparseMemory::background).collect();
+        assert!(distinct.len() > 10, "pattern should vary across addresses");
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut m = SparseMemory::new();
+        m.write(0x1000, &[1, 2, 3, 4]);
+        assert_eq!(m.read(0x1000, 4), vec![1, 2, 3, 4]);
+        assert_eq!(m.read_byte(0x1004), SparseMemory::background(0x1004));
+        assert_eq!(m.written_len(), 4);
+    }
+
+    #[test]
+    fn masked_write_skips_disabled_lanes() {
+        let mut m = SparseMemory::new();
+        m.write(0x0, &[0xAA; 4]);
+        m.write_masked(0x0, &[1, 2, 3, 4], 0b0101);
+        assert_eq!(m.read(0x0, 4), vec![1, 0xAA, 3, 0xAA]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_read_write_round_trip(addr in 0u64..1_000_000, data in proptest::collection::vec(any::<u8>(), 1..64)) {
+            let mut m = SparseMemory::new();
+            m.write(addr, &data);
+            prop_assert_eq!(m.read(addr, data.len()), data);
+        }
+
+        #[test]
+        fn prop_masked_write_equivalence(addr in 0u64..1000, data in proptest::collection::vec(any::<u8>(), 1..32), be: u32) {
+            // write_masked must equal per-byte conditional writes.
+            let mut a = SparseMemory::new();
+            let mut b = SparseMemory::new();
+            a.write_masked(addr, &data, be);
+            for (k, byte) in data.iter().enumerate() {
+                if (be >> k) & 1 == 1 {
+                    b.write_byte(addr + k as u64, *byte);
+                }
+            }
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Port monitors: reassemble the cell-level handshakes into packets and
+//! transactions, and feed every downstream component.
+
+use crate::record::{CycleRecord, PortId};
+use stbus_protocol::{ReqCell, RequestPacket, ResponsePacket, RspCell};
+
+/// Which side of the node a port belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PortSide {
+    /// An initiator port (the initiator issues requests).
+    Initiator,
+    /// A target port (the node issues requests).
+    Target,
+}
+
+impl From<PortId> for PortSide {
+    fn from(p: PortId) -> Self {
+        match p {
+            PortId::Initiator(_) => PortSide::Initiator,
+            PortId::Target(_) => PortSide::Target,
+        }
+    }
+}
+
+/// An observation produced by a [`PortMonitor`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MonitorEvent {
+    /// A request cell transferred.
+    RequestCell {
+        /// Where.
+        port: PortId,
+        /// When.
+        cycle: u64,
+        /// The transferred cell.
+        cell: ReqCell,
+    },
+    /// A complete request packet transferred.
+    RequestPacket {
+        /// Where.
+        port: PortId,
+        /// Cycle of the `eop` cell.
+        cycle: u64,
+        /// Cycle of the first cell.
+        start: u64,
+        /// The packet.
+        packet: RequestPacket,
+    },
+    /// A response cell transferred.
+    ResponseCell {
+        /// Where.
+        port: PortId,
+        /// When.
+        cycle: u64,
+        /// The transferred cell.
+        cell: RspCell,
+    },
+    /// A complete response packet transferred.
+    ResponsePacket {
+        /// Where.
+        port: PortId,
+        /// Cycle of the `eop` cell.
+        cycle: u64,
+        /// Cycle of the first cell.
+        start: u64,
+        /// The packet.
+        packet: ResponsePacket,
+        /// For initiator ports: the responder that delivered it —
+        /// `Some(t)` for target port `t`, `None` for the node's internal
+        /// error responder. Always `None` at target ports (a target is its
+        /// own responder).
+        responder: Option<usize>,
+    },
+}
+
+/// Traffic totals of one port.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PortTraffic {
+    /// Request cells transferred.
+    pub req_cells: u64,
+    /// Request packets completed.
+    pub req_packets: u64,
+    /// Response cells transferred.
+    pub rsp_cells: u64,
+    /// Response packets completed.
+    pub rsp_packets: u64,
+}
+
+/// Collects the transfer stream of one port into packets.
+#[derive(Debug)]
+pub struct PortMonitor {
+    port: PortId,
+    req_cells: Vec<ReqCell>,
+    req_start: u64,
+    rsp_cells: Vec<RspCell>,
+    rsp_start: u64,
+    rsp_responder: Option<usize>,
+    traffic: PortTraffic,
+}
+
+impl PortMonitor {
+    /// A monitor for one port.
+    pub fn new(port: PortId) -> Self {
+        PortMonitor {
+            port,
+            req_cells: Vec::new(),
+            req_start: 0,
+            rsp_cells: Vec::new(),
+            rsp_start: 0,
+            rsp_responder: None,
+            traffic: PortTraffic::default(),
+        }
+    }
+
+    /// The monitored port.
+    pub fn port(&self) -> PortId {
+        self.port
+    }
+
+    /// Transfer totals.
+    pub fn traffic(&self) -> PortTraffic {
+        self.traffic
+    }
+
+    /// For an initiator port: which responder delivered a response cell
+    /// this cycle (scans the target ports of the record).
+    fn responder_of(&self, rec: &CycleRecord, initiator: usize) -> Option<usize> {
+        (0..rec.inputs.target.len()).find(|t| {
+            let (r_req, cell, r_gnt) = rec.target_response(*t);
+            r_req && r_gnt && cell.src.0 as usize == initiator
+        })
+    }
+
+    /// Digests one cycle, appending events to `events`.
+    pub fn observe(&mut self, rec: &CycleRecord, events: &mut Vec<MonitorEvent>) {
+        // Request stream.
+        if rec.request_fires(self.port) {
+            let (_, cell, _) = rec.request_at(self.port);
+            let cell = *cell;
+            if self.req_cells.is_empty() {
+                self.req_start = rec.cycle;
+            }
+            self.traffic.req_cells += 1;
+            events.push(MonitorEvent::RequestCell {
+                port: self.port,
+                cycle: rec.cycle,
+                cell,
+            });
+            self.req_cells.push(cell);
+            if cell.eop {
+                let packet = RequestPacket::from_cells(std::mem::take(&mut self.req_cells));
+                self.traffic.req_packets += 1;
+                events.push(MonitorEvent::RequestPacket {
+                    port: self.port,
+                    cycle: rec.cycle,
+                    start: self.req_start,
+                    packet,
+                });
+            }
+        }
+        // Response stream.
+        if rec.response_fires(self.port) {
+            let (_, cell, _) = rec.response_at(self.port);
+            let cell = *cell;
+            if self.rsp_cells.is_empty() {
+                self.rsp_start = rec.cycle;
+                self.rsp_responder = match self.port {
+                    PortId::Initiator(i) => self.responder_of(rec, i),
+                    PortId::Target(_) => None,
+                };
+            }
+            self.traffic.rsp_cells += 1;
+            events.push(MonitorEvent::ResponseCell {
+                port: self.port,
+                cycle: rec.cycle,
+                cell,
+            });
+            self.rsp_cells.push(cell);
+            if cell.eop {
+                let packet = ResponsePacket::from_cells(std::mem::take(&mut self.rsp_cells));
+                self.traffic.rsp_packets += 1;
+                events.push(MonitorEvent::ResponsePacket {
+                    port: self.port,
+                    cycle: rec.cycle,
+                    start: self.rsp_start,
+                    packet,
+                    responder: self.rsp_responder.take(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stbus_protocol::packet::PacketParams;
+    use stbus_protocol::{
+        DutInputs, DutOutputs, InitiatorId, NodeConfig, Opcode, TransactionId, TransferSize,
+    };
+
+    fn cfg() -> NodeConfig {
+        NodeConfig::reference()
+    }
+
+    fn params(c: &NodeConfig) -> PacketParams {
+        PacketParams {
+            bus_bytes: c.bus_bytes,
+            protocol: c.protocol,
+            endianness: c.endianness,
+        }
+    }
+
+    #[test]
+    fn assembles_multicell_request_packet() {
+        let c = cfg();
+        let packet = RequestPacket::build(
+            Opcode::store(TransferSize::B16),
+            0x40,
+            &(0..16).collect::<Vec<u8>>(),
+            params(&c),
+            InitiatorId(0),
+            TransactionId(2),
+            0,
+            false,
+        )
+        .unwrap();
+        let mut mon = PortMonitor::new(PortId::Initiator(0));
+        let mut events = Vec::new();
+        for (k, cell) in packet.cells().iter().enumerate() {
+            let mut inputs = DutInputs::idle(&c);
+            inputs.initiator[0].req = true;
+            inputs.initiator[0].cell = *cell;
+            let mut outputs = DutOutputs::idle(&c);
+            outputs.initiator[0].gnt = true;
+            mon.observe(
+                &CycleRecord {
+                    cycle: 10 + k as u64,
+                    inputs,
+                    outputs,
+                },
+                &mut events,
+            );
+        }
+        let pkt_events: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, MonitorEvent::RequestPacket { .. }))
+            .collect();
+        assert_eq!(pkt_events.len(), 1);
+        if let MonitorEvent::RequestPacket { packet: p, start, cycle, .. } = pkt_events[0] {
+            assert_eq!(p, &packet);
+            assert_eq!(*start, 10);
+            assert_eq!(*cycle, 11);
+        }
+        assert_eq!(mon.traffic().req_cells, 2);
+        assert_eq!(mon.traffic().req_packets, 1);
+    }
+
+    #[test]
+    fn identifies_responder_target() {
+        let c = cfg();
+        let mut mon = PortMonitor::new(PortId::Initiator(1));
+        let mut events = Vec::new();
+        let cell = stbus_protocol::RspCell::ok(InitiatorId(1), TransactionId(0), true);
+        let mut inputs = DutInputs::idle(&c);
+        inputs.initiator[1].r_gnt = true;
+        inputs.target[1].r_req = true;
+        inputs.target[1].r_cell = cell;
+        let mut outputs = DutOutputs::idle(&c);
+        outputs.initiator[1].r_req = true;
+        outputs.initiator[1].r_cell = cell;
+        outputs.target[1].r_gnt = true;
+        mon.observe(
+            &CycleRecord {
+                cycle: 3,
+                inputs,
+                outputs,
+            },
+            &mut events,
+        );
+        match events.last().expect("packet event") {
+            MonitorEvent::ResponsePacket { responder, .. } => assert_eq!(*responder, Some(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn internal_responses_have_no_responder() {
+        let c = cfg();
+        let mut mon = PortMonitor::new(PortId::Initiator(0));
+        let mut events = Vec::new();
+        let cell = stbus_protocol::RspCell::error(InitiatorId(0), TransactionId(0), true);
+        let mut inputs = DutInputs::idle(&c);
+        inputs.initiator[0].r_gnt = true;
+        let mut outputs = DutOutputs::idle(&c);
+        outputs.initiator[0].r_req = true;
+        outputs.initiator[0].r_cell = cell;
+        mon.observe(
+            &CycleRecord {
+                cycle: 3,
+                inputs,
+                outputs,
+            },
+            &mut events,
+        );
+        match events.last().expect("packet event") {
+            MonitorEvent::ResponsePacket { responder, .. } => assert_eq!(*responder, None),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_cycles_produce_nothing() {
+        let c = cfg();
+        let mut mon = PortMonitor::new(PortId::Target(0));
+        let mut events = Vec::new();
+        mon.observe(
+            &CycleRecord {
+                cycle: 0,
+                inputs: DutInputs::idle(&c),
+                outputs: DutOutputs::idle(&c),
+            },
+            &mut events,
+        );
+        assert!(events.is_empty());
+        assert_eq!(mon.traffic(), PortTraffic::default());
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-cycle port samples — the common currency of the environment.
+
+use stbus_protocol::{DutInputs, DutOutputs, ReqCell, RspCell};
+
+/// Identifies one DUT port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum PortId {
+    /// Initiator port `i`.
+    Initiator(usize),
+    /// Target port `t`.
+    Target(usize),
+}
+
+impl std::fmt::Display for PortId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortId::Initiator(i) => write!(f, "init{i}"),
+            PortId::Target(t) => write!(f, "tgt{t}"),
+        }
+    }
+}
+
+/// Everything observable at the DUT boundary on one clock cycle: the
+/// sampled inputs and outputs together. Monitors, checkers, coverage and
+/// the VCD dump all consume this — identically for both design views.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CycleRecord {
+    /// The cycle number (0-based).
+    pub cycle: u64,
+    /// The inputs the DUT sampled.
+    pub inputs: DutInputs,
+    /// The outputs the DUT produced.
+    pub outputs: DutOutputs,
+}
+
+impl CycleRecord {
+    /// The request-phase view at an initiator port:
+    /// `(req, cell, gnt)`.
+    pub fn init_request(&self, i: usize) -> (bool, &ReqCell, bool) {
+        (
+            self.inputs.initiator[i].req,
+            &self.inputs.initiator[i].cell,
+            self.outputs.initiator[i].gnt,
+        )
+    }
+
+    /// The response-phase view at an initiator port:
+    /// `(r_req, cell, r_gnt)`.
+    pub fn init_response(&self, i: usize) -> (bool, &RspCell, bool) {
+        (
+            self.outputs.initiator[i].r_req,
+            &self.outputs.initiator[i].r_cell,
+            self.inputs.initiator[i].r_gnt,
+        )
+    }
+
+    /// The request-phase view at a target port: `(req, cell, gnt)`.
+    pub fn target_request(&self, t: usize) -> (bool, &ReqCell, bool) {
+        (
+            self.outputs.target[t].req,
+            &self.outputs.target[t].cell,
+            self.inputs.target[t].gnt,
+        )
+    }
+
+    /// The response-phase view at a target port: `(r_req, cell, r_gnt)`.
+    pub fn target_response(&self, t: usize) -> (bool, &RspCell, bool) {
+        (
+            self.inputs.target[t].r_req,
+            &self.inputs.target[t].r_cell,
+            self.outputs.target[t].r_gnt,
+        )
+    }
+
+    /// Request-phase view for any port id. At initiator ports the
+    /// *initiator* issues requests; at target ports the *node* does.
+    pub fn request_at(&self, port: PortId) -> (bool, &ReqCell, bool) {
+        match port {
+            PortId::Initiator(i) => self.init_request(i),
+            PortId::Target(t) => self.target_request(t),
+        }
+    }
+
+    /// Response-phase view for any port id.
+    pub fn response_at(&self, port: PortId) -> (bool, &RspCell, bool) {
+        match port {
+            PortId::Initiator(i) => self.init_response(i),
+            PortId::Target(t) => self.target_response(t),
+        }
+    }
+
+    /// True when a request cell transfers at the port this cycle.
+    pub fn request_fires(&self, port: PortId) -> bool {
+        let (req, _, gnt) = self.request_at(port);
+        req && gnt
+    }
+
+    /// True when a response cell transfers at the port this cycle.
+    pub fn response_fires(&self, port: PortId) -> bool {
+        let (r_req, _, r_gnt) = self.response_at(port);
+        r_req && r_gnt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stbus_protocol::NodeConfig;
+
+    #[test]
+    fn views_are_consistent() {
+        let cfg = NodeConfig::reference();
+        let mut rec = CycleRecord {
+            cycle: 5,
+            inputs: DutInputs::idle(&cfg),
+            outputs: DutOutputs::idle(&cfg),
+        };
+        rec.inputs.initiator[1].req = true;
+        rec.outputs.initiator[1].gnt = true;
+        assert!(rec.request_fires(PortId::Initiator(1)));
+        assert!(!rec.request_fires(PortId::Initiator(0)));
+        assert!(!rec.response_fires(PortId::Initiator(1)));
+
+        rec.outputs.target[0].req = true;
+        assert!(!rec.request_fires(PortId::Target(0)), "no gnt yet");
+        rec.inputs.target[0].gnt = true;
+        assert!(rec.request_fires(PortId::Target(0)));
+    }
+
+    #[test]
+    fn port_id_display() {
+        assert_eq!(PortId::Initiator(2).to_string(), "init2");
+        assert_eq!(PortId::Target(0).to_string(), "tgt0");
+    }
+}

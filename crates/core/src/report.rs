@@ -1,0 +1,133 @@
+//! Textual run reports.
+//!
+//! Paper §4: "For each test file associated with the test seed, a
+//! verification report and a functional coverage one are generated."
+//! These renderers produce those two documents from a [`RunResult`].
+
+use crate::testbench::RunResult;
+use std::fmt::Write as _;
+
+impl RunResult {
+    /// Renders the verification report: configuration of the run, checker
+    /// rule tallies, scoreboard totals, per-initiator statistics and every
+    /// recorded failure.
+    pub fn verification_report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== verification report ===");
+        let _ = writeln!(out, "test    : {}", self.test);
+        let _ = writeln!(out, "seed    : {}", self.seed);
+        let _ = writeln!(out, "view    : {}", self.view);
+        let _ = writeln!(out, "cycles  : {}", self.cycles);
+        let _ = writeln!(out, "tx done : {}", self.transactions);
+        let _ = writeln!(
+            out,
+            "verdict : {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        let _ = writeln!(out, "\nprotocol checks (passed evaluations per rule):");
+        for (rule, n) in &self.checker.checks_passed {
+            let _ = writeln!(out, "  {:<14} {:>8}   {}", rule.to_string(), n, rule.description());
+        }
+        let _ = writeln!(
+            out,
+            "\nscoreboard comparisons passed: {}",
+            self.scoreboard_checks
+        );
+        let _ = writeln!(out, "\nper-initiator statistics:");
+        for (i, s) in self.stats.iter().enumerate() {
+            let mean = if s.completed == 0 {
+                0.0
+            } else {
+                s.total_latency as f64 / s.completed as f64
+            };
+            let _ = writeln!(
+                out,
+                "  init{:<2} issued {:>5}  completed {:>5}  errors {:>4}  mean latency {:>7.1}",
+                i, s.issued, s.completed, s.errors, mean
+            );
+        }
+        if !self.checker.violations.is_empty() || self.checker.suppressed > 0 {
+            let _ = writeln!(
+                out,
+                "\nviolations ({} recorded, {} suppressed):",
+                self.checker.violations.len(),
+                self.checker.suppressed
+            );
+            for v in &self.checker.violations {
+                let _ = writeln!(out, "  {v}");
+            }
+        }
+        if !self.scoreboard_errors.is_empty() {
+            let _ = writeln!(out, "\nscoreboard errors:");
+            for e in &self.scoreboard_errors {
+                let _ = writeln!(out, "  {e}");
+            }
+        }
+        if !self.anomalies.is_empty() {
+            let _ = writeln!(out, "\nharness anomalies:");
+            for a in &self.anomalies {
+                let _ = writeln!(out, "  {a}");
+            }
+        }
+        if !self.completed {
+            let _ = writeln!(out, "\nWARNING: run hit the cycle limit before draining");
+        }
+        out
+    }
+
+    /// Renders the functional-coverage report: per-group percentages and
+    /// the list of holes.
+    pub fn coverage_report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== functional coverage report ===");
+        let _ = writeln!(out, "test : {}   seed {}   view {}", self.test, self.seed, self.view);
+        let _ = write!(out, "{}", self.coverage);
+        let holes = self.coverage.holes();
+        if holes.is_empty() {
+            let _ = writeln!(out, "coverage complete: every declared bin hit");
+        } else {
+            let _ = writeln!(out, "holes ({}):", holes.len());
+            for h in holes {
+                let _ = writeln!(out, "  {h}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tests_lib;
+    use crate::{build_view, Testbench, TestbenchOptions};
+    use stbus_protocol::{NodeConfig, ViewKind};
+
+    #[test]
+    fn reports_render_for_a_passing_run() {
+        let cfg = NodeConfig::reference();
+        let bench = Testbench::new(cfg.clone(), TestbenchOptions::default());
+        let mut dut = build_view(&cfg, ViewKind::Bca);
+        let result = bench.run(dut.as_mut(), &tests_lib::basic_read_write(10), 1);
+        let v = result.verification_report();
+        assert!(v.contains("verdict : PASS"));
+        assert!(v.contains("R-EOP"));
+        assert!(v.contains("per-initiator statistics"));
+        let c = result.coverage_report();
+        assert!(c.contains("functional coverage"));
+        assert!(c.contains("holes") || c.contains("complete"));
+    }
+
+    #[test]
+    fn failing_run_lists_violations() {
+        use stbus_bca::{BcaBug, BcaNode, Fidelity};
+        let cfg = NodeConfig::reference();
+        let bench = Testbench::new(cfg.clone(), TestbenchOptions::default());
+        let mut dut = BcaNode::new(cfg.clone(), Fidelity::Exact);
+        dut.inject_bug(BcaBug::CorruptedOooTid);
+        let result = bench.run(&mut dut, &tests_lib::out_of_order(20), 1);
+        assert!(!result.passed());
+        let v = result.verification_report();
+        assert!(v.contains("verdict : FAIL"));
+        assert!(v.contains("violations"));
+        assert!(v.contains("R-TID"));
+    }
+}

@@ -1,0 +1,380 @@
+//! The testbench: the paper's Figure 2/6 architecture around a pluggable
+//! DUT view.
+
+use crate::checker::{CheckerReport, ProtocolChecker};
+use crate::coverage::{CoverageReport, FunctionalCoverage};
+use crate::harness::{InitiatorBfm, InitiatorStats};
+use crate::monitor::{MonitorEvent, PortMonitor};
+use crate::record::{CycleRecord, PortId};
+use crate::scoreboard::{Scoreboard, ScoreboardError};
+use crate::target::{TargetBfm, TargetProfile};
+use crate::traffic::{generate_plans, TrafficProfile};
+use crate::vcd_dump::VcdDump;
+use std::collections::VecDeque;
+use stbus_protocol::{DutInputs, DutView, NodeConfig, ProgCommand, ViewKind};
+
+/// Knobs of a testbench run.
+#[derive(Clone, Debug)]
+pub struct TestbenchOptions {
+    /// Capture a VCD dump of the run (needed for STBA comparison).
+    pub capture_vcd: bool,
+    /// Hard cycle limit including the drain phase.
+    pub max_cycles: u64,
+    /// Starvation-watchdog threshold override.
+    pub starvation_limit: Option<u64>,
+    /// Run the protocol checkers and scoreboard (default). Disabling
+    /// them exists for the environment-overhead ablation only — a run
+    /// without checks proves nothing.
+    pub checks: bool,
+    /// Collect functional coverage (default).
+    pub collect_coverage: bool,
+}
+
+impl Default for TestbenchOptions {
+    fn default() -> Self {
+        TestbenchOptions {
+            capture_vcd: false,
+            max_cycles: 50_000,
+            starvation_limit: None,
+            checks: true,
+            collect_coverage: true,
+        }
+    }
+}
+
+/// One of the (generic, configuration-independent) test cases: traffic
+/// profiles for every port plus an optional programming-port script.
+#[derive(Clone, Debug)]
+pub struct TestSpec {
+    /// Test name (stable across configurations; used in reports).
+    pub name: String,
+    /// What the test exercises.
+    pub description: String,
+    /// Per-initiator profiles (cycled when the node has more ports).
+    pub profiles: Vec<TrafficProfile>,
+    /// Per-target personalities (cycled likewise).
+    pub target_profiles: Vec<TargetProfile>,
+    /// `(cycle, priorities)` writes to the programming port.
+    pub prog_schedule: Vec<(u64, Vec<u8>)>,
+}
+
+impl TestSpec {
+    /// The profile used for initiator `i` under `config`.
+    pub fn profile_for(&self, i: usize) -> &TrafficProfile {
+        &self.profiles[i % self.profiles.len()]
+    }
+
+    /// The personality of target `t`.
+    pub fn target_profile_for(&self, t: usize) -> TargetProfile {
+        self.target_profiles[t % self.target_profiles.len()]
+    }
+}
+
+/// Everything one `{config, view, test, seed}` run produced.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The test name.
+    pub test: String,
+    /// The seed.
+    pub seed: u64,
+    /// Which design view ran.
+    pub view: ViewKind,
+    /// Cycles simulated (including drain).
+    pub cycles: u64,
+    /// Protocol-checker outcome.
+    pub checker: CheckerReport,
+    /// Scoreboard failures.
+    pub scoreboard_errors: Vec<ScoreboardError>,
+    /// Scoreboard comparisons that passed.
+    pub scoreboard_checks: u64,
+    /// Functional coverage of this run.
+    pub coverage: CoverageReport,
+    /// Per-initiator traffic statistics.
+    pub stats: Vec<InitiatorStats>,
+    /// Harness-level anomalies (unexpected responses).
+    pub anomalies: Vec<String>,
+    /// True when every harness drained before the cycle limit.
+    pub completed: bool,
+    /// Transactions completed across all initiators.
+    pub transactions: u64,
+    /// The VCD text, when capture was requested.
+    pub vcd: Option<String>,
+}
+
+impl RunResult {
+    /// The paper's pass criterion: all checkers green, scoreboard green,
+    /// no anomalies, and the run drained.
+    pub fn passed(&self) -> bool {
+        self.checker.passed()
+            && self.scoreboard_errors.is_empty()
+            && self.anomalies.is_empty()
+            && self.completed
+    }
+
+    /// A one-line summary for regression logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<24} seed {:<4} {:<4} {:>6} cycles {:>5} tx  checks {:>6}  cov {:5.1}%  {}",
+            self.test,
+            self.seed,
+            self.view.to_string(),
+            self.cycles,
+            self.transactions,
+            self.checker.total_checks() + self.scoreboard_checks,
+            self.coverage.coverage() * 100.0,
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// The common testbench: build once per configuration, then run any test
+/// on any DUT view.
+#[derive(Clone, Debug)]
+pub struct Testbench {
+    config: NodeConfig,
+    options: TestbenchOptions,
+}
+
+impl Testbench {
+    /// A testbench for one node configuration.
+    pub fn new(config: NodeConfig, options: TestbenchOptions) -> Self {
+        Testbench { config, options }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// Runs `spec` with `seed` against a DUT view.
+    ///
+    /// The DUT is reset first; the run continues until all scheduled
+    /// traffic drains (or the cycle limit is hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DUT's configuration disagrees with the testbench's.
+    pub fn run(&self, dut: &mut dyn DutView, spec: &TestSpec, seed: u64) -> RunResult {
+        assert_eq!(
+            dut.config().n_initiators,
+            self.config.n_initiators,
+            "DUT/testbench configuration mismatch"
+        );
+        assert_eq!(dut.config().n_targets, self.config.n_targets);
+        let cfg = &self.config;
+        dut.reset();
+
+        let mut harnesses: Vec<InitiatorBfm> = (0..cfg.n_initiators)
+            .map(|i| {
+                let profile = spec.profile_for(i);
+                InitiatorBfm::new(
+                    cfg,
+                    i,
+                    generate_plans(profile, cfg, i, seed),
+                    seed ^ 0x5EED ^ i as u64,
+                    profile.r_gnt_throttle_percent,
+                )
+            })
+            .collect();
+        let mut targets: Vec<TargetBfm> = (0..cfg.n_targets)
+            .map(|t| TargetBfm::new(cfg, t, spec.target_profile_for(t), seed ^ 0x7A67 ^ t as u64))
+            .collect();
+        let mut monitors: Vec<PortMonitor> = (0..cfg.n_initiators)
+            .map(PortId::Initiator)
+            .chain((0..cfg.n_targets).map(PortId::Target))
+            .map(PortMonitor::new)
+            .collect();
+        let mut checker = ProtocolChecker::new(cfg);
+        if let Some(limit) = self.options.starvation_limit {
+            checker.set_starvation_limit(limit);
+        }
+        let mut scoreboard = Scoreboard::new(cfg);
+        let mut coverage = FunctionalCoverage::new(cfg);
+        let mut vcd = self.options.capture_vcd.then(|| VcdDump::new(cfg));
+
+        // Out-of-order and outstanding tracking for the coverage features.
+        let mut issue_order: Vec<VecDeque<Option<usize>>> =
+            vec![VecDeque::new(); cfg.n_initiators];
+        let mut prog_iter = spec.prog_schedule.iter().peekable();
+        let mut events: Vec<MonitorEvent> = Vec::new();
+
+        let mut cycle = 0u64;
+        let mut completed = false;
+        while cycle < self.options.max_cycles {
+            let mut inputs = DutInputs::idle(cfg);
+            for (i, h) in harnesses.iter_mut().enumerate() {
+                inputs.initiator[i] = h.drive(cycle);
+            }
+            for (t, tg) in targets.iter_mut().enumerate() {
+                inputs.target[t] = tg.drive(cycle);
+            }
+            if cfg.prog_port {
+                if let Some((at, prios)) = prog_iter.peek() {
+                    if *at <= cycle {
+                        inputs.prog = Some(ProgCommand {
+                            priorities: prios.clone(),
+                        });
+                        prog_iter.next();
+                    }
+                }
+            }
+
+            let outputs = dut.step(&inputs);
+            let rec = CycleRecord {
+                cycle,
+                inputs,
+                outputs,
+            };
+
+            for h in &mut harnesses {
+                h.observe(&rec);
+            }
+            for tg in &mut targets {
+                tg.observe(&rec);
+            }
+            events.clear();
+            for m in &mut monitors {
+                m.observe(&rec, &mut events);
+            }
+            if self.options.checks {
+                checker.observe(&rec);
+            }
+            if self.options.collect_coverage {
+                coverage.observe_cycle(&rec);
+            }
+            for e in &events {
+                if self.options.checks {
+                    scoreboard.observe(e);
+                }
+                if self.options.collect_coverage {
+                    coverage.observe_event(e);
+                }
+                match e {
+                    MonitorEvent::RequestPacket {
+                        port: PortId::Initiator(i),
+                        packet,
+                        ..
+                    } => {
+                        let dest = cfg
+                            .address_map
+                            .decode(packet.addr())
+                            .map(|t| t.0 as usize);
+                        issue_order[*i].push_back(dest);
+                        if issue_order[*i].len() >= 2 {
+                            coverage.note_outstanding_gt1();
+                        }
+                    }
+                    MonitorEvent::ResponsePacket {
+                        port: PortId::Initiator(i),
+                        responder,
+                        ..
+                    } => {
+                        if issue_order[*i].front() != Some(responder) {
+                            coverage.note_out_of_order();
+                        }
+                        if let Some(pos) =
+                            issue_order[*i].iter().position(|d| d == responder)
+                        {
+                            issue_order[*i].remove(pos);
+                        } else {
+                            issue_order[*i].pop_front();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(v) = &mut vcd {
+                v.record(&rec);
+            }
+
+            cycle += 1;
+            let drained = harnesses.iter().all(InitiatorBfm::done)
+                && targets.iter().all(TargetBfm::drained)
+                && scoreboard.outstanding() == 0;
+            if drained {
+                completed = true;
+                break;
+            }
+        }
+
+        let transactions = harnesses.iter().map(|h| h.stats().completed).sum();
+        RunResult {
+            test: spec.name.clone(),
+            seed,
+            view: dut.view_kind(),
+            cycles: cycle,
+            checker: checker.into_report(),
+            scoreboard_errors: scoreboard.errors().to_vec(),
+            scoreboard_checks: scoreboard.checks(),
+            coverage: coverage.report(),
+            stats: harnesses.iter().map(|h| h.stats()).collect(),
+            anomalies: harnesses
+                .iter()
+                .flat_map(|h| h.anomalies().iter().cloned())
+                .collect(),
+            completed,
+            transactions,
+            vcd: vcd.map(VcdDump::finish),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_lib;
+    use crate::views::build_view;
+    use stbus_protocol::ViewKind;
+
+    #[test]
+    fn basic_test_passes_on_both_views() {
+        let cfg = NodeConfig::reference();
+        let tb = Testbench::new(cfg.clone(), TestbenchOptions::default());
+        let spec = tests_lib::basic_read_write(20);
+        for kind in [ViewKind::Rtl, ViewKind::Bca] {
+            let mut dut = build_view(&cfg, kind);
+            let result = tb.run(dut.as_mut(), &spec, 7);
+            assert!(
+                result.passed(),
+                "{kind}: {:?} {:?} {:?}",
+                result.checker.violations,
+                result.scoreboard_errors,
+                result.anomalies
+            );
+            assert!(result.transactions > 0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stimulus_different_seed_differs() {
+        let cfg = NodeConfig::reference();
+        let tb = Testbench::new(cfg.clone(), TestbenchOptions::default());
+        let spec = tests_lib::random_mixed(15);
+        let mut a = build_view(&cfg, ViewKind::Bca);
+        let mut b = build_view(&cfg, ViewKind::Bca);
+        let ra = tb.run(a.as_mut(), &spec, 3);
+        let rb = tb.run(b.as_mut(), &spec, 3);
+        assert_eq!(ra.cycles, rb.cycles);
+        assert_eq!(ra.transactions, rb.transactions);
+        let rc = tb.run(a.as_mut(), &spec, 4);
+        assert!(rc.cycles != ra.cycles || rc.transactions != ra.transactions || ra.stats != rc.stats);
+    }
+
+    #[test]
+    fn vcd_capture_produces_parsable_dump() {
+        let cfg = NodeConfig::reference();
+        let tb = Testbench::new(
+            cfg.clone(),
+            TestbenchOptions {
+                capture_vcd: true,
+                ..TestbenchOptions::default()
+            },
+        );
+        let spec = tests_lib::basic_read_write(5);
+        let mut dut = build_view(&cfg, ViewKind::Bca);
+        let result = tb.run(dut.as_mut(), &spec, 1);
+        let text = result.vcd.expect("captured");
+        let doc = vcd::VcdDocument::parse(&text).unwrap();
+        assert!(doc.end_time() > 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! The twelve generic test cases (paper §5).
+//!
+//! "Twelve test cases have been developed to cover the tests of all main
+//! features of the node such as out of order traffic or latency based
+//! arbitration. … The test cases are generic and depend on some HDL
+//! parameters. They can be reused for all configurations of the Node."
+//!
+//! Each constructor takes an `intensity` — the per-initiator transaction
+//! count — so regressions can trade runtime for depth. [`all`] returns the
+//! full suite.
+
+use crate::target::TargetProfile;
+use crate::testbench::TestSpec;
+use crate::traffic::{OpMix, TrafficProfile};
+use stbus_protocol::TransferSize;
+
+fn spec(name: &str, description: &str, profiles: Vec<TrafficProfile>) -> TestSpec {
+    TestSpec {
+        name: name.to_owned(),
+        description: description.to_owned(),
+        profiles,
+        target_profiles: vec![TargetProfile::default()],
+        prog_schedule: Vec::new(),
+    }
+}
+
+/// T01 — directed-style low-rate loads and stores; the smoke test.
+pub fn basic_read_write(intensity: usize) -> TestSpec {
+    spec(
+        "basic_read_write",
+        "low-rate loads and stores across all targets",
+        vec![TrafficProfile {
+            n_transactions: intensity,
+            mean_gap: 6,
+            op_mix: OpMix::balanced(),
+            ..TrafficProfile::default()
+        }],
+    )
+}
+
+/// T02 — every legal opcode and size, medium pressure.
+pub fn random_mixed(intensity: usize) -> TestSpec {
+    spec(
+        "random_mixed",
+        "full opcode/size mix with medium pressure",
+        vec![TrafficProfile {
+            n_transactions: intensity,
+            mean_gap: 3,
+            op_mix: OpMix::full(),
+            sizes: TransferSize::ALL.to_vec(),
+            ..TrafficProfile::default()
+        }],
+    )
+}
+
+/// T03 — the paper's out-of-order scenario: "short transactions are sent
+/// by one initiator to different targets, having different speed".
+pub fn out_of_order(intensity: usize) -> TestSpec {
+    let mut s = spec(
+        "out_of_order",
+        "short transactions to fast and slow targets force out-of-order responses",
+        vec![TrafficProfile {
+            n_transactions: intensity,
+            mean_gap: 1,
+            op_mix: OpMix::loads_only(),
+            sizes: vec![TransferSize::B4, TransferSize::B8],
+            ..TrafficProfile::default()
+        }],
+    );
+    s.target_profiles = vec![TargetProfile::fast(), TargetProfile::slow()];
+    s
+}
+
+/// T04 — sustained saturation so latency-based arbitration has deadlines
+/// to defend.
+pub fn latency_stress(intensity: usize) -> TestSpec {
+    spec(
+        "latency_stress",
+        "all initiators saturate one hot target",
+        vec![TrafficProfile {
+            n_transactions: intensity,
+            mean_gap: 0,
+            op_mix: OpMix::balanced(),
+            targets: vec![stbus_protocol::TargetId(0)],
+            ..TrafficProfile::default()
+        }],
+    )
+}
+
+/// T05 — asymmetric demand: initiator 0 hogs, the others trickle —
+/// exercises bandwidth limitation.
+pub fn bandwidth_share(intensity: usize) -> TestSpec {
+    spec(
+        "bandwidth_share",
+        "one hog plus background traffic on a shared hot target",
+        vec![
+            TrafficProfile {
+                n_transactions: intensity * 2,
+                mean_gap: 0,
+                targets: vec![stbus_protocol::TargetId(0)],
+                ..TrafficProfile::default()
+            },
+            TrafficProfile {
+                n_transactions: intensity / 2 + 1,
+                mean_gap: 8,
+                targets: vec![stbus_protocol::TargetId(0)],
+                ..TrafficProfile::default()
+            },
+        ],
+    )
+}
+
+/// T06 — equal saturation from every initiator; LRU must rotate fairly.
+pub fn lru_fairness(intensity: usize) -> TestSpec {
+    spec(
+        "lru_fairness",
+        "symmetric saturation; grant shares must stay balanced",
+        vec![TrafficProfile {
+            n_transactions: intensity,
+            mean_gap: 0,
+            op_mix: OpMix::balanced(),
+            ..TrafficProfile::default()
+        }],
+    )
+}
+
+/// T07 — reprograms the arbitration priorities mid-run through the
+/// programming port.
+pub fn priority_prog(intensity: usize) -> TestSpec {
+    let mut s = spec(
+        "priority_prog",
+        "programming port rewrites priorities mid-run",
+        vec![TrafficProfile {
+            n_transactions: intensity,
+            mean_gap: 1,
+            ..TrafficProfile::default()
+        }],
+    );
+    s.prog_schedule = vec![(20, vec![1, 9, 5, 7, 3, 8, 2, 6]), (60, vec![9, 1, 2, 3, 4, 5, 6, 7])];
+    s
+}
+
+/// T08 — locked chunks: pairs of packets that must not be interleaved.
+pub fn chunk_locking(intensity: usize) -> TestSpec {
+    spec(
+        "chunk_locking",
+        "locked chunk pairs under contention",
+        vec![TrafficProfile {
+            n_transactions: intensity,
+            mean_gap: 1,
+            chunk_percent: 60,
+            ..TrafficProfile::default()
+        }],
+    )
+}
+
+/// T09 — the largest transfers the protocol allows (multi-cell bursts).
+pub fn max_size_bursts(intensity: usize) -> TestSpec {
+    spec(
+        "max_size_bursts",
+        "32/64-byte bursts stress multi-cell packets",
+        vec![TrafficProfile {
+            n_transactions: intensity,
+            mean_gap: 2,
+            sizes: vec![TransferSize::B32, TransferSize::B64],
+            op_mix: OpMix::balanced(),
+            ..TrafficProfile::default()
+        }],
+    )
+}
+
+/// T10 — targets stall hard; exercises flow control and long waits.
+pub fn target_stall_storm(intensity: usize) -> TestSpec {
+    let mut s = spec(
+        "target_stall_storm",
+        "heavily throttled slow targets create deep stalls",
+        vec![TrafficProfile {
+            n_transactions: intensity,
+            mean_gap: 0,
+            chunk_percent: 20,
+            r_gnt_throttle_percent: 30,
+            ..TrafficProfile::default()
+        }],
+    );
+    s.target_profiles = vec![TargetProfile {
+        min_latency: 12,
+        max_latency: 30,
+        gnt_throttle_percent: 75,
+    }];
+    s
+}
+
+/// T11 — maximum throughput: everything fast, no throttles, no gaps.
+pub fn back_to_back(intensity: usize) -> TestSpec {
+    let mut s = spec(
+        "back_to_back",
+        "zero-gap traffic against instant targets",
+        vec![TrafficProfile {
+            n_transactions: intensity,
+            mean_gap: 0,
+            sizes: vec![TransferSize::B8, TransferSize::B16],
+            ..TrafficProfile::default()
+        }],
+    );
+    s.target_profiles = vec![TargetProfile::fast()];
+    s
+}
+
+/// T12 — deliberate accesses to unmapped addresses; the node must answer
+/// with error responses.
+pub fn error_responses(intensity: usize) -> TestSpec {
+    spec(
+        "error_responses",
+        "unmapped addresses must produce error responses",
+        vec![TrafficProfile {
+            n_transactions: intensity,
+            mean_gap: 3,
+            unmapped_percent: 25,
+            ..TrafficProfile::default()
+        }],
+    )
+}
+
+/// The full twelve-test suite at a given intensity.
+pub fn all(intensity: usize) -> Vec<TestSpec> {
+    vec![
+        basic_read_write(intensity),
+        random_mixed(intensity),
+        out_of_order(intensity),
+        latency_stress(intensity),
+        bandwidth_share(intensity),
+        lru_fairness(intensity),
+        priority_prog(intensity),
+        chunk_locking(intensity),
+        max_size_bursts(intensity),
+        target_stall_storm(intensity),
+        back_to_back(intensity),
+        error_responses(intensity),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_named_tests() {
+        let suite = all(10);
+        assert_eq!(suite.len(), 12);
+        let names: std::collections::HashSet<&str> =
+            suite.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), 12, "names are unique");
+        for s in &suite {
+            assert!(!s.description.is_empty());
+            assert!(!s.profiles.is_empty());
+            assert!(!s.target_profiles.is_empty());
+        }
+    }
+
+    #[test]
+    fn out_of_order_uses_differently_fast_targets() {
+        let s = out_of_order(10);
+        assert!(s.target_profiles.len() >= 2);
+        assert!(s.target_profiles[0].max_latency < s.target_profiles[1].min_latency);
+    }
+
+    #[test]
+    fn error_test_aims_at_unmapped_memory() {
+        let s = error_responses(10);
+        assert!(s.profiles[0].unmapped_percent > 0);
+    }
+
+    #[test]
+    fn priority_prog_has_schedule() {
+        assert!(!priority_prog(10).prog_schedule.is_empty());
+    }
+}

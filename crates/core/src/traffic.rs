@@ -1,0 +1,417 @@
+//! Constrained-random traffic generation.
+//!
+//! Each initiator harness executes a pre-generated, fully deterministic
+//! schedule of [`TransactionPlan`]s derived from `(profile, seed,
+//! initiator)`. Issue times are *absolute* cycles, so a one-cycle grant
+//! perturbation in one design view does not cascade into a permanently
+//! shifted stimulus — the property that keeps the RTL/BCA alignment
+//! comparison meaningful.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stbus_protocol::{NodeConfig, OpKind, Opcode, TargetId, TransferSize};
+
+/// Relative weights of operation kinds in generated traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpMix {
+    /// Weight of loads.
+    pub load: u32,
+    /// Weight of stores.
+    pub store: u32,
+    /// Weight of read-modify-writes.
+    pub rmw: u32,
+    /// Weight of swaps.
+    pub swap: u32,
+    /// Weight of flushes.
+    pub flush: u32,
+    /// Weight of purges.
+    pub purge: u32,
+}
+
+impl OpMix {
+    /// Loads and stores in equal measure — the bread-and-butter mix.
+    pub fn balanced() -> Self {
+        OpMix {
+            load: 4,
+            store: 4,
+            rmw: 0,
+            swap: 0,
+            flush: 0,
+            purge: 0,
+        }
+    }
+
+    /// Every operation kind, weighted toward loads/stores but with the
+    /// rare kinds frequent enough that every initiator exercises each of
+    /// them in a modest run.
+    pub fn full() -> Self {
+        OpMix {
+            load: 5,
+            store: 5,
+            rmw: 2,
+            swap: 2,
+            flush: 2,
+            purge: 2,
+        }
+    }
+
+    /// Stores only (used by directed write phases).
+    pub fn stores_only() -> Self {
+        OpMix {
+            load: 0,
+            store: 1,
+            rmw: 0,
+            swap: 0,
+            flush: 0,
+            purge: 0,
+        }
+    }
+
+    /// Loads only.
+    pub fn loads_only() -> Self {
+        OpMix {
+            load: 1,
+            store: 0,
+            rmw: 0,
+            swap: 0,
+            flush: 0,
+            purge: 0,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.load + self.store + self.rmw + self.swap + self.flush + self.purge
+    }
+
+    /// Draws one kind according to the weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero.
+    pub fn pick(&self, rng: &mut StdRng) -> OpKind {
+        let total = self.total();
+        assert!(total > 0, "op mix must have nonzero weight");
+        let mut x = rng.gen_range(0..total);
+        for (kind, w) in [
+            (OpKind::Load, self.load),
+            (OpKind::Store, self.store),
+            (OpKind::ReadModifyWrite, self.rmw),
+            (OpKind::Swap, self.swap),
+            (OpKind::Flush, self.flush),
+            (OpKind::Purge, self.purge),
+        ] {
+            if x < w {
+                return kind;
+            }
+            x -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// The knobs of one initiator's random traffic.
+#[derive(Clone, Debug)]
+pub struct TrafficProfile {
+    /// Number of transactions to issue.
+    pub n_transactions: usize,
+    /// Mean gap (cycles) between scheduled issues; 0 = saturate.
+    pub mean_gap: u64,
+    /// Operation-kind weights.
+    pub op_mix: OpMix,
+    /// Allowed transfer sizes (filtered to protocol-legal ones).
+    pub sizes: Vec<TransferSize>,
+    /// Targets this initiator talks to (uniform choice). Empty = all.
+    pub targets: Vec<TargetId>,
+    /// Percent (0–100) of transactions grouped into 2-packet locked
+    /// chunks.
+    pub chunk_percent: u32,
+    /// Percent (0–100) of transactions aimed at an unmapped address.
+    pub unmapped_percent: u32,
+    /// Request priority hint.
+    pub pri: u8,
+    /// Percent (0–100) of cycles on which the initiator throttles its
+    /// response acceptance (`r_gnt` low).
+    pub r_gnt_throttle_percent: u32,
+    /// Size in bytes of the per-target address window the traffic stays
+    /// inside (small windows create read-after-write interactions).
+    pub window: u64,
+}
+
+impl Default for TrafficProfile {
+    fn default() -> Self {
+        TrafficProfile {
+            n_transactions: 50,
+            mean_gap: 4,
+            op_mix: OpMix::balanced(),
+            sizes: vec![TransferSize::B4, TransferSize::B8, TransferSize::B16],
+            targets: Vec::new(),
+            chunk_percent: 0,
+            unmapped_percent: 0,
+            pri: 0,
+            r_gnt_throttle_percent: 0,
+            window: 4096,
+        }
+    }
+}
+
+/// One planned transaction of an initiator's schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransactionPlan {
+    /// Earliest absolute cycle to present the first cell.
+    pub issue_cycle: u64,
+    /// The operation.
+    pub opcode: Opcode,
+    /// Transfer address (size-aligned; may be unmapped on purpose).
+    pub addr: u64,
+    /// Store payload (empty for dataless requests).
+    pub payload: Vec<u8>,
+    /// Chunk lock flag.
+    pub lock: bool,
+    /// Priority hint.
+    pub pri: u8,
+    /// Whether the plan deliberately targets an unmapped address.
+    pub expect_error: bool,
+}
+
+/// Generates the deterministic schedule for one initiator.
+///
+/// The same `(profile, config, initiator, seed)` always produces the same
+/// plans — the paper's "same test cases … with same seeds" requirement.
+pub fn generate_plans(
+    profile: &TrafficProfile,
+    config: &NodeConfig,
+    initiator: usize,
+    seed: u64,
+) -> Vec<TransactionPlan> {
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ (initiator as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+    );
+    let sizes: Vec<TransferSize> = profile
+        .sizes
+        .iter()
+        .copied()
+        .filter(|s| {
+            Opcode::load(*s).legal_for(config.protocol) || Opcode::store(*s).legal_for(config.protocol)
+        })
+        .collect();
+    let sizes = if sizes.is_empty() {
+        vec![TransferSize::B4]
+    } else {
+        sizes
+    };
+    let targets: Vec<TargetId> = if profile.targets.is_empty() {
+        (0..config.n_targets).map(|t| TargetId(t as u8)).collect()
+    } else {
+        profile.targets.clone()
+    };
+
+    let mut plans = Vec::with_capacity(profile.n_transactions);
+    let mut cycle = 1u64;
+    let mut chunk_follow = false;
+    let mut chunk_target = TargetId(0);
+    while plans.len() < profile.n_transactions {
+        // Pick an opcode legal for the protocol.
+        let opcode = loop {
+            let kind = profile.op_mix.pick(&mut rng);
+            let size = sizes[rng.gen_range(0..sizes.len())];
+            let op = Opcode::new(kind, size);
+            if op.legal_for(config.protocol) {
+                break op;
+            }
+        };
+        let size = opcode.size().bytes() as u64;
+
+        let (target, lock) = if chunk_follow {
+            chunk_follow = false;
+            (chunk_target, false) // close the chunk
+        } else {
+            let t = targets[rng.gen_range(0..targets.len())];
+            let open_chunk = rng.gen_range(0..100) < profile.chunk_percent
+                && plans.len() + 1 < profile.n_transactions;
+            if open_chunk {
+                chunk_follow = true;
+                chunk_target = t;
+            }
+            (t, open_chunk)
+        };
+
+        let expect_error = !lock
+            && !chunk_follow
+            && rng.gen_range(0..100) < profile.unmapped_percent
+            && config.address_map.unmapped_address().is_some();
+        let addr = if expect_error {
+            let base = config.address_map.unmapped_address().expect("checked");
+            base + rng.gen_range(0..profile.window / size.max(1)) * size
+        } else {
+            let base = config.address_map.base_of(target).unwrap_or(0);
+            let span = config
+                .address_map
+                .size_of(target)
+                .unwrap_or(profile.window)
+                .min(profile.window);
+            base + rng.gen_range(0..(span / size).max(1)) * size
+        };
+
+        let payload = if opcode.has_request_data() {
+            (0..opcode.size().bytes()).map(|_| rng.gen()).collect()
+        } else {
+            Vec::new()
+        };
+
+        plans.push(TransactionPlan {
+            issue_cycle: cycle,
+            opcode,
+            addr,
+            payload,
+            lock,
+            pri: profile.pri,
+            expect_error,
+        });
+
+        // Chunk members are scheduled back-to-back; otherwise advance by
+        // a random gap around the configured mean.
+        if !chunk_follow {
+            cycle += if profile.mean_gap == 0 {
+                0
+            } else {
+                rng.gen_range(0..=profile.mean_gap * 2)
+            };
+            cycle += 1;
+        }
+    }
+    plans
+}
+
+/// A pure per-cycle throttle decision: deterministic across views.
+pub(crate) fn throttled(seed: u64, salt: u64, cycle: u64, percent: u32) -> bool {
+    if percent == 0 {
+        return false;
+    }
+    let x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        .wrapping_add(cycle.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    let h = x ^ (x >> 29);
+    (h % 100) < percent as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stbus_protocol::ProtocolType;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let cfg = NodeConfig::reference();
+        let p = TrafficProfile::default();
+        let a = generate_plans(&p, &cfg, 0, 42);
+        let b = generate_plans(&p, &cfg, 0, 42);
+        assert_eq!(a, b);
+        let c = generate_plans(&p, &cfg, 0, 43);
+        assert_ne!(a, c, "different seed, different schedule");
+        let d = generate_plans(&p, &cfg, 1, 42);
+        assert_ne!(a, d, "different initiator, different schedule");
+    }
+
+    #[test]
+    fn plans_respect_protocol_and_alignment() {
+        let cfg = NodeConfig::builder("t1")
+            .protocol(ProtocolType::Type1)
+            .bus_bytes(4)
+            .build()
+            .unwrap();
+        let p = TrafficProfile {
+            op_mix: OpMix::full(),
+            sizes: TransferSize::ALL.to_vec(),
+            n_transactions: 100,
+            ..TrafficProfile::default()
+        };
+        for plan in generate_plans(&p, &cfg, 0, 7) {
+            assert!(plan.opcode.legal_for(ProtocolType::Type1), "{:?}", plan.opcode);
+            assert_eq!(plan.addr % plan.opcode.size().bytes() as u64, 0);
+            if plan.opcode.has_request_data() {
+                assert_eq!(plan.payload.len(), plan.opcode.size().bytes());
+            } else {
+                assert!(plan.payload.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn issue_cycles_are_nondecreasing() {
+        let cfg = NodeConfig::reference();
+        let p = TrafficProfile {
+            n_transactions: 60,
+            mean_gap: 3,
+            ..TrafficProfile::default()
+        };
+        let plans = generate_plans(&p, &cfg, 2, 99);
+        assert_eq!(plans.len(), 60);
+        for w in plans.windows(2) {
+            assert!(w[0].issue_cycle <= w[1].issue_cycle);
+        }
+    }
+
+    #[test]
+    fn chunks_come_in_pairs_on_one_target() {
+        let cfg = NodeConfig::reference();
+        let p = TrafficProfile {
+            n_transactions: 40,
+            chunk_percent: 100,
+            ..TrafficProfile::default()
+        };
+        let plans = generate_plans(&p, &cfg, 0, 5);
+        let mut k = 0;
+        while k < plans.len() {
+            if plans[k].lock {
+                assert!(k + 1 < plans.len(), "lock must be followed by closer");
+                assert!(!plans[k + 1].lock);
+                assert_eq!(
+                    cfg.address_map.decode(plans[k].addr),
+                    cfg.address_map.decode(plans[k + 1].addr),
+                    "chunk stays on one target"
+                );
+                k += 2;
+            } else {
+                k += 1;
+            }
+        }
+        assert!(plans.iter().any(|p| p.lock), "chunks were generated");
+    }
+
+    #[test]
+    fn unmapped_plans_decode_to_none() {
+        let cfg = NodeConfig::reference();
+        let p = TrafficProfile {
+            n_transactions: 50,
+            unmapped_percent: 50,
+            ..TrafficProfile::default()
+        };
+        let plans = generate_plans(&p, &cfg, 0, 11);
+        let erroring: Vec<_> = plans.iter().filter(|p| p.expect_error).collect();
+        assert!(!erroring.is_empty());
+        for plan in erroring {
+            assert_eq!(cfg.address_map.decode(plan.addr), None, "{:#x}", plan.addr);
+        }
+    }
+
+    #[test]
+    fn throttle_is_deterministic_and_ratioed() {
+        let hits = (0..10_000u64)
+            .filter(|c| throttled(1, 2, *c, 30))
+            .count();
+        assert!((2200..3800).contains(&hits), "≈30%: {hits}");
+        for c in 0..100 {
+            assert_eq!(throttled(1, 2, c, 30), throttled(1, 2, c, 30));
+            assert!(!throttled(1, 2, c, 0));
+        }
+    }
+
+    #[test]
+    fn op_mix_respects_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(OpMix::stores_only().pick(&mut rng), OpKind::Store);
+        }
+    }
+}

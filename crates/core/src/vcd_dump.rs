@@ -1,0 +1,236 @@
+//! Per-run VCD dumping.
+//!
+//! "Moreover, an associated VCD file, a standard format for waveform
+//! recording, is generated so that it can be used later for bus accurate
+//! comparison" (paper §4). Both design views are dumped through this same
+//! code path from the same [`CycleRecord`]s, so the two files declare an
+//! identical variable tree — exactly what the `stba` analyzer needs.
+
+use crate::record::CycleRecord;
+use stbus_protocol::{NodeConfig, ReqCell, RspCell, RspKind};
+use vcd::{Scalar, VcdValue, VcdWriter, VarId};
+
+/// Nanoseconds of simulated time per clock cycle in the dump.
+pub const CYCLE_TIME: u64 = 10;
+
+/// The variable names dumped per port, with their widths for a given bus
+/// width (shared knowledge between the dump and the analyzer).
+pub fn port_var_names(bus_bytes: usize) -> Vec<(&'static str, usize)> {
+    vec![
+        ("req", 1),
+        ("addr", 64),
+        ("opc", 8),
+        ("data", bus_bytes * 8),
+        ("be", bus_bytes),
+        ("eop", 1),
+        ("lck", 1),
+        ("tid", 8),
+        ("src", 8),
+        ("pri", 8),
+        ("gnt", 1),
+        ("r_req", 1),
+        ("r_data", bus_bytes * 8),
+        ("r_err", 1),
+        ("r_eop", 1),
+        ("r_tid", 8),
+        ("r_src", 8),
+        ("r_gnt", 1),
+    ]
+}
+
+fn bytes_value(bytes: &[u8]) -> VcdValue {
+    // MSB-first binary literal.
+    let s: String = bytes
+        .iter()
+        .rev()
+        .map(|b| format!("{b:08b}"))
+        .collect();
+    VcdValue::from_binary_str(&s).expect("binary digits")
+}
+
+struct PortVars {
+    vars: Vec<VarId>,
+}
+
+/// Streams cycle records of one run into an in-memory VCD document.
+pub struct VcdDump {
+    writer: VcdWriter<Vec<u8>>,
+    ports: Vec<PortVars>,
+    widths: Vec<(&'static str, usize)>,
+    last: Vec<Vec<Option<VcdValue>>>,
+    bus_bytes: usize,
+    end: u64,
+}
+
+impl VcdDump {
+    /// Declares the full variable tree for a configuration.
+    pub fn new(config: &NodeConfig) -> Self {
+        let mut writer = VcdWriter::new(Vec::new(), "1ns");
+        let widths = port_var_names(config.bus_bytes);
+        let mut ports = Vec::new();
+        writer.push_scope("tb");
+        for i in 0..config.n_initiators {
+            writer.push_scope(&format!("init{i}"));
+            let vars = widths.iter().map(|(n, w)| writer.add_var(n, *w)).collect();
+            ports.push(PortVars { vars });
+            writer.pop_scope();
+        }
+        for t in 0..config.n_targets {
+            writer.push_scope(&format!("tgt{t}"));
+            let vars = widths.iter().map(|(n, w)| writer.add_var(n, *w)).collect();
+            ports.push(PortVars { vars });
+            writer.pop_scope();
+        }
+        writer.pop_scope();
+        writer.begin().expect("in-memory write cannot fail");
+        let n_ports = ports.len();
+        let n_vars = widths.len();
+        VcdDump {
+            writer,
+            ports,
+            widths,
+            last: vec![vec![None; n_vars]; n_ports],
+            bus_bytes: config.bus_bytes,
+            end: 0,
+        }
+    }
+
+    fn req_values(&self, req: bool, cell: &ReqCell, gnt: bool) -> Vec<VcdValue> {
+        vec![
+            VcdValue::scalar(Scalar::from_bool(req)),
+            VcdValue::from_u64(cell.addr, 64),
+            VcdValue::from_u64(cell.opcode.encode() as u64, 8),
+            bytes_value(cell.data.lanes(self.bus_bytes)),
+            VcdValue::from_u64(cell.be as u64, self.bus_bytes),
+            VcdValue::scalar(Scalar::from_bool(cell.eop)),
+            VcdValue::scalar(Scalar::from_bool(cell.lock)),
+            VcdValue::from_u64(cell.tid.0 as u64, 8),
+            VcdValue::from_u64(cell.src.0 as u64, 8),
+            VcdValue::from_u64(cell.pri as u64, 8),
+            VcdValue::scalar(Scalar::from_bool(gnt)),
+        ]
+    }
+
+    fn rsp_values(&self, r_req: bool, cell: &RspCell, r_gnt: bool) -> Vec<VcdValue> {
+        vec![
+            VcdValue::scalar(Scalar::from_bool(r_req)),
+            bytes_value(cell.data.lanes(self.bus_bytes)),
+            VcdValue::scalar(Scalar::from_bool(cell.kind == RspKind::Error)),
+            VcdValue::scalar(Scalar::from_bool(cell.eop)),
+            VcdValue::from_u64(cell.tid.0 as u64, 8),
+            VcdValue::from_u64(cell.src.0 as u64, 8),
+            VcdValue::scalar(Scalar::from_bool(r_gnt)),
+        ]
+    }
+
+    /// Appends one cycle.
+    pub fn record(&mut self, rec: &CycleRecord) {
+        let time = rec.cycle * CYCLE_TIME;
+        self.end = self.end.max(time);
+        let ni = rec.inputs.initiator.len();
+        for p in 0..self.ports.len() {
+            let mut values = if p < ni {
+                let (req, cell, gnt) = rec.init_request(p);
+                let mut v = self.req_values(req, cell, gnt);
+                let (r_req, r_cell, r_gnt) = rec.init_response(p);
+                v.extend(self.rsp_values(r_req, r_cell, r_gnt));
+                v
+            } else {
+                let t = p - ni;
+                let (req, cell, gnt) = rec.target_request(t);
+                let mut v = self.req_values(req, cell, gnt);
+                let (r_req, r_cell, r_gnt) = rec.target_response(t);
+                v.extend(self.rsp_values(r_req, r_cell, r_gnt));
+                v
+            };
+            debug_assert_eq!(values.len(), self.widths.len());
+            for (k, value) in values.drain(..).enumerate() {
+                if self.last[p][k].as_ref() != Some(&value) {
+                    self.writer
+                        .change_value(time, self.ports[p].vars[k], &value)
+                        .expect("in-memory write cannot fail");
+                    self.last[p][k] = Some(value);
+                }
+            }
+        }
+    }
+
+    /// Finishes the dump and returns the VCD text.
+    pub fn finish(self) -> String {
+        let buf = self
+            .writer
+            .finish(self.end + CYCLE_TIME)
+            .expect("in-memory write cannot fail");
+        String::from_utf8(buf).expect("vcd is ascii")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stbus_protocol::{DutInputs, DutOutputs};
+    use vcd::VcdDocument;
+
+    #[test]
+    fn dump_declares_identical_tree_for_both_views() {
+        let cfg = stbus_protocol::NodeConfig::reference();
+        let dump = VcdDump::new(&cfg);
+        let text = dump.finish();
+        let doc = VcdDocument::parse(&text).unwrap();
+        // 5 ports x 18 vars.
+        assert_eq!(doc.vars().len(), 5 * 18);
+        assert!(doc.var_by_name("tb.init0.req").is_some());
+        assert!(doc.var_by_name("tb.tgt1.r_gnt").is_some());
+        let data = doc.var_by_name("tb.init2.data").unwrap();
+        assert_eq!(doc.var(data).width, 64);
+    }
+
+    #[test]
+    fn changes_are_deduplicated() {
+        let cfg = stbus_protocol::NodeConfig::reference();
+        let mut dump = VcdDump::new(&cfg);
+        let rec = |cycle| CycleRecord {
+            cycle,
+            inputs: DutInputs::idle(&cfg),
+            outputs: DutOutputs::idle(&cfg),
+        };
+        dump.record(&rec(0));
+        dump.record(&rec(1));
+        dump.record(&rec(2));
+        let text = dump.finish();
+        // After the initial values at #0, idle cycles add no change lines.
+        let after_t0 = text.split("#10").nth(1);
+        assert!(after_t0.is_none() || !after_t0.unwrap_or("").contains("\n0"));
+        let doc = VcdDocument::parse(&text).unwrap();
+        let req = doc.var_by_name("tb.init0.req").unwrap();
+        // One 'x' from $dumpvars plus one real value at #0 — and nothing
+        // from the two idle cycles after.
+        assert!(doc.changes(req).len() <= 2);
+        assert!(doc.changes(req).iter().all(|(t, _)| *t == 0));
+    }
+
+    #[test]
+    fn recorded_values_round_trip() {
+        let cfg = stbus_protocol::NodeConfig::reference();
+        let mut dump = VcdDump::new(&cfg);
+        let mut rec = CycleRecord {
+            cycle: 0,
+            inputs: DutInputs::idle(&cfg),
+            outputs: DutOutputs::idle(&cfg),
+        };
+        rec.inputs.initiator[0].req = true;
+        rec.inputs.initiator[0].cell.addr = 0xABCD;
+        rec.inputs.initiator[0].cell.data =
+            stbus_protocol::CellData::from_bytes(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        rec.outputs.initiator[0].gnt = true;
+        dump.record(&rec);
+        let text = dump.finish();
+        let doc = VcdDocument::parse(&text).unwrap();
+        let addr = doc.var_by_name("tb.init0.addr").unwrap();
+        assert_eq!(doc.value_at(addr, 0).as_u64(), Some(0xABCD));
+        let data = doc.var_by_name("tb.init0.data").unwrap();
+        assert_eq!(doc.value_at(data, 0).as_u64(), Some(0x0807060504030201));
+        let gnt = doc.var_by_name("tb.init0.gnt").unwrap();
+        assert_eq!(doc.value_at(gnt, 0).as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,29 @@
+//! DUT-view factory: the Rust equivalent of the paper's wrapper files.
+
+use stbus_bca::{BcaNode, Fidelity};
+use stbus_protocol::{DutView, NodeConfig, ViewKind};
+use stbus_rtl::RtlNode;
+
+/// Elaborates one design view for a configuration.
+///
+/// The BCA view is built at its realistic default fidelity
+/// ([`Fidelity::Relaxed`]); use [`stbus_bca::BcaNode::new`] directly for
+/// exact-fidelity or bug-injection runs.
+pub fn build_view(config: &NodeConfig, kind: ViewKind) -> Box<dyn DutView> {
+    match kind {
+        ViewKind::Rtl => Box::new(RtlNode::new(config.clone())),
+        ViewKind::Bca => Box::new(BcaNode::new(config.clone(), Fidelity::Relaxed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_both_views() {
+        let cfg = NodeConfig::reference();
+        assert_eq!(build_view(&cfg, ViewKind::Rtl).view_kind(), ViewKind::Rtl);
+        assert_eq!(build_view(&cfg, ViewKind::Bca).view_kind(), ViewKind::Bca);
+    }
+}

@@ -1,0 +1,106 @@
+//! The regression CLI: the paper's regression tool without the GUI.
+//!
+//! ```text
+//! stbus-regress [--configs <dir>] [--seeds N] [--intensity N]
+//!               [--no-compare] [--exact]
+//! ```
+//!
+//! With `--configs <dir>`, every `*.cfg` text file in the directory is
+//! loaded ("It's sufficient to indicate the directory to which the tool
+//! has to point"); otherwise the built-in >36-configuration sweep runs.
+
+use stbus_regression::{parse_config, run_regression, standard_configs, RegressionOptions};
+use stbus_bca::Fidelity;
+use stbus_protocol::NodeConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut config_dir: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+    let mut options = RegressionOptions::default();
+    // The CLI default is deep enough to reach full functional coverage on
+    // every sweep configuration (the library default favors test speed).
+    let mut intensity = 30;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--configs" => config_dir = args.next(),
+            "--out" => out_dir = args.next(),
+            "--seeds" => {
+                let n: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+                options.seeds = (1..=n).collect();
+            }
+            "--intensity" => {
+                intensity = args.next().and_then(|s| s.parse().ok()).unwrap_or(intensity);
+            }
+            "--no-compare" => options.compare_waveforms = false,
+            "--exact" => options.fidelity = Fidelity::Exact,
+            "--help" | "-h" => {
+                eprintln!("usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--no-compare] [--exact]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    options.intensity = intensity;
+
+    let configs: Vec<NodeConfig> = match &config_dir {
+        Some(dir) => {
+            let mut configs = Vec::new();
+            let entries = match std::fs::read_dir(dir) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("cannot read {dir}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let mut paths: Vec<_> = entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "cfg"))
+                .collect();
+            paths.sort();
+            for path in paths {
+                let text = std::fs::read_to_string(&path).unwrap_or_default();
+                match parse_config(&text) {
+                    Ok(cfg) => configs.push(cfg),
+                    Err(e) => {
+                        eprintln!("{}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+            configs
+        }
+        None => standard_configs(),
+    };
+
+    if configs.is_empty() {
+        eprintln!("no configurations to run");
+        std::process::exit(1);
+    }
+
+    let tests = catg::tests_lib::all(options.intensity);
+    eprintln!(
+        "running {} configs x {} tests x {} seeds on both views ...",
+        configs.len(),
+        tests.len(),
+        options.seeds.len()
+    );
+    let report = run_regression(&configs, &tests, &options);
+    println!("{}", report.table());
+    if let Some(out) = out_dir {
+        let path = std::path::Path::new(&out);
+        match report.write_reports(path) {
+            Ok(()) => eprintln!("reports written under {}", path.display()),
+            Err(e) => eprintln!("cannot write reports: {e}"),
+        }
+    }
+    println!(
+        "{} of {} configurations signed off (all checks green, full functional coverage, >=99% alignment)",
+        report.signed_off_count(),
+        report.configs.len()
+    );
+}

@@ -1,0 +1,405 @@
+//! The text configuration-file format ("HDL parameters").
+//!
+//! One `key = value` pair per line; `#` starts a comment. Example:
+//!
+//! ```text
+//! name         = node_t3_full
+//! initiators   = 3
+//! targets      = 2
+//! bus_bytes    = 8
+//! protocol     = t3
+//! architecture = full          # shared | full | partial:<lanes>
+//! arbitration  = lru
+//! pipe_depth   = 0
+//! endianness   = little
+//! prog_port    = true
+//! max_outstanding = 4
+//! # optional explicit address map (otherwise 16 MiB per target):
+//! map          = t0:0x00000000:0x1000000
+//! map          = t1:0x01000000:0x1000000
+//! # optional arbiter tuning:
+//! priorities   = 0,1,9
+//! deadlines    = 200,32,2
+//! budgets      = 4,8,8
+//! window       = 16
+//! ```
+
+use std::fmt;
+use stbus_protocol::arbitration::ArbiterParams;
+use stbus_protocol::{
+    AddressMap, AddressRange, Architecture, ArbitrationKind, ConfigError, Endianness, NodeConfig,
+    ProtocolType, TargetId,
+};
+
+/// A failure to parse or validate a configuration file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseConfigError {
+    /// A line is not `key = value`.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// An unknown key.
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The key.
+        key: String,
+    },
+    /// A value failed to parse.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The key whose value is bad.
+        key: String,
+        /// The value text.
+        value: String,
+    },
+    /// The assembled configuration violates a constraint.
+    Invalid(ConfigError),
+}
+
+impl fmt::Display for ParseConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseConfigError::Syntax { line, text } => {
+                write!(f, "line {line}: expected `key = value`, got `{text}`")
+            }
+            ParseConfigError::UnknownKey { line, key } => {
+                write!(f, "line {line}: unknown key `{key}`")
+            }
+            ParseConfigError::BadValue { line, key, value } => {
+                write!(f, "line {line}: bad value `{value}` for `{key}`")
+            }
+            ParseConfigError::Invalid(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseConfigError {}
+
+impl From<ConfigError> for ParseConfigError {
+    fn from(e: ConfigError) -> Self {
+        ParseConfigError::Invalid(e)
+    }
+}
+
+/// Parses a configuration file.
+///
+/// # Errors
+///
+/// See [`ParseConfigError`]; every variant names the offending line.
+pub fn parse_config(text: &str) -> Result<NodeConfig, ParseConfigError> {
+    let mut builder = NodeConfig::builder("unnamed");
+    let mut map = AddressMap::new();
+    let mut params = ArbiterParams::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = stripped.split_once('=') else {
+            return Err(ParseConfigError::Syntax {
+                line,
+                text: stripped.to_owned(),
+            });
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let bad = || ParseConfigError::BadValue {
+            line,
+            key: key.to_owned(),
+            value: value.to_owned(),
+        };
+        builder = match key {
+            "name" => builder.name(value),
+            "initiators" => builder.initiators(value.parse().map_err(|_| bad())?),
+            "targets" => builder.targets(value.parse().map_err(|_| bad())?),
+            "bus_bytes" => builder.bus_bytes(value.parse().map_err(|_| bad())?),
+            "protocol" => builder.protocol(match value.to_ascii_lowercase().as_str() {
+                "t1" | "type1" => ProtocolType::Type1,
+                "t2" | "type2" => ProtocolType::Type2,
+                "t3" | "type3" => ProtocolType::Type3,
+                _ => return Err(bad()),
+            }),
+            "architecture" => builder.architecture(parse_arch(value).ok_or_else(bad)?),
+            "arbitration" => builder.arbitration(match value.to_ascii_lowercase().as_str() {
+                "fixed" | "fixed-priority" => ArbitrationKind::FixedPriority,
+                "variable" | "variable-priority" => ArbitrationKind::VariablePriority,
+                "lru" => ArbitrationKind::Lru,
+                "latency" => ArbitrationKind::LatencyBased,
+                "bandwidth" => ArbitrationKind::BandwidthLimited,
+                "round-robin" | "rr" => ArbitrationKind::RoundRobin,
+                _ => return Err(bad()),
+            }),
+            "pipe_depth" => builder.pipe_depth(value.parse().map_err(|_| bad())?),
+            "endianness" => builder.endianness(match value.to_ascii_lowercase().as_str() {
+                "little" => Endianness::Little,
+                "big" => Endianness::Big,
+                _ => return Err(bad()),
+            }),
+            "prog_port" => builder.prog_port(value.parse().map_err(|_| bad())?),
+            "max_outstanding" => builder.max_outstanding(value.parse().map_err(|_| bad())?),
+            "map" => {
+                map.push(parse_range(value).ok_or_else(bad)?);
+                builder
+            }
+            "priorities" => {
+                params.priorities = Some(parse_list(value).ok_or_else(bad)?);
+                builder
+            }
+            "deadlines" => {
+                params.deadlines = Some(parse_list(value).ok_or_else(bad)?);
+                builder
+            }
+            "budgets" => {
+                params.budgets = Some(parse_list(value).ok_or_else(bad)?);
+                builder
+            }
+            "window" => {
+                params.window = value.parse().map_err(|_| bad())?;
+                builder
+            }
+            _ => {
+                return Err(ParseConfigError::UnknownKey {
+                    line,
+                    key: key.to_owned(),
+                })
+            }
+        };
+    }
+    if !map.ranges().is_empty() {
+        builder = builder.address_map(map);
+    }
+    builder = builder.arbiter_params(params);
+    Ok(builder.build()?)
+}
+
+/// Parses a numeric list like `1,2,3` into any integer type.
+fn parse_list<T: std::str::FromStr>(value: &str) -> Option<Vec<T>> {
+    value
+        .split(',')
+        .map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+/// Parses a `t<N>:<base>:<size>` address-range spec (hex or decimal).
+fn parse_range(value: &str) -> Option<AddressRange> {
+    let mut parts = value.split(':');
+    let target = parts.next()?.trim().strip_prefix('t')?.parse().ok()?;
+    let base = parse_u64(parts.next()?.trim())?;
+    let size = parse_u64(parts.next()?.trim())?;
+    parts.next().is_none().then_some(AddressRange {
+        base,
+        size,
+        target: TargetId(target),
+    })
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+fn parse_arch(value: &str) -> Option<Architecture> {
+    let v = value.to_ascii_lowercase();
+    if v == "shared" {
+        Some(Architecture::SharedBus)
+    } else if v == "full" {
+        Some(Architecture::FullCrossbar)
+    } else if let Some(lanes) = v.strip_prefix("partial:") {
+        Some(Architecture::PartialCrossbar {
+            lanes: lanes.parse().ok()?,
+        })
+    } else {
+        None
+    }
+}
+
+/// Renders a configuration back into the file format (round-trips with
+/// [`parse_config`]).
+pub fn render_config(config: &NodeConfig) -> String {
+    let mut extra = String::new();
+    for r in config.address_map.ranges() {
+        extra.push_str(&format!(
+            "map = t{}:{:#x}:{:#x}\n",
+            r.target.0, r.base, r.size
+        ));
+    }
+    let p = &config.arb_params;
+    if let Some(v) = &p.priorities {
+        extra.push_str(&format!(
+            "priorities = {}\n",
+            v.iter().map(u8::to_string).collect::<Vec<_>>().join(",")
+        ));
+    }
+    if let Some(v) = &p.deadlines {
+        extra.push_str(&format!(
+            "deadlines = {}\n",
+            v.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+        ));
+    }
+    if let Some(v) = &p.budgets {
+        extra.push_str(&format!(
+            "budgets = {}\n",
+            v.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+        ));
+    }
+    extra.push_str(&format!("window = {}\n", p.window));
+    let arch = match config.arch {
+        Architecture::SharedBus => "shared".to_owned(),
+        Architecture::FullCrossbar => "full".to_owned(),
+        Architecture::PartialCrossbar { lanes } => format!("partial:{lanes}"),
+    };
+    let arbitration = match config.arbitration {
+        ArbitrationKind::FixedPriority => "fixed",
+        ArbitrationKind::VariablePriority => "variable",
+        ArbitrationKind::Lru => "lru",
+        ArbitrationKind::LatencyBased => "latency",
+        ArbitrationKind::BandwidthLimited => "bandwidth",
+        ArbitrationKind::RoundRobin => "round-robin",
+    };
+    format!(
+        "name = {}\ninitiators = {}\ntargets = {}\nbus_bytes = {}\nprotocol = {}\narchitecture = {}\narbitration = {}\npipe_depth = {}\nendianness = {}\nprog_port = {}\nmax_outstanding = {}\n",
+        config.name,
+        config.n_initiators,
+        config.n_targets,
+        config.bus_bytes,
+        match config.protocol {
+            ProtocolType::Type1 => "t1",
+            ProtocolType::Type2 => "t2",
+            ProtocolType::Type3 => "t3",
+        },
+        arch,
+        arbitration,
+        config.pipe_depth,
+        match config.endianness {
+            Endianness::Little => "little",
+            Endianness::Big => "big",
+        },
+        config.prog_port,
+        config.max_outstanding,
+    ) + &extra
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# reference-like configuration
+name         = sample
+initiators   = 3
+targets      = 2
+bus_bytes    = 8
+protocol     = t3
+architecture = full
+arbitration  = lru
+pipe_depth   = 1
+endianness   = little
+prog_port    = true
+max_outstanding = 4
+";
+
+    #[test]
+    fn parses_a_full_file() {
+        let cfg = parse_config(SAMPLE).unwrap();
+        assert_eq!(cfg.name, "sample");
+        assert_eq!(cfg.n_initiators, 3);
+        assert_eq!(cfg.bus_bytes, 8);
+        assert_eq!(cfg.protocol, ProtocolType::Type3);
+        assert_eq!(cfg.arch, Architecture::FullCrossbar);
+        assert_eq!(cfg.arbitration, ArbitrationKind::Lru);
+        assert_eq!(cfg.pipe_depth, 1);
+        assert!(cfg.prog_port);
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let cfg = parse_config(SAMPLE).unwrap();
+        let text = render_config(&cfg);
+        let cfg2 = parse_config(&text).unwrap();
+        assert_eq!(cfg, cfg2);
+    }
+
+    #[test]
+    fn partial_crossbar_syntax() {
+        let cfg = parse_config("name=x\narchitecture = partial:2\n").unwrap();
+        assert_eq!(cfg.arch, Architecture::PartialCrossbar { lanes: 2 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_config("initiators = 3\nbogus line\n").unwrap_err();
+        assert!(matches!(err, ParseConfigError::Syntax { line: 2, .. }));
+        let err = parse_config("unknown_key = 1\n").unwrap_err();
+        assert!(matches!(err, ParseConfigError::UnknownKey { line: 1, .. }));
+        let err = parse_config("initiators = many\n").unwrap_err();
+        assert!(matches!(err, ParseConfigError::BadValue { line: 1, .. }));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let err = parse_config("initiators = 99\n").unwrap_err();
+        assert!(matches!(err, ParseConfigError::Invalid(_)));
+        assert!(err.to_string().contains("1..=32"));
+    }
+
+    #[test]
+    fn address_map_and_arbiter_params_round_trip() {
+        let text = "\
+name = mapped
+initiators = 3
+targets = 2
+map = t0:0x0:0x1000
+map = t1:0x1000:0x2000
+priorities = 0,1,9
+deadlines = 200,32,2
+budgets = 4,8,8
+window = 16
+";
+        let cfg = parse_config(text).unwrap();
+        assert_eq!(cfg.address_map.ranges().len(), 2);
+        assert_eq!(cfg.address_map.decode(0x1800), Some(TargetId(1)));
+        assert_eq!(cfg.address_map.decode(0x4000), None);
+        assert_eq!(cfg.arb_params.priorities, Some(vec![0, 1, 9]));
+        assert_eq!(cfg.arb_params.deadlines, Some(vec![200, 32, 2]));
+        assert_eq!(cfg.arb_params.budgets, Some(vec![4, 8, 8]));
+        assert_eq!(cfg.arb_params.window, 16);
+        // Round trip through render.
+        let cfg2 = parse_config(&render_config(&cfg)).unwrap();
+        assert_eq!(cfg, cfg2);
+    }
+
+    #[test]
+    fn bad_map_and_list_values_are_rejected() {
+        assert!(matches!(
+            parse_config("map = q0:0:0x100\n"),
+            Err(ParseConfigError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse_config("map = t0:0:\n"),
+            Err(ParseConfigError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse_config("priorities = 1,x,3\n"),
+            Err(ParseConfigError::BadValue { .. })
+        ));
+        // Wrong parameter length is a config-level error.
+        assert!(matches!(
+            parse_config("initiators = 2\npriorities = 1,2,3\n"),
+            Err(ParseConfigError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let cfg = parse_config("\n# comment\ninitiators = 4 # trailing\n\n").unwrap();
+        assert_eq!(cfg.n_initiators, 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! The standard configuration sweep: the ">36 configurations of the Node"
+//! of the paper's §5.
+
+use stbus_protocol::{Architecture, ArbitrationKind, NodeConfig, ProtocolType};
+
+/// Generates the standard sweep of node configurations.
+///
+/// The base matrix crosses the six arbitration policies with the three
+/// architectures and the two split-capable protocol types (6 × 3 × 2 = 36
+/// configurations), cycling port counts and bus widths so shapes vary too.
+/// Four edge configurations are appended: Type 1, a 1-byte bus, a 256-bit
+/// bus and a pipelined node — 40 in total.
+pub fn standard_configs() -> Vec<NodeConfig> {
+    let mut out = Vec::new();
+    let shapes = [(2usize, 2usize, 4usize), (3, 2, 8), (4, 3, 16)];
+    let archs = [
+        Architecture::SharedBus,
+        Architecture::PartialCrossbar { lanes: 2 },
+        Architecture::FullCrossbar,
+    ];
+    let mut k = 0usize;
+    for arbitration in ArbitrationKind::ALL {
+        for arch in archs {
+            for protocol in [ProtocolType::Type2, ProtocolType::Type3] {
+                let (ni, nt, bus) = shapes[k % shapes.len()];
+                k += 1;
+                out.push(
+                    NodeConfig::builder(&format!("cfg{k:02}"))
+                        .initiators(ni)
+                        .targets(nt)
+                        .bus_bytes(bus)
+                        .protocol(protocol)
+                        .architecture(arch)
+                        .arbitration(arbitration)
+                        .prog_port(arbitration == ArbitrationKind::VariablePriority)
+                        .build()
+                        .expect("sweep configs are valid"),
+                );
+            }
+        }
+    }
+    // Edge configurations beyond the base 36.
+    out.push(
+        NodeConfig::builder("cfg_t1")
+            .initiators(2)
+            .targets(2)
+            .bus_bytes(4)
+            .protocol(ProtocolType::Type1)
+            .architecture(Architecture::SharedBus)
+            .arbitration(ArbitrationKind::FixedPriority)
+            .build()
+            .expect("valid"),
+    );
+    out.push(
+        NodeConfig::builder("cfg_bus8bit")
+            .initiators(2)
+            .targets(2)
+            .bus_bytes(1)
+            .protocol(ProtocolType::Type2)
+            .architecture(Architecture::FullCrossbar)
+            .arbitration(ArbitrationKind::RoundRobin)
+            .build()
+            .expect("valid"),
+    );
+    out.push(
+        NodeConfig::builder("cfg_bus256bit")
+            .initiators(2)
+            .targets(2)
+            .bus_bytes(32)
+            .protocol(ProtocolType::Type3)
+            .architecture(Architecture::FullCrossbar)
+            .arbitration(ArbitrationKind::Lru)
+            .build()
+            .expect("valid"),
+    );
+    out.push(
+        NodeConfig::builder("cfg_pipelined")
+            .initiators(3)
+            .targets(2)
+            .bus_bytes(8)
+            .protocol(ProtocolType::Type3)
+            .architecture(Architecture::FullCrossbar)
+            .arbitration(ArbitrationKind::Lru)
+            .pipe_depth(1)
+            .build()
+            .expect("valid"),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_more_than_36_configs() {
+        let configs = standard_configs();
+        assert!(configs.len() > 36, "got {}", configs.len());
+        // Names are unique.
+        let names: std::collections::HashSet<&str> =
+            configs.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names.len(), configs.len());
+    }
+
+    #[test]
+    fn sweep_covers_all_policies_architectures_and_types() {
+        let configs = standard_configs();
+        for kind in ArbitrationKind::ALL {
+            assert!(configs.iter().any(|c| c.arbitration == kind), "{kind}");
+        }
+        for arch in [
+            Architecture::SharedBus,
+            Architecture::PartialCrossbar { lanes: 2 },
+            Architecture::FullCrossbar,
+        ] {
+            assert!(configs.iter().any(|c| c.arch == arch));
+        }
+        for p in [ProtocolType::Type1, ProtocolType::Type2, ProtocolType::Type3] {
+            assert!(configs.iter().any(|c| c.protocol == p));
+        }
+        assert!(configs.iter().any(|c| c.pipe_depth > 0));
+        assert!(configs.iter().any(|c| c.bus_bytes == 1));
+        assert!(configs.iter().any(|c| c.bus_bytes == 32));
+    }
+}

@@ -1,0 +1,88 @@
+//! Writing regression artifacts to disk.
+//!
+//! The paper's tool generates, per `{test, seed}`, "a verification report
+//! and a functional coverage one"; this module lays the campaign out as a
+//! directory tree:
+//!
+//! ```text
+//! <out>/
+//!   summary.txt                      the per-configuration table
+//!   <config>/
+//!     config.cfg                     the text configuration file
+//!     <test>_seed<N>_<view>.verify.txt
+//!     <test>_seed<N>_<view>.coverage.txt
+//! ```
+
+use crate::config_file::render_config;
+use crate::runner::RegressionReport;
+use std::io;
+use std::path::Path;
+
+impl RegressionReport {
+    /// Writes the campaign's reports under `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_reports(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("summary.txt"), self.table())?;
+        for outcome in &self.configs {
+            let cfg_dir = dir.join(&outcome.config.name);
+            std::fs::create_dir_all(&cfg_dir)?;
+            std::fs::write(cfg_dir.join("config.cfg"), render_config(&outcome.config))?;
+            for run in &outcome.runs {
+                for (view, result) in [("rtl", &run.rtl), ("bca", &run.bca)] {
+                    let stem = format!("{}_seed{}_{}", run.test, run.seed, view);
+                    std::fs::write(
+                        cfg_dir.join(format!("{stem}.verify.txt")),
+                        result.verification_report(),
+                    )?;
+                    std::fs::write(
+                        cfg_dir.join(format!("{stem}.coverage.txt")),
+                        result.coverage_report(),
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runner::{run_regression, RegressionOptions};
+    use stbus_protocol::NodeConfig;
+
+    #[test]
+    fn report_tree_is_written() {
+        let dir = std::env::temp_dir().join(format!(
+            "stbus_regress_test_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let configs = vec![NodeConfig::reference()];
+        let tests = vec![catg::tests_lib::basic_read_write(5)];
+        let options = RegressionOptions {
+            seeds: vec![1],
+            compare_waveforms: false,
+            ..RegressionOptions::default()
+        };
+        let report = run_regression(&configs, &tests, &options);
+        report.write_reports(&dir).expect("writable temp dir");
+        assert!(dir.join("summary.txt").exists());
+        let cfg_dir = dir.join("reference");
+        assert!(cfg_dir.join("config.cfg").exists());
+        assert!(cfg_dir
+            .join("basic_read_write_seed1_rtl.verify.txt")
+            .exists());
+        assert!(cfg_dir
+            .join("basic_read_write_seed1_bca.coverage.txt")
+            .exists());
+        let verify =
+            std::fs::read_to_string(cfg_dir.join("basic_read_write_seed1_rtl.verify.txt"))
+                .expect("written");
+        assert!(verify.contains("verdict : PASS"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

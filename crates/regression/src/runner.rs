@@ -1,0 +1,319 @@
+//! The batch runner: the Figure 4/5 flow in code.
+//!
+//! For every configuration: run the test suite with the same seeds on both
+//! views; merge functional coverage; and — once everything passed — run
+//! the bus-accurate comparison on the VCD pairs ("Compare VCD results if
+//! full functional coverage").
+
+use catg::{CoverageReport, RunResult, Testbench, TestbenchOptions, TestSpec};
+use stba::compare_vcd;
+use stbus_bca::{BcaBug, BcaNode, Fidelity};
+use stbus_protocol::NodeConfig;
+use stbus_rtl::RtlNode;
+
+/// Options of one regression campaign.
+#[derive(Clone, Debug)]
+pub struct RegressionOptions {
+    /// Seeds applied to every test ("Same test file could be run more
+    /// than one time with a different seed").
+    pub seeds: Vec<u64>,
+    /// Per-initiator transactions per test.
+    pub intensity: usize,
+    /// BCA fidelity (Relaxed reproduces the paper's <100% alignment).
+    pub fidelity: Fidelity,
+    /// Defects injected into the BCA view (experiment E2).
+    pub bca_bugs: Vec<BcaBug>,
+    /// Capture VCDs and run the alignment comparison.
+    pub compare_waveforms: bool,
+}
+
+impl Default for RegressionOptions {
+    fn default() -> Self {
+        RegressionOptions {
+            seeds: vec![1, 2],
+            intensity: 15,
+            fidelity: Fidelity::Relaxed,
+            bca_bugs: Vec::new(),
+            compare_waveforms: true,
+        }
+    }
+}
+
+/// One `{test, seed}` entry of a configuration's outcome.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Test name.
+    pub test: String,
+    /// Seed.
+    pub seed: u64,
+    /// RTL run result.
+    pub rtl: RunResult,
+    /// BCA run result.
+    pub bca: RunResult,
+    /// Per-port `(port, matching cycles, total cycles)` of this pair,
+    /// when compared.
+    pub alignment: Option<Vec<(String, u64, u64)>>,
+}
+
+impl RunRecord {
+    /// Minimum per-port alignment rate of this single pair.
+    pub fn min_alignment(&self) -> Option<f64> {
+        let ports = self.alignment.as_ref()?;
+        ports
+            .iter()
+            .map(|(_, m, t)| if *t == 0 { 1.0 } else { *m as f64 / *t as f64 })
+            .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.min(x))))
+    }
+}
+
+/// The outcome of one configuration.
+#[derive(Clone, Debug)]
+pub struct ConfigOutcome {
+    /// The configuration.
+    pub config: NodeConfig,
+    /// Every `{test, seed}` record.
+    pub runs: Vec<RunRecord>,
+    /// Functional coverage merged over all RTL runs.
+    pub coverage_rtl: Option<CoverageReport>,
+    /// Functional coverage merged over all BCA runs.
+    pub coverage_bca: Option<CoverageReport>,
+    /// RTL structural (process/branch) coverage merged over the campaign.
+    pub code_coverage_rtl: Option<sim_kernel_coverage::ActivityCoverage>,
+}
+
+/// Re-exported kernel coverage type (the RTL-only "code coverage" of the
+/// paper).
+pub mod sim_kernel_coverage {
+    pub use sim_kernel::ActivityCoverage;
+}
+
+impl ConfigOutcome {
+    /// All checker/scoreboard checks green on both views.
+    pub fn all_passed(&self) -> bool {
+        self.runs.iter().all(|r| r.rtl.passed() && r.bca.passed())
+    }
+
+    /// Functional coverage (RTL side), 0..=1.
+    pub fn functional_coverage(&self) -> f64 {
+        self.coverage_rtl.as_ref().map_or(0.0, CoverageReport::coverage)
+    }
+
+    /// Coverage equality across views — the paper: "of course they must be
+    /// equal running the same tests". Hit patterns are compared (hit
+    /// counts may differ by a few on the spec-unconstrained cycles where
+    /// the views legitimately diverge).
+    pub fn coverage_matches_across_views(&self) -> bool {
+        match (&self.coverage_rtl, &self.coverage_bca) {
+            (Some(a), Some(b)) => a.same_hits(b),
+            _ => false,
+        }
+    }
+
+    /// The campaign alignment rate per port: aligned cycles over total
+    /// cycles, aggregated across every compared run — the paper's "number
+    /// of cycles RTL and BCA signals port are aligned over total number
+    /// of clock cycles" — then the minimum over ports.
+    pub fn min_alignment(&self) -> Option<f64> {
+        let mut per_port: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+        for run in &self.runs {
+            for (port, m, t) in run.alignment.iter().flatten() {
+                let e = per_port.entry(port).or_insert((0, 0));
+                e.0 += m;
+                e.1 += t;
+            }
+        }
+        if per_port.is_empty() {
+            return None;
+        }
+        per_port
+            .values()
+            .map(|(m, t)| if *t == 0 { 1.0 } else { *m as f64 / *t as f64 })
+            .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.min(x))))
+    }
+
+    /// The paper's sign-off: everything passed, full functional coverage,
+    /// and ≥99% alignment at every port.
+    pub fn signed_off(&self) -> bool {
+        self.all_passed()
+            && self
+                .coverage_rtl
+                .as_ref()
+                .is_some_and(CoverageReport::is_full)
+            && self.min_alignment().is_some_and(|a| a >= 0.99)
+    }
+}
+
+/// A whole campaign's outcome.
+#[derive(Clone, Debug, Default)]
+pub struct RegressionReport {
+    /// Per-configuration outcomes.
+    pub configs: Vec<ConfigOutcome>,
+}
+
+impl RegressionReport {
+    /// Renders the §5-style table: one row per configuration.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "config        ports  bus  proto arch          arbitration        runs  pass  fcov%   align%  signoff\n",
+        );
+        for c in &self.configs {
+            let cfg = &c.config;
+            out.push_str(&format!(
+                "{:<13} {:>2}x{:<2} {:>4} {:<5} {:<13} {:<18} {:>4} {:>5} {:>6.1} {:>8} {:>8}\n",
+                cfg.name,
+                cfg.n_initiators,
+                cfg.n_targets,
+                cfg.bus_bits(),
+                cfg.protocol.to_string(),
+                cfg.arch.to_string(),
+                cfg.arbitration.to_string(),
+                c.runs.len() * 2,
+                c.runs
+                    .iter()
+                    .map(|r| usize::from(r.rtl.passed()) + usize::from(r.bca.passed()))
+                    .sum::<usize>(),
+                c.functional_coverage() * 100.0,
+                c.min_alignment()
+                    .map_or("n/a".to_owned(), |a| format!("{:.3}", a * 100.0)),
+                if c.signed_off() { "YES" } else { "no" },
+            ));
+        }
+        out
+    }
+
+    /// Number of configurations fully signed off.
+    pub fn signed_off_count(&self) -> usize {
+        self.configs.iter().filter(|c| c.signed_off()).count()
+    }
+}
+
+/// Runs the campaign: `configs × tests × seeds × {RTL, BCA}`.
+///
+/// This is the batch mode of the paper's regression tool: it "launches
+/// parallel regression tests on BCA and RTL models. It applies same test
+/// cases on both with same seeds. So that it can later, proceed to
+/// alignment comparison activity, if all checkers passed."
+pub fn run_regression(
+    configs: &[NodeConfig],
+    tests: &[TestSpec],
+    options: &RegressionOptions,
+) -> RegressionReport {
+    let mut report = RegressionReport::default();
+    for config in configs {
+        let bench = Testbench::new(
+            config.clone(),
+            TestbenchOptions {
+                capture_vcd: options.compare_waveforms,
+                ..TestbenchOptions::default()
+            },
+        );
+        let mut rtl = RtlNode::new(config.clone());
+        let mut bca = BcaNode::new(config.clone(), options.fidelity);
+        for bug in &options.bca_bugs {
+            bca.inject_bug(*bug);
+        }
+        let mut runs = Vec::new();
+        let mut coverage_rtl: Option<CoverageReport> = None;
+        let mut coverage_bca: Option<CoverageReport> = None;
+        for spec in tests {
+            for &seed in &options.seeds {
+                let rtl_result = bench.run(&mut rtl, spec, seed);
+                let bca_result = bench.run(&mut bca, spec, seed);
+                merge_cov(&mut coverage_rtl, &rtl_result.coverage);
+                merge_cov(&mut coverage_bca, &bca_result.coverage);
+                // Figure 4: the alignment comparison only happens once both
+                // verification runs passed.
+                let alignment = if options.compare_waveforms
+                    && rtl_result.passed()
+                    && bca_result.passed()
+                {
+                    match (&rtl_result.vcd, &bca_result.vcd) {
+                        (Some(a), Some(b)) => compare_vcd(a, b, catg::vcd_cycle_time())
+                            .ok()
+                            .map(|r| {
+                                r.ports
+                                    .iter()
+                                    .map(|p| (p.port.clone(), p.matching_cycles, p.total_cycles))
+                                    .collect()
+                            }),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                runs.push(RunRecord {
+                    test: spec.name.clone(),
+                    seed,
+                    rtl: strip_vcd(rtl_result),
+                    bca: strip_vcd(bca_result),
+                    alignment,
+                });
+            }
+        }
+        report.configs.push(ConfigOutcome {
+            config: config.clone(),
+            runs,
+            coverage_rtl,
+            coverage_bca,
+            code_coverage_rtl: Some(rtl.activity_coverage()),
+        });
+    }
+    report
+}
+
+fn merge_cov(acc: &mut Option<CoverageReport>, new: &CoverageReport) {
+    match acc {
+        Some(a) => a.merge(new),
+        None => *acc = Some(new.clone()),
+    }
+}
+
+/// VCD text is large; the report keeps results, not waveforms.
+fn strip_vcd(mut r: RunResult) -> RunResult {
+    r.vcd = None;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catg::tests_lib;
+
+    #[test]
+    fn small_campaign_signs_off() {
+        let configs = vec![NodeConfig::reference()];
+        let tests = vec![tests_lib::basic_read_write(10), tests_lib::out_of_order(10)];
+        let options = RegressionOptions {
+            seeds: vec![1],
+            ..RegressionOptions::default()
+        };
+        let report = run_regression(&configs, &tests, &options);
+        assert_eq!(report.configs.len(), 1);
+        let c = &report.configs[0];
+        assert!(c.all_passed(), "{:#?}", c.runs.iter().map(|r| (&r.test, r.rtl.passed(), r.bca.passed())).collect::<Vec<_>>());
+        assert!(c.coverage_matches_across_views());
+        let align = c.min_alignment().expect("compared");
+        assert!(align >= 0.99, "alignment {align}");
+        // Two tests alone do not reach full functional coverage.
+        assert!(c.functional_coverage() < 1.0);
+        let table = report.table();
+        assert!(table.contains("reference"));
+    }
+
+    #[test]
+    fn injected_bug_fails_the_bca_side_only() {
+        let configs = vec![NodeConfig::reference()];
+        let tests = vec![tests_lib::random_mixed(12)];
+        let options = RegressionOptions {
+            seeds: vec![1],
+            bca_bugs: vec![BcaBug::DroppedByteEnables],
+            compare_waveforms: false,
+            ..RegressionOptions::default()
+        };
+        let report = run_regression(&configs, &tests, &options);
+        let run = &report.configs[0].runs[0];
+        assert!(run.rtl.passed());
+        assert!(!run.bca.passed(), "B1 must be caught by the common env");
+    }
+}

@@ -1,0 +1,22 @@
+//! Free-running clock generators.
+
+use crate::signal::SignalId;
+
+/// Identifies a clock generator registered with
+/// [`Simulator::add_clock`](crate::Simulator::add_clock).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ClockId(pub(crate) u32);
+
+impl ClockId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct ClockSpec {
+    pub signal: SignalId,
+    pub half_period: u64,
+    pub enabled: bool,
+}

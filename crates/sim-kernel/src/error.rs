@@ -1,0 +1,62 @@
+//! Kernel error type.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Errors reported by the simulation kernel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The delta-cycle loop did not converge at one time step — the design
+    /// contains a zero-delay combinational loop.
+    DeltaOverflow {
+        /// The time step at which convergence failed.
+        time: SimTime,
+        /// The delta-cycle limit that was exceeded.
+        limit: u32,
+    },
+    /// A clocked process was attached to a signal that is not `bool`.
+    EdgeOnNonBool {
+        /// The name of the offending signal.
+        signal: String,
+    },
+    /// A clock was configured with a zero half-period.
+    ZeroClockPeriod,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DeltaOverflow { time, limit } => write!(
+                f,
+                "delta cycles exceeded limit {limit} at {time}: combinational loop suspected"
+            ),
+            SimError::EdgeOnNonBool { signal } => {
+                write!(f, "edge sensitivity requires a bool signal, got `{signal}`")
+            }
+            SimError::ZeroClockPeriod => write!(f, "clock half-period must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::DeltaOverflow { time: SimTime::from_ticks(7), limit: 1000 };
+        assert!(e.to_string().contains("7t"));
+        assert!(e.to_string().contains("1000"));
+        assert!(SimError::ZeroClockPeriod.to_string().contains("half-period"));
+        let e = SimError::EdgeOnNonBool { signal: "addr".into() };
+        assert!(e.to_string().contains("addr"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<SimError>();
+    }
+}

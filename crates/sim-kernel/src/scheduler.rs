@@ -1,0 +1,794 @@
+//! The simulator: signal arena, process scheduling, delta cycles and the
+//! timed event queue.
+
+use crate::clock::{ClockId, ClockSpec};
+use crate::coverage::{ActivityCoverage, BranchActivity, BranchId, ProcessActivity};
+use crate::error::SimError;
+use crate::process::{DelayedWrite, Edge, ProcCtx, ProcessId, ProcessSlot};
+use crate::signal::{Signal, SignalId, SignalSlot, SignalValue, TypedStore};
+use crate::time::SimTime;
+use crate::trace::TraceSink;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const DEFAULT_DELTA_LIMIT: u32 = 1000;
+
+trait AnyTraceSink: TraceSink {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: TraceSink + Any> AnyTraceSink for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+enum EventAction {
+    ClockToggle(ClockId),
+    Write(SignalId, Box<dyn FnOnce(&mut SignalSlot)>),
+}
+
+struct EventEntry {
+    time: SimTime,
+    seq: u64,
+    action: EventAction,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// An event-driven simulator with delta-cycle semantics.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct Simulator {
+    signals: Vec<SignalSlot>,
+    processes: Vec<ProcessSlot>,
+    branch_names: Vec<String>,
+    branch_hits: Vec<u64>,
+    time: SimTime,
+    events: BinaryHeap<Reverse<EventEntry>>,
+    event_seq: u64,
+    clocks: Vec<ClockSpec>,
+    trace: Option<Box<dyn AnyTraceSink>>,
+    delta_limit: u32,
+    /// Processes queued to run in the next delta.
+    triggered: Vec<ProcessId>,
+    trigger_marks: Vec<bool>,
+    /// Signals with uncommitted pending values.
+    written: Vec<SignalId>,
+    initialized: bool,
+    total_deltas: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            signals: Vec::new(),
+            processes: Vec::new(),
+            branch_names: Vec::new(),
+            branch_hits: Vec::new(),
+            time: SimTime::ZERO,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            clocks: Vec::new(),
+            trace: None,
+            delta_limit: DEFAULT_DELTA_LIMIT,
+            triggered: Vec::new(),
+            trigger_marks: Vec::new(),
+            written: Vec::new(),
+            initialized: false,
+            total_deltas: 0,
+        }
+    }
+
+    /// Overrides the delta-cycle convergence limit (default 1000).
+    pub fn set_delta_limit(&mut self, limit: u32) {
+        self.delta_limit = limit.max(1);
+    }
+
+    /// Registers a signal with an initial value; the name appears in traces.
+    pub fn add_signal<T: SignalValue>(&mut self, name: &str, init: T) -> Signal<T> {
+        let id = SignalId(self.signals.len() as u32);
+        let width = init.width();
+        self.signals.push(SignalSlot {
+            name: name.to_owned(),
+            width,
+            store: Box::new(TypedStore::new(init)),
+            sensitive: Vec::new(),
+            sensitive_rising: Vec::new(),
+            sensitive_falling: Vec::new(),
+            traced: false,
+        });
+        Signal::new(id)
+    }
+
+    /// Registers a combinational process sensitive to any change of the
+    /// given signals. The process also runs once at initialization.
+    pub fn add_comb_process<F>(&mut self, name: &str, sensitivity: &[SignalId], body: F) -> ProcessId
+    where
+        F: FnMut(&mut ProcCtx<'_>) + 'static,
+    {
+        let id = self.push_process(name, body);
+        for sig in sensitivity {
+            self.signals[sig.index()].sensitive.push(id);
+        }
+        id
+    }
+
+    /// Registers a process sensitive to an edge of a `bool` clock signal.
+    pub fn add_clocked_process<F>(&mut self, name: &str, clk: Signal<bool>, edge: Edge, body: F) -> ProcessId
+    where
+        F: FnMut(&mut ProcCtx<'_>) + 'static,
+    {
+        let id = self.push_process(name, body);
+        self.attach_edge(clk.id(), edge, id);
+        id
+    }
+
+    /// Registers edge sensitivity on an untyped signal handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EdgeOnNonBool`] if `Edge::Rising`/`Edge::Falling`
+    /// is requested on a signal whose value type is not `bool`.
+    pub fn add_edge_process<F>(
+        &mut self,
+        name: &str,
+        signal: SignalId,
+        edge: Edge,
+        body: F,
+    ) -> Result<ProcessId, SimError>
+    where
+        F: FnMut(&mut ProcCtx<'_>) + 'static,
+    {
+        if !matches!(edge, Edge::Any) && self.signals[signal.index()].store.bool_edge().is_none() {
+            return Err(SimError::EdgeOnNonBool {
+                signal: self.signals[signal.index()].name.clone(),
+            });
+        }
+        let id = self.push_process(name, body);
+        self.attach_edge(signal, edge, id);
+        Ok(id)
+    }
+
+    fn push_process<F>(&mut self, name: &str, body: F) -> ProcessId
+    where
+        F: FnMut(&mut ProcCtx<'_>) + 'static,
+    {
+        let id = ProcessId(self.processes.len() as u32);
+        self.processes.push(ProcessSlot {
+            name: name.to_owned(),
+            body: Some(Box::new(body)),
+            runs: 0,
+            run_at_init: true,
+        });
+        self.trigger_marks.push(false);
+        id
+    }
+
+    fn attach_edge(&mut self, signal: SignalId, edge: Edge, id: ProcessId) {
+        if !matches!(edge, Edge::Any) {
+            self.processes[id.index()].run_at_init = false;
+        }
+        let slot = &mut self.signals[signal.index()];
+        match edge {
+            Edge::Rising => slot.sensitive_rising.push(id),
+            Edge::Falling => slot.sensitive_falling.push(id),
+            Edge::Any => slot.sensitive.push(id),
+        }
+    }
+
+    /// Registers a named coverage branch point (see [`ProcCtx::cov`]).
+    pub fn add_branch(&mut self, name: &str) -> BranchId {
+        let id = BranchId(self.branch_names.len() as u32);
+        self.branch_names.push(name.to_owned());
+        self.branch_hits.push(0);
+        id
+    }
+
+    /// Attaches a free-running clock toggling `signal` every `half_period`
+    /// ticks, starting at the current time plus one half-period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ZeroClockPeriod`] when `half_period == 0`.
+    pub fn add_clock(&mut self, signal: Signal<bool>, half_period: u64) -> Result<ClockId, SimError> {
+        if half_period == 0 {
+            return Err(SimError::ZeroClockPeriod);
+        }
+        let id = ClockId(self.clocks.len() as u32);
+        self.clocks.push(ClockSpec {
+            signal: signal.id(),
+            half_period,
+            enabled: true,
+        });
+        let at = self.time + half_period;
+        self.push_event(at, EventAction::ClockToggle(id));
+        Ok(id)
+    }
+
+    /// Stops a clock; pending toggles are ignored.
+    pub fn stop_clock(&mut self, clock: ClockId) {
+        self.clocks[clock.index()].enabled = false;
+    }
+
+    fn push_event(&mut self, time: SimTime, action: EventAction) {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.events.push(Reverse(EventEntry { time, seq, action }));
+    }
+
+    /// Drives a pending value onto a signal from outside any process.
+    ///
+    /// The value commits on the next [`Simulator::settle`] (or any run call).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle/value type mismatch.
+    pub fn drive<T: SignalValue>(&mut self, sig: Signal<T>, value: T) {
+        let slot = &mut self.signals[sig.id().index()];
+        slot.store
+            .as_any_mut()
+            .downcast_mut::<TypedStore<T>>()
+            .expect("signal driven with wrong type")
+            .pending = Some(value);
+        self.written.push(sig.id());
+    }
+
+    /// Reads the current value of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle/value type mismatch.
+    pub fn value<T: SignalValue>(&self, sig: Signal<T>) -> T {
+        self.signals[sig.id().index()]
+            .store
+            .as_any()
+            .downcast_ref::<TypedStore<T>>()
+            .expect("signal read with wrong type")
+            .current
+            .clone()
+    }
+
+    /// The registered name of a signal.
+    pub fn signal_name(&self, id: SignalId) -> &str {
+        &self.signals[id.index()].name
+    }
+
+    /// The trace width of a signal in bits.
+    pub fn signal_width(&self, id: SignalId) -> usize {
+        self.signals[id.index()].width
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Total delta cycles executed so far (a work metric for benches).
+    pub fn total_deltas(&self) -> u64 {
+        self.total_deltas
+    }
+
+    /// Installs a trace sink; only signals marked with
+    /// [`Simulator::trace_signal`] (or all, after
+    /// [`Simulator::trace_all`]) are reported.
+    pub fn set_trace<S: TraceSink + Any>(&mut self, sink: S) {
+        self.trace = Some(Box::new(sink));
+    }
+
+    /// Returns the installed trace sink, if it has type `S`.
+    pub fn trace<S: TraceSink + Any>(&self) -> Option<&S> {
+        self.trace.as_ref()?.as_any().downcast_ref::<S>()
+    }
+
+    /// Mutable access to the installed trace sink.
+    pub fn trace_mut<S: TraceSink + Any>(&mut self) -> Option<&mut S> {
+        self.trace.as_mut()?.as_any_mut().downcast_mut::<S>()
+    }
+
+    /// Marks one signal for tracing.
+    pub fn trace_signal(&mut self, id: SignalId) {
+        self.signals[id.index()].traced = true;
+    }
+
+    /// Marks every signal for tracing.
+    pub fn trace_all(&mut self) {
+        for s in &mut self.signals {
+            s.traced = true;
+        }
+    }
+
+    /// Runs delta cycles at the current time until the design is stable.
+    ///
+    /// On the first call all processes execute once (HDL-style
+    /// initialization).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeltaOverflow`] if convergence is not reached.
+    pub fn settle(&mut self) -> Result<(), SimError> {
+        if !self.initialized {
+            self.initialized = true;
+            for i in 0..self.processes.len() {
+                if self.processes[i].run_at_init {
+                    self.enqueue_process(ProcessId(i as u32));
+                }
+            }
+        }
+        self.commit_written();
+        let mut deltas = 0u32;
+        while !self.triggered.is_empty() {
+            deltas += 1;
+            self.total_deltas += 1;
+            if deltas > self.delta_limit {
+                return Err(SimError::DeltaOverflow {
+                    time: self.time,
+                    limit: self.delta_limit,
+                });
+            }
+            self.run_triggered();
+            self.commit_written();
+        }
+        Ok(())
+    }
+
+    fn enqueue_process(&mut self, id: ProcessId) {
+        if !self.trigger_marks[id.index()] {
+            self.trigger_marks[id.index()] = true;
+            self.triggered.push(id);
+        }
+    }
+
+    fn run_triggered(&mut self) {
+        let batch = std::mem::take(&mut self.triggered);
+        for id in &batch {
+            self.trigger_marks[id.index()] = false;
+        }
+        let mut delayed: Vec<DelayedWrite> = Vec::new();
+        for id in batch {
+            let mut body = match self.processes[id.index()].body.take() {
+                Some(b) => b,
+                None => continue,
+            };
+            self.processes[id.index()].runs += 1;
+            {
+                let mut ctx = ProcCtx {
+                    signals: &mut self.signals,
+                    written: &mut self.written,
+                    delayed: &mut delayed,
+                    branch_hits: &mut self.branch_hits,
+                    time: self.time,
+                    proc_id: id,
+                };
+                body(&mut ctx);
+            }
+            self.processes[id.index()].body = Some(body);
+        }
+        for (delay, id, apply) in delayed {
+            let at = self.time + delay;
+            self.push_event(at, EventAction::Write(id, apply));
+        }
+    }
+
+    fn commit_written(&mut self) {
+        let written = std::mem::take(&mut self.written);
+        let mut to_trigger: Vec<ProcessId> = Vec::new();
+        for id in written {
+            let slot = &mut self.signals[id.index()];
+            let had_pending_edge = slot.store.bool_edge();
+            if !slot.store.commit() {
+                continue;
+            }
+            to_trigger.extend_from_slice(&slot.sensitive);
+            if let Some((_, now_val)) = slot.store.bool_edge() {
+                // commit() updated previous/current; a change on a bool is
+                // always exactly one edge.
+                if now_val {
+                    to_trigger.extend_from_slice(&slot.sensitive_rising);
+                } else {
+                    to_trigger.extend_from_slice(&slot.sensitive_falling);
+                }
+            }
+            let _ = had_pending_edge;
+            if slot.traced {
+                if let Some(sink) = self.trace.as_mut() {
+                    sink.on_change(self.time, id, &slot.name, &slot.store.bits());
+                }
+            }
+        }
+        for p in to_trigger {
+            self.enqueue_process(p);
+        }
+    }
+
+    /// Advances simulated time to `target`, processing all timed events and
+    /// the delta cycles they cause.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::DeltaOverflow`] from any time step.
+    pub fn run_until(&mut self, target: SimTime) -> Result<(), SimError> {
+        self.settle()?;
+        loop {
+            let next_time = match self.events.peek() {
+                Some(Reverse(e)) if e.time <= target => e.time,
+                _ => break,
+            };
+            self.time = next_time;
+            while let Some(Reverse(e)) = self.events.peek() {
+                if e.time != next_time {
+                    break;
+                }
+                let Reverse(entry) = self.events.pop().expect("peeked");
+                self.apply_event(entry.action);
+            }
+            self.settle()?;
+        }
+        self.time = target;
+        Ok(())
+    }
+
+    /// Advances simulated time by `ticks`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::DeltaOverflow`].
+    pub fn run_for(&mut self, ticks: u64) -> Result<(), SimError> {
+        self.run_until(self.time + ticks)
+    }
+
+    fn apply_event(&mut self, action: EventAction) {
+        match action {
+            EventAction::ClockToggle(id) => {
+                let (sig, half, enabled) = {
+                    let c = &self.clocks[id.index()];
+                    (c.signal, c.half_period, c.enabled)
+                };
+                if !enabled {
+                    return;
+                }
+                let slot = &mut self.signals[sig.index()];
+                if let Some(store) = slot.store.as_any_mut().downcast_mut::<TypedStore<bool>>() {
+                    store.pending = Some(!store.current);
+                    self.written.push(sig);
+                }
+                let at = self.time + half;
+                self.push_event(at, EventAction::ClockToggle(id));
+            }
+            EventAction::Write(id, apply) => {
+                apply(&mut self.signals[id.index()]);
+                self.written.push(id);
+            }
+        }
+    }
+
+    /// Extracts the structural-coverage report.
+    pub fn activity_coverage(&self) -> ActivityCoverage {
+        ActivityCoverage {
+            processes: self
+                .processes
+                .iter()
+                .map(|p| ProcessActivity {
+                    name: p.name.clone(),
+                    runs: p.runs,
+                })
+                .collect(),
+            branches: self
+                .branch_names
+                .iter()
+                .zip(&self.branch_hits)
+                .map(|(name, hits)| BranchActivity {
+                    name: name.clone(),
+                    hits: *hits,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of registered signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Iterates over every registered signal id, in registration order.
+    pub fn signal_ids(&self) -> impl Iterator<Item = SignalId> + '_ {
+        (0..self.signals.len() as u32).map(SignalId)
+    }
+
+    /// Number of registered processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("time", &self.time)
+            .field("signals", &self.signals.len())
+            .field("processes", &self.processes.len())
+            .field("pending_events", &self.events.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::VecTrace;
+
+    #[test]
+    fn drive_and_settle_commits() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 0u32);
+        sim.drive(s, 42);
+        sim.settle().unwrap();
+        assert_eq!(sim.value(s), 42);
+    }
+
+    #[test]
+    fn comb_process_follows_inputs() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", false);
+        let b = sim.add_signal("b", false);
+        let y = sim.add_signal("y", false);
+        sim.add_comb_process("and_gate", &[a.id(), b.id()], move |ctx| {
+            let v = ctx.get(a) && ctx.get(b);
+            ctx.set(y, v);
+        });
+        sim.settle().unwrap();
+        assert!(!sim.value(y));
+        sim.drive(a, true);
+        sim.drive(b, true);
+        sim.settle().unwrap();
+        assert!(sim.value(y));
+        sim.drive(b, false);
+        sim.settle().unwrap();
+        assert!(!sim.value(y));
+    }
+
+    #[test]
+    fn chained_comb_processes_converge() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 0u8);
+        let b = sim.add_signal("b", 0u8);
+        let c = sim.add_signal("c", 0u8);
+        sim.add_comb_process("inc1", &[a.id()], move |ctx| {
+            let v = ctx.get(a);
+            ctx.set(b, v.wrapping_add(1));
+        });
+        sim.add_comb_process("inc2", &[b.id()], move |ctx| {
+            let v = ctx.get(b);
+            ctx.set(c, v.wrapping_add(1));
+        });
+        sim.drive(a, 10);
+        sim.settle().unwrap();
+        assert_eq!(sim.value(c), 12);
+    }
+
+    #[test]
+    fn combinational_loop_reports_delta_overflow() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", false);
+        let b = sim.add_signal("b", false);
+        sim.add_comb_process("not1", &[a.id()], move |ctx| {
+            let v = ctx.get(a);
+            ctx.set(b, !v);
+        });
+        sim.add_comb_process("not2", &[b.id()], move |ctx| {
+            let v = ctx.get(b);
+            ctx.set(a, !v);
+        });
+        sim.set_delta_limit(50);
+        let err = sim.settle().unwrap_err();
+        assert!(matches!(err, SimError::DeltaOverflow { limit: 50, .. }));
+    }
+
+    #[test]
+    fn clocked_process_sees_rising_edges_only() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", false);
+        let count = sim.add_signal("count", 0u32);
+        sim.add_clocked_process("counter", clk, Edge::Rising, move |ctx| {
+            let v = ctx.get(count);
+            ctx.set(count, v + 1);
+        });
+        sim.add_clock(clk, 5).unwrap();
+        sim.run_for(50).unwrap(); // edges at 5(r),10(f),15(r)... rising at 5,15,25,35,45
+        assert_eq!(sim.value(count), 5);
+    }
+
+    #[test]
+    fn falling_edge_sensitivity() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", false);
+        let count = sim.add_signal("count", 0u32);
+        sim.add_clocked_process("counter", clk, Edge::Falling, move |ctx| {
+            let v = ctx.get(count);
+            ctx.set(count, v + 1);
+        });
+        sim.add_clock(clk, 5).unwrap();
+        sim.run_for(50).unwrap(); // falling at 10,20,30,40,50
+        assert_eq!(sim.value(count), 5);
+    }
+
+    #[test]
+    fn nonblocking_semantics_shift_register() {
+        // Two registers clocked on the same edge exchange values without
+        // racing, because writes commit after all bodies ran.
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", false);
+        let q0 = sim.add_signal("q0", 1u8);
+        let q1 = sim.add_signal("q1", 0u8);
+        sim.add_clocked_process("r0", clk, Edge::Rising, move |ctx| {
+            let v = ctx.get(q1);
+            ctx.set(q0, v);
+        });
+        sim.add_clocked_process("r1", clk, Edge::Rising, move |ctx| {
+            let v = ctx.get(q0);
+            ctx.set(q1, v);
+        });
+        sim.add_clock(clk, 10).unwrap();
+        sim.run_for(20).unwrap(); // one rising edge at t=10
+        assert_eq!(sim.value(q0), 0);
+        assert_eq!(sim.value(q1), 1);
+    }
+
+    #[test]
+    fn set_after_schedules_timed_write() {
+        let mut sim = Simulator::new();
+        let trig = sim.add_signal("trig", false);
+        let out = sim.add_signal("out", 0u8);
+        sim.add_comb_process("delayer", &[trig.id()], move |ctx| {
+            if ctx.get(trig) {
+                ctx.set_after(out, 7u8, 30);
+            }
+        });
+        sim.settle().unwrap();
+        sim.drive(trig, true);
+        sim.run_for(10).unwrap();
+        assert_eq!(sim.value(out), 0);
+        sim.run_for(25).unwrap();
+        assert_eq!(sim.value(out), 7);
+    }
+
+    #[test]
+    fn trace_records_only_marked_signals() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 0u8);
+        let b = sim.add_signal("b", 0u8);
+        sim.set_trace(VecTrace::default());
+        sim.trace_signal(a.id());
+        sim.drive(a, 1);
+        sim.drive(b, 1);
+        sim.settle().unwrap();
+        let t: &VecTrace = sim.trace().unwrap();
+        assert_eq!(t.records.len(), 1);
+        assert_eq!(t.records[0].name, "a");
+    }
+
+    #[test]
+    fn redundant_write_does_not_retrigger() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", false);
+        let runs = sim.add_signal("runs", 0u32);
+        sim.add_comb_process("observer", &[a.id()], move |ctx| {
+            let r = ctx.get(runs);
+            ctx.set(runs, r + 1);
+        });
+        sim.settle().unwrap();
+        let after_init = sim.value(runs);
+        sim.drive(a, false); // same value as current
+        sim.settle().unwrap();
+        assert_eq!(sim.value(runs), after_init);
+    }
+
+    #[test]
+    fn stop_clock_freezes_signal() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", false);
+        let id = sim.add_clock(clk, 5).unwrap();
+        sim.run_for(5).unwrap();
+        assert!(sim.value(clk));
+        sim.stop_clock(id);
+        sim.run_for(50).unwrap();
+        assert!(sim.value(clk));
+    }
+
+    #[test]
+    fn zero_period_clock_rejected() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", false);
+        assert_eq!(sim.add_clock(clk, 0).unwrap_err(), SimError::ZeroClockPeriod);
+    }
+
+    #[test]
+    fn edge_process_on_non_bool_rejected() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("bus", 0u32);
+        let err = sim
+            .add_edge_process("p", s.id(), Edge::Rising, |_| {})
+            .unwrap_err();
+        assert!(matches!(err, SimError::EdgeOnNonBool { .. }));
+        // Any-sensitivity is fine on non-bool.
+        assert!(sim.add_edge_process("q", s.id(), Edge::Any, |_| {}).is_ok());
+    }
+
+    #[test]
+    fn activity_coverage_counts_runs_and_branches() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", false);
+        let taken = sim.add_branch("p/taken");
+        let not_taken = sim.add_branch("p/not_taken");
+        sim.add_comb_process("p", &[a.id()], move |ctx| {
+            if ctx.get(a) {
+                ctx.cov(taken);
+            } else {
+                ctx.cov(not_taken);
+            }
+        });
+        sim.settle().unwrap();
+        sim.drive(a, true);
+        sim.settle().unwrap();
+        let cov = sim.activity_coverage();
+        assert_eq!(cov.branch_coverage(), 1.0);
+        assert_eq!(cov.process_coverage(), 1.0);
+        assert_eq!(cov.processes[0].runs, 2);
+    }
+
+    #[test]
+    fn run_until_is_idempotent_at_target() {
+        let mut sim = Simulator::new();
+        sim.run_until(SimTime::from_ticks(100)).unwrap();
+        assert_eq!(sim.now(), SimTime::from_ticks(100));
+        sim.run_until(SimTime::from_ticks(100)).unwrap();
+        assert_eq!(sim.now(), SimTime::from_ticks(100));
+    }
+
+    #[test]
+    fn counter_with_enable_full_example() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", false);
+        let en = sim.add_signal("en", false);
+        let q = sim.add_signal("q", 0u64);
+        sim.add_clocked_process("cnt", clk, Edge::Rising, move |ctx| {
+            if ctx.get(en) {
+                let v = ctx.get(q);
+                ctx.set(q, v + 1);
+            }
+        });
+        sim.add_clock(clk, 10).unwrap();
+        sim.run_for(40).unwrap(); // edges at 10,30 rising; en=0
+        assert_eq!(sim.value(q), 0);
+        sim.drive(en, true);
+        sim.run_for(100).unwrap(); // rising edges at 50,70,90,110,130
+        assert_eq!(sim.value(q), 5);
+    }
+}

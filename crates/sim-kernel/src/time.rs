@@ -1,0 +1,120 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in abstract ticks.
+///
+/// The kernel does not impose a physical unit; the convention used by the
+/// STBus models is one tick = one nanosecond with a 10-tick clock period.
+///
+/// ```
+/// use sim_kernel::SimTime;
+/// let t = SimTime::ZERO + SimTime::from_ticks(5);
+/// assert_eq!(t.ticks(), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero, the instant the simulation starts.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable time; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Returns the raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a tick delta.
+    #[must_use]
+    pub const fn saturating_add(self, ticks: u64) -> Self {
+        SimTime(self.0.saturating_add(ticks))
+    }
+}
+
+impl Add<SimTime> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({})", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn add_and_sub_round_trip() {
+        let a = SimTime::from_ticks(100);
+        let b = a + 23;
+        assert_eq!(b.ticks(), 123);
+        assert_eq!((b - a).ticks(), 23);
+    }
+
+    #[test]
+    fn ordering_follows_ticks() {
+        assert!(SimTime::from_ticks(1) < SimTime::from_ticks(2));
+        assert!(SimTime::MAX > SimTime::from_ticks(u64::MAX - 1));
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        assert_eq!(SimTime::MAX.saturating_add(10), SimTime::MAX);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime::from_ticks(42).to_string(), "42t");
+    }
+}

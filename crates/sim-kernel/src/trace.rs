@@ -1,0 +1,72 @@
+//! Waveform trace sinks.
+
+use crate::logic::Bits;
+use crate::signal::SignalId;
+use crate::time::SimTime;
+
+/// A single recorded value change.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChangeRecord {
+    /// When the change committed.
+    pub time: SimTime,
+    /// Which signal changed.
+    pub signal: SignalId,
+    /// The signal's registered name.
+    pub name: String,
+    /// The new value.
+    pub value: Bits,
+}
+
+/// Receives committed signal changes from the kernel.
+///
+/// Implementors include the in-memory [`VecTrace`] and, in the `stbus-vcd`
+/// crate, a VCD file writer.
+pub trait TraceSink {
+    /// Called once per committed change of a traced signal.
+    fn on_change(&mut self, time: SimTime, signal: SignalId, name: &str, value: &Bits);
+}
+
+/// A trace sink that stores every change in memory; useful in tests.
+///
+/// ```
+/// use sim_kernel::{Simulator, VecTrace};
+/// let mut sim = Simulator::new();
+/// let s = sim.add_signal("s", 0u8);
+/// sim.set_trace(VecTrace::default());
+/// sim.trace_signal(s.id());
+/// sim.drive(s, 5u8);
+/// sim.settle().unwrap();
+/// let trace: &VecTrace = sim.trace().unwrap();
+/// assert_eq!(trace.records.len(), 1);
+/// ```
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct VecTrace {
+    /// All recorded changes, in commit order.
+    pub records: Vec<ChangeRecord>,
+}
+
+impl TraceSink for VecTrace {
+    fn on_change(&mut self, time: SimTime, signal: SignalId, name: &str, value: &Bits) {
+        self.records.push(ChangeRecord {
+            time,
+            signal,
+            name: name.to_owned(),
+            value: value.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_trace_records_changes() {
+        let mut t = VecTrace::default();
+        t.on_change(SimTime::from_ticks(1), SignalId(0), "x", &Bits::from_bool(true));
+        t.on_change(SimTime::from_ticks(2), SignalId(0), "x", &Bits::from_bool(false));
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.records[0].name, "x");
+        assert_eq!(t.records[1].time, SimTime::from_ticks(2));
+    }
+}

@@ -1,0 +1,285 @@
+//! Cycle-by-cycle waveform alignment between two VCD dumps.
+
+use std::collections::BTreeMap;
+use vcd::{ParseVcdError, VcdDocument};
+
+/// The alignment result of one port.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortAlignment {
+    /// Port scope name, e.g. `init0` or `tgt1`.
+    pub port: String,
+    /// Cycles on which every variable of the port matched.
+    pub matching_cycles: u64,
+    /// Total cycles compared.
+    pub total_cycles: u64,
+    /// First diverging cycle, if any.
+    pub first_divergence: Option<u64>,
+    /// Variables (short names) that diverged at least once.
+    pub diverging_vars: Vec<String>,
+}
+
+impl PortAlignment {
+    /// Matching cycles over total cycles, in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        if self.total_cycles == 0 {
+            1.0
+        } else {
+            self.matching_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// The full analyzer report for one pair of dumps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlignmentReport {
+    /// Per-port alignment, in port order.
+    pub ports: Vec<PortAlignment>,
+    /// Cycles compared.
+    pub cycles: u64,
+}
+
+impl AlignmentReport {
+    /// The lowest per-port rate — the sign-off figure (target ≥ 0.99).
+    pub fn min_rate(&self) -> f64 {
+        self.ports
+            .iter()
+            .map(PortAlignment::rate)
+            .fold(1.0, f64::min)
+    }
+
+    /// The mean per-port rate.
+    pub fn mean_rate(&self) -> f64 {
+        if self.ports.is_empty() {
+            return 1.0;
+        }
+        self.ports.iter().map(PortAlignment::rate).sum::<f64>() / self.ports.len() as f64
+    }
+
+    /// The paper's sign-off criterion: every port at or above `threshold`
+    /// (0.99 in the paper).
+    pub fn signed_off(&self, threshold: f64) -> bool {
+        self.min_rate() >= threshold
+    }
+}
+
+impl std::fmt::Display for AlignmentReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "alignment over {} cycles:", self.cycles)?;
+        for p in &self.ports {
+            write!(f, "  {:<8} {:7.3}%", p.port, p.rate() * 100.0)?;
+            match p.first_divergence {
+                Some(c) => writeln!(
+                    f,
+                    "  first divergence at cycle {c} ({})",
+                    p.diverging_vars.join(",")
+                )?,
+                None => writeln!(f, "  fully aligned")?,
+            }
+        }
+        writeln!(f, "  min {:7.3}%  mean {:7.3}%", self.min_rate() * 100.0, self.mean_rate() * 100.0)
+    }
+}
+
+/// Errors from [`compare_vcd`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompareVcdError {
+    /// One of the dumps failed to parse.
+    Parse {
+        /// Which input (`"first"`/`"second"`).
+        which: &'static str,
+        /// The parse error.
+        error: ParseVcdError,
+    },
+    /// The two dumps declare different variable trees.
+    StructureMismatch {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CompareVcdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompareVcdError::Parse { which, error } => {
+                write!(f, "cannot parse {which} dump: {error}")
+            }
+            CompareVcdError::StructureMismatch { detail } => {
+                write!(f, "dumps are structurally different: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompareVcdError {}
+
+/// Groups a document's variables by their `tb.<port>.<var>` path.
+fn ports_of(doc: &VcdDocument) -> BTreeMap<String, Vec<(String, vcd::VarId)>> {
+    let mut out: BTreeMap<String, Vec<(String, vcd::VarId)>> = BTreeMap::new();
+    for (idx, info) in doc.vars().iter().enumerate() {
+        let parts: Vec<&str> = info.path.split('.').collect();
+        if parts.len() == 3 && parts[0] == "tb" {
+            let id = doc
+                .var_by_name(&info.path)
+                .expect("path comes from the doc itself");
+            out.entry(parts[1].to_owned())
+                .or_default()
+                .push((parts[2].to_owned(), id));
+        }
+        let _ = idx;
+    }
+    out
+}
+
+/// Compares two dumps cycle by cycle on a `cycle_time` grid.
+///
+/// The dumps must declare the same port scopes and variables (which they
+/// do when both come from the common environment's [`VcdDump`]); the
+/// comparison covers `max(end_a, end_b) / cycle_time + 1` cycles, so a run
+/// that finished earlier counts its missing tail as misaligned only if
+/// signal values differ (VCD semantics hold the last value).
+///
+/// # Errors
+///
+/// [`CompareVcdError::Parse`] on malformed input and
+/// [`CompareVcdError::StructureMismatch`] when the variable trees differ.
+///
+/// [`VcdDump`]: ../catg/struct.VcdDump.html
+pub fn compare_vcd(first: &str, second: &str, cycle_time: u64) -> Result<AlignmentReport, CompareVcdError> {
+    let doc_a = VcdDocument::parse(first).map_err(|error| CompareVcdError::Parse {
+        which: "first",
+        error,
+    })?;
+    let doc_b = VcdDocument::parse(second).map_err(|error| CompareVcdError::Parse {
+        which: "second",
+        error,
+    })?;
+    let ports_a = ports_of(&doc_a);
+    let ports_b = ports_of(&doc_b);
+    if ports_a.keys().collect::<Vec<_>>() != ports_b.keys().collect::<Vec<_>>() {
+        return Err(CompareVcdError::StructureMismatch {
+            detail: format!(
+                "port sets differ: {:?} vs {:?}",
+                ports_a.keys().collect::<Vec<_>>(),
+                ports_b.keys().collect::<Vec<_>>()
+            ),
+        });
+    }
+
+    let cycle_time = cycle_time.max(1);
+    let cycles = (doc_a.end_time().max(doc_b.end_time()) / cycle_time).max(1);
+    let mut ports = Vec::new();
+    for (port, vars_a) in &ports_a {
+        let vars_b = &ports_b[port];
+        let names_a: Vec<&String> = vars_a.iter().map(|(n, _)| n).collect();
+        let names_b: Vec<&String> = vars_b.iter().map(|(n, _)| n).collect();
+        if names_a != names_b {
+            return Err(CompareVcdError::StructureMismatch {
+                detail: format!("port {port}: vars {names_a:?} vs {names_b:?}"),
+            });
+        }
+        // Sample every variable on the common grid once, then walk cycles.
+        let mut mismatch_at = vec![false; cycles as usize];
+        let mut diverging_vars = Vec::new();
+        for ((name, ia), (_, ib)) in vars_a.iter().zip(vars_b) {
+            let width = doc_a.var(*ia).width.max(doc_b.var(*ib).width);
+            let series_a = doc_a.sample_series(*ia, 0, cycle_time, cycles as usize);
+            let series_b = doc_b.sample_series(*ib, 0, cycle_time, cycles as usize);
+            let mut var_diverged = false;
+            for (k, (va, vb)) in series_a.iter().zip(&series_b).enumerate() {
+                if !va.equals_at_width(vb, width) {
+                    mismatch_at[k] = true;
+                    var_diverged = true;
+                }
+            }
+            if var_diverged {
+                diverging_vars.push(name.clone());
+            }
+        }
+        let matching = mismatch_at.iter().filter(|m| !**m).count() as u64;
+        let first_divergence = mismatch_at.iter().position(|m| *m).map(|c| c as u64);
+        ports.push(PortAlignment {
+            port: port.clone(),
+            matching_cycles: matching,
+            total_cycles: cycles,
+            first_divergence,
+            diverging_vars,
+        });
+    }
+    Ok(AlignmentReport { ports, cycles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dump(values: &[(u64, &str, u64)]) -> String {
+        // A tiny synthetic dump with two ports of one 8-bit var each.
+        let mut s = String::from(
+            "$timescale 1ns $end\n$scope module tb $end\n$scope module init0 $end\n$var wire 8 ! v $end\n$upscope $end\n$scope module tgt0 $end\n$var wire 8 \" v $end\n$upscope $end\n$upscope $end\n$enddefinitions $end\n",
+        );
+        let mut time = None;
+        for (t, code, v) in values {
+            if time != Some(*t) {
+                s.push_str(&format!("#{t}\n"));
+                time = Some(*t);
+            }
+            s.push_str(&format!("b{v:08b} {code}\n"));
+        }
+        s.push_str("#40\n");
+        s
+    }
+
+    #[test]
+    fn identical_dumps_align_fully() {
+        let a = dump(&[(0, "!", 1), (0, "\"", 2), (10, "!", 3)]);
+        let report = compare_vcd(&a, &a, 10).unwrap();
+        assert_eq!(report.cycles, 4);
+        assert_eq!(report.min_rate(), 1.0);
+        assert!(report.signed_off(0.99));
+        assert!(report.ports.iter().all(|p| p.first_divergence.is_none()));
+    }
+
+    #[test]
+    fn single_cycle_divergence_is_localized() {
+        let a = dump(&[(0, "!", 1), (0, "\"", 2), (10, "!", 3), (20, "!", 1)]);
+        let b = dump(&[(0, "!", 1), (0, "\"", 2), (10, "!", 9), (20, "!", 1)]);
+        let report = compare_vcd(&a, &b, 10).unwrap();
+        let init0 = &report.ports[0];
+        assert_eq!(init0.port, "init0");
+        assert_eq!(init0.first_divergence, Some(1));
+        assert_eq!(init0.matching_cycles, 3);
+        assert_eq!(init0.total_cycles, 4);
+        assert_eq!(init0.diverging_vars, vec!["v".to_owned()]);
+        // The other port is untouched.
+        assert_eq!(report.ports[1].rate(), 1.0);
+        assert!((report.min_rate() - 0.75).abs() < 1e-12);
+        assert!(!report.signed_off(0.99));
+    }
+
+    #[test]
+    fn structure_mismatch_is_detected() {
+        let a = dump(&[(0, "!", 1)]);
+        let b = a.replace("init0", "init9");
+        let err = compare_vcd(&a, &b, 10).unwrap_err();
+        assert!(matches!(err, CompareVcdError::StructureMismatch { .. }));
+    }
+
+    #[test]
+    fn parse_errors_name_the_side() {
+        let a = dump(&[(0, "!", 1)]);
+        let err = compare_vcd("garbage", &a, 10).unwrap_err();
+        assert!(matches!(err, CompareVcdError::Parse { which: "first", .. }));
+        let err = compare_vcd(&a, "garbage", 10).unwrap_err();
+        assert!(matches!(err, CompareVcdError::Parse { which: "second", .. }));
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let a = dump(&[(0, "!", 1), (0, "\"", 2)]);
+        let report = compare_vcd(&a, &a, 10).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("init0"));
+        assert!(text.contains("fully aligned"));
+        assert!(text.contains("min"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Transaction extraction from VCD dumps.
+//!
+//! STBA "extracts from VCD files … STBus transaction information": here,
+//! the stream of cell transfers at one port, reconstructed purely from the
+//! dumped handshake signals.
+
+use vcd::{VcdDocument, VcdValue};
+
+/// Which handshake a transfer used.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TransferPhase {
+    /// `req && gnt`.
+    Request,
+    /// `r_req && r_gnt`.
+    Response,
+}
+
+/// One cell transfer recovered from a dump.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExtractedTransfer {
+    /// The clock cycle of the transfer.
+    pub cycle: u64,
+    /// Request or response phase.
+    pub phase: TransferPhase,
+    /// The address lines (request phase only; 0 otherwise).
+    pub addr: u64,
+    /// The encoded opcode lines (request phase only; 0 otherwise).
+    pub opc: u8,
+    /// End-of-packet flag.
+    pub eop: bool,
+    /// Transaction id lines.
+    pub tid: u8,
+    /// Source id lines.
+    pub src: u8,
+}
+
+fn as_u64(v: &VcdValue) -> u64 {
+    v.as_u64().unwrap_or(0)
+}
+
+/// Extracts the transfer stream of port scope `port` (e.g. `"init0"`).
+///
+/// Returns `None` when the dump does not declare that port.
+pub fn extract_transfers(doc: &VcdDocument, port: &str, cycle_time: u64) -> Option<Vec<ExtractedTransfer>> {
+    let var = |name: &str| doc.var_by_name(&format!("tb.{port}.{name}"));
+    let req = var("req")?;
+    let gnt = var("gnt")?;
+    let addr = var("addr")?;
+    let opc = var("opc")?;
+    let eop = var("eop")?;
+    let tid = var("tid")?;
+    let src = var("src")?;
+    let r_req = var("r_req")?;
+    let r_gnt = var("r_gnt")?;
+    let r_eop = var("r_eop")?;
+    let r_tid = var("r_tid")?;
+    let r_src = var("r_src")?;
+
+    let cycle_time = cycle_time.max(1);
+    // The dump's closing timestamp (one cycle past the last recorded one)
+    // must not be sampled — values hold there and would double-count a
+    // transfer that fired on the final cycle.
+    let cycles = ((doc.end_time() / cycle_time) as usize).max(1);
+    let mut out = Vec::new();
+    for k in 0..cycles {
+        let t = k as u64 * cycle_time;
+        if as_u64(&doc.value_at(req, t)) == 1 && as_u64(&doc.value_at(gnt, t)) == 1 {
+            out.push(ExtractedTransfer {
+                cycle: k as u64,
+                phase: TransferPhase::Request,
+                addr: as_u64(&doc.value_at(addr, t)),
+                opc: as_u64(&doc.value_at(opc, t)) as u8,
+                eop: as_u64(&doc.value_at(eop, t)) == 1,
+                tid: as_u64(&doc.value_at(tid, t)) as u8,
+                src: as_u64(&doc.value_at(src, t)) as u8,
+            });
+        }
+        if as_u64(&doc.value_at(r_req, t)) == 1 && as_u64(&doc.value_at(r_gnt, t)) == 1 {
+            out.push(ExtractedTransfer {
+                cycle: k as u64,
+                phase: TransferPhase::Response,
+                addr: 0,
+                opc: 0,
+                eop: as_u64(&doc.value_at(r_eop, t)) == 1,
+                tid: as_u64(&doc.value_at(r_tid, t)) as u8,
+                src: as_u64(&doc.value_at(r_src, t)) as u8,
+            });
+        }
+    }
+    Some(out)
+}
+
+/// The first difference between two transfer streams, if any.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TransferDiff {
+    /// Entry `index` differs.
+    Mismatch {
+        /// Position in the streams.
+        index: usize,
+        /// The first stream's transfer.
+        first: ExtractedTransfer,
+        /// The second stream's transfer.
+        second: ExtractedTransfer,
+    },
+    /// One stream is a strict prefix of the other.
+    LengthMismatch {
+        /// Transfers in the first stream.
+        first_len: usize,
+        /// Transfers in the second stream.
+        second_len: usize,
+    },
+}
+
+impl std::fmt::Display for TransferDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferDiff::Mismatch { index, first, second } => {
+                write!(f, "transfer {index} differs: {first:?} vs {second:?}")
+            }
+            TransferDiff::LengthMismatch { first_len, second_len } => {
+                write!(f, "stream lengths differ: {first_len} vs {second_len}")
+            }
+        }
+    }
+}
+
+/// Compares two transfer streams *transactionally* — ignoring cycle
+/// numbers, so views that agree on the traffic but not on its timing
+/// (e.g. a TLM model) still compare equal.
+///
+/// Returns `None` when the streams carry the same transfers in the same
+/// order.
+pub fn diff_transfers(first: &[ExtractedTransfer], second: &[ExtractedTransfer]) -> Option<TransferDiff> {
+    let strip = |t: &ExtractedTransfer| ExtractedTransfer { cycle: 0, ..t.clone() };
+    for (index, (a, b)) in first.iter().zip(second).enumerate() {
+        if strip(a) != strip(b) {
+            return Some(TransferDiff::Mismatch {
+                index,
+                first: a.clone(),
+                second: b.clone(),
+            });
+        }
+    }
+    if first.len() != second.len() {
+        return Some(TransferDiff::LengthMismatch {
+            first_len: first.len(),
+            second_len: second.len(),
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A dump of one port with a request transfer at cycle 1 and a
+    /// response transfer at cycle 3.
+    fn sample_dump() -> String {
+        let vars: &[(&str, usize, char)] = &[
+            ("req", 1, '!'),
+            ("gnt", 1, '"'),
+            ("addr", 64, '#'),
+            ("opc", 8, '$'),
+            ("eop", 1, '%'),
+            ("tid", 8, '&'),
+            ("src", 8, '\''),
+            ("r_req", 1, '('),
+            ("r_gnt", 1, ')'),
+            ("r_eop", 1, '*'),
+            ("r_tid", 8, '+'),
+            ("r_src", 8, ','),
+        ];
+        let mut s = String::from("$timescale 1ns $end\n$scope module tb $end\n$scope module init0 $end\n");
+        for (name, width, code) in vars {
+            s.push_str(&format!("$var wire {width} {code} {name} $end\n"));
+        }
+        s.push_str("$upscope $end\n$upscope $end\n$enddefinitions $end\n");
+        s.push_str("#0\n0!\n0\"\n0(\n0)\n");
+        // cycle 1 (t=10): request fires.
+        s.push_str("#10\n1!\n1\"\nb101000 #\nb1000 $\n1%\nb10 &\nb0 '\n");
+        // cycle 2 (t=20): idle.
+        s.push_str("#20\n0!\n0\"\n");
+        // cycle 3 (t=30): response fires.
+        s.push_str("#30\n1(\n1)\n1*\nb10 +\nb0 ,\n");
+        s.push_str("#40\n0(\n0)\n");
+        s
+    }
+
+    #[test]
+    fn extracts_request_and_response() {
+        let doc = VcdDocument::parse(&sample_dump()).unwrap();
+        let transfers = extract_transfers(&doc, "init0", 10).unwrap();
+        assert_eq!(transfers.len(), 2);
+        assert_eq!(transfers[0].phase, TransferPhase::Request);
+        assert_eq!(transfers[0].cycle, 1);
+        assert_eq!(transfers[0].addr, 0b101000);
+        assert_eq!(transfers[0].opc, 0b1000);
+        assert!(transfers[0].eop);
+        assert_eq!(transfers[0].tid, 2);
+        assert_eq!(transfers[1].phase, TransferPhase::Response);
+        assert_eq!(transfers[1].cycle, 3);
+        assert_eq!(transfers[1].tid, 2);
+    }
+
+    #[test]
+    fn missing_port_yields_none() {
+        let doc = VcdDocument::parse(&sample_dump()).unwrap();
+        assert!(extract_transfers(&doc, "tgt5", 10).is_none());
+    }
+
+    #[test]
+    fn diff_ignores_timing_but_not_content() {
+        let doc = VcdDocument::parse(&sample_dump()).unwrap();
+        let a = extract_transfers(&doc, "init0", 10).unwrap();
+        // Same stream shifted in time: equal transactionally.
+        let shifted: Vec<ExtractedTransfer> = a
+            .iter()
+            .map(|t| ExtractedTransfer { cycle: t.cycle + 7, ..t.clone() })
+            .collect();
+        assert_eq!(diff_transfers(&a, &shifted), None);
+
+        // Content change: flagged with the index.
+        let mut corrupted = a.clone();
+        corrupted[1].tid ^= 1;
+        match diff_transfers(&a, &corrupted) {
+            Some(TransferDiff::Mismatch { index: 1, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Truncation: flagged as a length mismatch.
+        match diff_transfers(&a, &a[..1]) {
+            Some(TransferDiff::LengthMismatch { first_len: 2, second_len: 1 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! STBA — the STBus Analyzer.
+//!
+//! Paper §4: "STBus Analyzer (STBA), an STBus internal tool, compares
+//! signals information at each port level. It is automatically called by
+//! the regression tool and it extracts from VCD files, got after
+//! regression tests, STBus transaction information. The rate that is
+//! calculated at each port level is the number of cycles RTL and BCA
+//! signals port are aligned over total number of clock cycles. The
+//! targeted value, in order to consider BCA model signed off is 99%."
+//!
+//! This crate reimplements that tool: it parses the two VCD dumps a
+//! regression run produced (one per design view), groups variables by
+//! port scope, samples them on the common clock grid, and reports the
+//! per-port alignment rate plus the transaction streams it extracted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod align;
+mod extract;
+
+pub use align::{compare_vcd, AlignmentReport, CompareVcdError, PortAlignment};
+pub use extract::{diff_transfers, extract_transfers, ExtractedTransfer, TransferDiff, TransferPhase};

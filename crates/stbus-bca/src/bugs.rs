@@ -1,0 +1,114 @@
+//! The injected-bug catalogue (experiment E2).
+//!
+//! The paper reports that the common verification environment "permitted
+//! to find five bugs on BCA models, not found using old environment of the
+//! past flow". These five injectable defects are modeled on plausible BCA
+//! implementation mistakes; each is detected by a different part of the
+//! common environment, while the legacy write-then-read testbench misses
+//! all but the first.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One injectable BCA defect.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum BcaBug {
+    /// B1 — store byte enables are replaced by the full-bus mask when
+    /// forwarding, turning sub-bus stores into full-word writes.
+    /// *Plausible origin:* a cell-packing shortcut. *Caught by:* the
+    /// scoreboard (data integrity).
+    DroppedByteEnables,
+    /// B2 — the LRU arbiters never update their recency state, so LRU
+    /// degenerates into fixed priority and starves high-index initiators.
+    /// *Plausible origin:* a policy refactor losing the `update` call.
+    /// *Caught by:* the starvation watchdog (and the STBA alignment
+    /// comparison).
+    StuckLruState,
+    /// B3 — the transaction id of Type 3 responses delivered out of
+    /// request order is corrupted (low bit flipped). *Plausible origin:*
+    /// an out-of-order queue indexing bug. *Caught by:* protocol checker
+    /// R-TID.
+    CorruptedOooTid,
+    /// B4 — Type 2 ordering is not enforced: whichever target responds
+    /// first is delivered, even ahead of an older outstanding response.
+    /// *Plausible origin:* a missing guard on the response multiplexer.
+    /// *Caught by:* protocol checker R-ORDER.
+    ReorderedT2Responses,
+    /// B5 — the chunk `lock` signal is ignored during arbitration, letting
+    /// other initiators interleave inside a locked chunk at the target
+    /// port. *Plausible origin:* lock bit dropped in the request
+    /// descriptor. *Caught by:* protocol checker R-CHUNK.
+    IgnoredChunkLock,
+}
+
+impl BcaBug {
+    /// All five bugs, in catalogue order.
+    pub const ALL: [BcaBug; 5] = [
+        BcaBug::DroppedByteEnables,
+        BcaBug::StuckLruState,
+        BcaBug::CorruptedOooTid,
+        BcaBug::ReorderedT2Responses,
+        BcaBug::IgnoredChunkLock,
+    ];
+
+    /// The catalogue label used in the experiment tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            BcaBug::DroppedByteEnables => "B1",
+            BcaBug::StuckLruState => "B2",
+            BcaBug::CorruptedOooTid => "B3",
+            BcaBug::ReorderedT2Responses => "B4",
+            BcaBug::IgnoredChunkLock => "B5",
+        }
+    }
+
+    /// A one-line description for reports.
+    pub const fn description(self) -> &'static str {
+        match self {
+            BcaBug::DroppedByteEnables => "store byte enables dropped (full-word writes)",
+            BcaBug::StuckLruState => "LRU arbiter state never updates (starves initiators)",
+            BcaBug::CorruptedOooTid => "tid corrupted on out-of-order responses",
+            BcaBug::ReorderedT2Responses => "Type 2 response order not enforced",
+            BcaBug::IgnoredChunkLock => "chunk lock ignored in arbitration",
+        }
+    }
+
+    /// Which environment component is expected to catch the bug.
+    pub const fn expected_detector(self) -> &'static str {
+        match self {
+            BcaBug::DroppedByteEnables => "scoreboard",
+            BcaBug::StuckLruState => "starvation watchdog",
+            BcaBug::CorruptedOooTid => "checker R-TID",
+            BcaBug::ReorderedT2Responses => "checker R-ORDER",
+            BcaBug::IgnoredChunkLock => "checker R-CHUNK",
+        }
+    }
+}
+
+impl fmt::Display for BcaBug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.label(), self.description())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_labeled() {
+        assert_eq!(BcaBug::ALL.len(), 5);
+        for (k, b) in BcaBug::ALL.iter().enumerate() {
+            assert_eq!(b.label(), format!("B{}", k + 1));
+            assert!(!b.description().is_empty());
+            assert!(!b.expected_detector().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_joins_label_and_description() {
+        let s = BcaBug::CorruptedOooTid.to_string();
+        assert!(s.starts_with("B3:"));
+        assert!(s.contains("tid"));
+    }
+}

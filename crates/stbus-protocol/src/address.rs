@@ -1,0 +1,236 @@
+//! Address decoding: which target serves which address range.
+
+use crate::cell::TargetId;
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open address range `[base, base + size)` served by one target.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AddressRange {
+    /// First byte address of the range.
+    pub base: u64,
+    /// Size in bytes (must be nonzero).
+    pub size: u64,
+    /// The target that serves this range.
+    pub target: TargetId,
+}
+
+impl AddressRange {
+    /// True when `addr` falls inside the range.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr - self.base < self.size
+    }
+
+    /// One past the last address (saturating).
+    pub fn end(&self) -> u64 {
+        self.base.saturating_add(self.size)
+    }
+}
+
+impl fmt::Display for AddressRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#010x}, {:#010x}) -> {}", self.base, self.end(), self.target)
+    }
+}
+
+/// The node's address decoding table.
+///
+/// Addresses not covered by any range decode to *no target*; the node
+/// answers such requests itself with an error response (exercised by the
+/// `error_responses` test case).
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct AddressMap {
+    ranges: Vec<AddressRange>,
+}
+
+impl AddressMap {
+    /// An empty map (decodes nothing).
+    pub fn new() -> Self {
+        AddressMap::default()
+    }
+
+    /// The conventional default: target `i` owns the 16 MiB window starting
+    /// at `i << 24`.
+    pub fn default_for(n_targets: usize) -> Self {
+        AddressMap {
+            ranges: (0..n_targets)
+                .map(|i| AddressRange {
+                    base: (i as u64) << 24,
+                    size: 1 << 24,
+                    target: TargetId(i as u8),
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds a range.
+    pub fn push(&mut self, range: AddressRange) {
+        self.ranges.push(range);
+    }
+
+    /// The registered ranges, in insertion order.
+    pub fn ranges(&self) -> &[AddressRange] {
+        &self.ranges
+    }
+
+    /// Decodes an address to a target, if any range covers it.
+    pub fn decode(&self, addr: u64) -> Option<TargetId> {
+        self.ranges.iter().find(|r| r.contains(addr)).map(|r| r.target)
+    }
+
+    /// The base address of the first range served by `target`, used by
+    /// traffic generators to aim at a specific target.
+    pub fn base_of(&self, target: TargetId) -> Option<u64> {
+        self.ranges.iter().find(|r| r.target == target).map(|r| r.base)
+    }
+
+    /// Size of the first range served by `target`.
+    pub fn size_of(&self, target: TargetId) -> Option<u64> {
+        self.ranges.iter().find(|r| r.target == target).map(|r| r.size)
+    }
+
+    /// Checks well-formedness against a port count.
+    ///
+    /// # Errors
+    ///
+    /// Empty ranges, overlapping ranges, ranges that name a target beyond
+    /// `n_targets`, and targets with no range at all are rejected (see
+    /// [`ConfigError`]).
+    pub fn validate(&self, n_targets: usize) -> Result<(), ConfigError> {
+        for (i, r) in self.ranges.iter().enumerate() {
+            if r.size == 0 {
+                return Err(ConfigError::EmptyRange { index: i });
+            }
+            if (r.target.0 as usize) >= n_targets {
+                return Err(ConfigError::UnknownTarget {
+                    target: r.target.0 as usize,
+                    n_targets,
+                });
+            }
+        }
+        for i in 0..self.ranges.len() {
+            for j in (i + 1)..self.ranges.len() {
+                let (a, b) = (&self.ranges[i], &self.ranges[j]);
+                if a.base < b.end() && b.base < a.end() {
+                    return Err(ConfigError::AddressOverlap { first: i, second: j });
+                }
+            }
+        }
+        for t in 0..n_targets {
+            if !self.ranges.iter().any(|r| r.target.0 as usize == t) {
+                return Err(ConfigError::UnreachableTarget { target: t });
+            }
+        }
+        Ok(())
+    }
+
+    /// An address guaranteed to decode to no target, if one exists below
+    /// `u64::MAX` — used by error-injection tests.
+    pub fn unmapped_address(&self) -> Option<u64> {
+        // Try just past the highest range.
+        let end = self.ranges.iter().map(AddressRange::end).max().unwrap_or(0);
+        if end < u64::MAX && self.decode(end).is_none() {
+            return Some(end);
+        }
+        // Fall back to scanning range gaps.
+        (0..64u64)
+            .map(|i| i << 24)
+            .find(|addr| self.decode(*addr).is_none())
+    }
+}
+
+impl FromIterator<AddressRange> for AddressMap {
+    fn from_iter<I: IntoIterator<Item = AddressRange>>(iter: I) -> Self {
+        AddressMap {
+            ranges: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_map_decodes_each_target() {
+        let m = AddressMap::default_for(4);
+        assert_eq!(m.decode(0x0000_0000), Some(TargetId(0)));
+        assert_eq!(m.decode(0x0100_0000), Some(TargetId(1)));
+        assert_eq!(m.decode(0x03FF_FFFF), Some(TargetId(3)));
+        assert_eq!(m.decode(0x0400_0000), None);
+        assert!(m.validate(4).is_ok());
+    }
+
+    #[test]
+    fn base_and_size_lookup() {
+        let m = AddressMap::default_for(2);
+        assert_eq!(m.base_of(TargetId(1)), Some(0x0100_0000));
+        assert_eq!(m.size_of(TargetId(1)), Some(1 << 24));
+        assert_eq!(m.base_of(TargetId(5)), None);
+    }
+
+    #[test]
+    fn validate_rejects_overlap() {
+        let m: AddressMap = [
+            AddressRange { base: 0, size: 0x2000, target: TargetId(0) },
+            AddressRange { base: 0x1000, size: 0x1000, target: TargetId(1) },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            m.validate(2),
+            Err(ConfigError::AddressOverlap { first: 0, second: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_unknown_and_unreachable() {
+        let m: AddressMap = [AddressRange { base: 0, size: 0x1000, target: TargetId(3) }]
+            .into_iter()
+            .collect();
+        assert!(matches!(m.validate(2), Err(ConfigError::UnknownTarget { .. })));
+
+        let m: AddressMap = [AddressRange { base: 0, size: 0x1000, target: TargetId(0) }]
+            .into_iter()
+            .collect();
+        assert_eq!(m.validate(2), Err(ConfigError::UnreachableTarget { target: 1 }));
+    }
+
+    #[test]
+    fn validate_rejects_empty_range() {
+        let m: AddressMap = [AddressRange { base: 0, size: 0, target: TargetId(0) }]
+            .into_iter()
+            .collect();
+        assert_eq!(m.validate(1), Err(ConfigError::EmptyRange { index: 0 }));
+    }
+
+    #[test]
+    fn unmapped_address_is_truly_unmapped() {
+        let m = AddressMap::default_for(3);
+        let a = m.unmapped_address().expect("gap exists");
+        assert_eq!(m.decode(a), None);
+    }
+
+    #[test]
+    fn range_display() {
+        let r = AddressRange { base: 0x100, size: 0x100, target: TargetId(2) };
+        assert_eq!(r.to_string(), "[0x00000100, 0x00000200) -> T2");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_default_map_covers_exactly_its_windows(
+            n in 1usize..=32,
+            addr in 0u64..(40u64 << 24),
+        ) {
+            let m = AddressMap::default_for(n);
+            let expected = {
+                let idx = (addr >> 24) as usize;
+                if idx < n { Some(TargetId(idx as u8)) } else { None }
+            };
+            prop_assert_eq!(m.decode(addr), expected);
+        }
+    }
+}

@@ -1,0 +1,722 @@
+//! The six arbitration policies of the STBus node.
+//!
+//! The paper (§3, §5): "A wide variety of arbitration policies is also
+//! available … bandwidth limitation, latency arbitration, LRU,
+//! priority-based arbitration and others"; the node "supports 6
+//! arbitration types".
+//!
+//! Both design views instantiate the *same* implementations below at every
+//! arbitration point, so their grant decisions agree cycle by cycle — the
+//! foundation of the ≥99% alignment result.
+//!
+//! The [`Arbiter`] trait splits pure selection ([`Arbiter::choose`]) from
+//! the once-per-cycle state update ([`Arbiter::update`]): the RTL view may
+//! re-evaluate its combinational arbitration process several delta cycles
+//! per clock, so selection must be side-effect free.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Selects one of the six policies.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ArbitrationKind {
+    /// Static priority by port (lower index wins by default).
+    FixedPriority,
+    /// Priority array reprogrammable at run time through the node's
+    /// programming port.
+    VariablePriority,
+    /// Least-recently-used: the port granted longest ago wins.
+    Lru,
+    /// Latency-based: each port has a deadline; the port closest to (or
+    /// deepest into) violating it wins.
+    LatencyBased,
+    /// Bandwidth limitation: each port has a grant budget per window;
+    /// over-budget ports yield, but the bus is never left idle.
+    BandwidthLimited,
+    /// Rotating fair pointer.
+    RoundRobin,
+}
+
+impl ArbitrationKind {
+    /// All six policies.
+    pub const ALL: [ArbitrationKind; 6] = [
+        ArbitrationKind::FixedPriority,
+        ArbitrationKind::VariablePriority,
+        ArbitrationKind::Lru,
+        ArbitrationKind::LatencyBased,
+        ArbitrationKind::BandwidthLimited,
+        ArbitrationKind::RoundRobin,
+    ];
+}
+
+impl fmt::Display for ArbitrationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArbitrationKind::FixedPriority => "fixed-priority",
+            ArbitrationKind::VariablePriority => "variable-priority",
+            ArbitrationKind::Lru => "lru",
+            ArbitrationKind::LatencyBased => "latency",
+            ArbitrationKind::BandwidthLimited => "bandwidth",
+            ArbitrationKind::RoundRobin => "round-robin",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Policy tuning knobs; every field has a per-port default.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ArbiterParams {
+    /// Initial priorities (higher wins). Default: descending by index, so
+    /// port 0 is the most important.
+    pub priorities: Option<Vec<u8>>,
+    /// Latency deadlines in cycles for [`ArbitrationKind::LatencyBased`].
+    /// Default: 16 for every port.
+    pub deadlines: Option<Vec<u64>>,
+    /// Window length in cycles for [`ArbitrationKind::BandwidthLimited`].
+    pub window: u64,
+    /// Grants allowed per window and port. Default: fair share.
+    pub budgets: Option<Vec<u32>>,
+}
+
+impl Default for ArbiterParams {
+    fn default() -> Self {
+        ArbiterParams {
+            priorities: None,
+            deadlines: None,
+            window: 64,
+            budgets: None,
+        }
+    }
+}
+
+/// One arbitration point: picks a winner among requesting ports.
+///
+/// Contract:
+/// * [`Arbiter::choose`] is pure and may be called any number of times per
+///   cycle;
+/// * [`Arbiter::update`] must be called exactly once per clock cycle with
+///   the sampled request vector and the actually granted port (if the
+///   chosen port's transfer really happened);
+/// * implementations must be fully deterministic.
+pub trait Arbiter: fmt::Debug + Send {
+    /// Which policy this is.
+    fn kind(&self) -> ArbitrationKind;
+
+    /// Selects the winning port index among `requests`, or `None` when no
+    /// port requests.
+    fn choose(&self, requests: &[bool]) -> Option<usize>;
+
+    /// Commits one cycle of history: `winner` is the port whose transfer
+    /// actually happened this cycle (grant *and* acceptance).
+    fn update(&mut self, requests: &[bool], winner: Option<usize>, cycle: u64);
+
+    /// Reprograms per-port priorities (the node's programming port).
+    /// Policies without a priority notion ignore the call.
+    fn set_priorities(&mut self, priorities: &[u8]);
+
+    /// Returns to the post-reset state.
+    fn reset(&mut self);
+}
+
+/// Creates an arbiter of the given policy for `n_ports` ports.
+///
+/// # Panics
+///
+/// Panics if `n_ports == 0` or an explicitly provided parameter vector has
+/// the wrong length.
+pub fn make_arbiter(kind: ArbitrationKind, n_ports: usize, params: &ArbiterParams) -> Box<dyn Arbiter> {
+    assert!(n_ports > 0, "arbiter needs at least one port");
+    let priorities = match &params.priorities {
+        Some(p) => {
+            assert_eq!(p.len(), n_ports, "priorities length mismatch");
+            p.clone()
+        }
+        None => (0..n_ports).map(|i| (n_ports - 1 - i) as u8).collect(),
+    };
+    match kind {
+        ArbitrationKind::FixedPriority => Box::new(PriorityArbiter {
+            kind,
+            priorities,
+            reset_priorities: None,
+        }),
+        ArbitrationKind::VariablePriority => {
+            let reset = priorities.clone();
+            Box::new(PriorityArbiter {
+                kind,
+                priorities,
+                reset_priorities: Some(reset),
+            })
+        }
+        ArbitrationKind::Lru => Box::new(LruArbiter {
+            last_grant: vec![0; n_ports],
+            stamp: 0,
+        }),
+        ArbitrationKind::LatencyBased => {
+            let deadlines = match &params.deadlines {
+                Some(d) => {
+                    assert_eq!(d.len(), n_ports, "deadlines length mismatch");
+                    d.clone()
+                }
+                None => vec![16; n_ports],
+            };
+            Box::new(LatencyArbiter {
+                deadlines,
+                ages: vec![0; n_ports],
+            })
+        }
+        ArbitrationKind::BandwidthLimited => {
+            let budgets = match &params.budgets {
+                Some(b) => {
+                    assert_eq!(b.len(), n_ports, "budgets length mismatch");
+                    b.clone()
+                }
+                None => {
+                    let fair = (params.window as usize / n_ports).max(1) as u32;
+                    vec![fair; n_ports]
+                }
+            };
+            Box::new(BandwidthArbiter {
+                window: params.window.max(1),
+                budgets,
+                used: vec![0; n_ports],
+                pointer: 0,
+            })
+        }
+        ArbitrationKind::RoundRobin => Box::new(RoundRobinArbiter {
+            pointer: 0,
+            n_ports,
+        }),
+    }
+}
+
+// --- fixed / variable priority -------------------------------------------
+
+#[derive(Debug)]
+struct PriorityArbiter {
+    kind: ArbitrationKind,
+    priorities: Vec<u8>,
+    /// `Some` iff reprogrammable (variable priority).
+    reset_priorities: Option<Vec<u8>>,
+}
+
+impl Arbiter for PriorityArbiter {
+    fn kind(&self) -> ArbitrationKind {
+        self.kind
+    }
+
+    fn choose(&self, requests: &[bool]) -> Option<usize> {
+        requests
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r)
+            .max_by_key(|(i, _)| (self.priorities[*i], std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+    }
+
+    fn update(&mut self, _requests: &[bool], _winner: Option<usize>, _cycle: u64) {}
+
+    fn set_priorities(&mut self, priorities: &[u8]) {
+        if self.reset_priorities.is_some() && priorities.len() == self.priorities.len() {
+            self.priorities.copy_from_slice(priorities);
+        }
+    }
+
+    fn reset(&mut self) {
+        if let Some(orig) = &self.reset_priorities {
+            self.priorities = orig.clone();
+        }
+    }
+}
+
+// --- LRU -------------------------------------------------------------------
+
+#[derive(Debug)]
+struct LruArbiter {
+    /// Monotonic stamp of the last grant per port; 0 = never granted.
+    last_grant: Vec<u64>,
+    stamp: u64,
+}
+
+impl Arbiter for LruArbiter {
+    fn kind(&self) -> ArbitrationKind {
+        ArbitrationKind::Lru
+    }
+
+    fn choose(&self, requests: &[bool]) -> Option<usize> {
+        requests
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r)
+            .min_by_key(|(i, _)| (self.last_grant[*i], *i))
+            .map(|(i, _)| i)
+    }
+
+    fn update(&mut self, _requests: &[bool], winner: Option<usize>, _cycle: u64) {
+        if let Some(w) = winner {
+            self.stamp += 1;
+            self.last_grant[w] = self.stamp;
+        }
+    }
+
+    fn set_priorities(&mut self, _priorities: &[u8]) {}
+
+    fn reset(&mut self) {
+        self.last_grant.fill(0);
+        self.stamp = 0;
+    }
+}
+
+// --- latency-based -----------------------------------------------------------
+
+#[derive(Debug)]
+struct LatencyArbiter {
+    deadlines: Vec<u64>,
+    /// Cycles each port's current request has been waiting.
+    ages: Vec<u64>,
+}
+
+impl Arbiter for LatencyArbiter {
+    fn kind(&self) -> ArbitrationKind {
+        ArbitrationKind::LatencyBased
+    }
+
+    fn choose(&self, requests: &[bool]) -> Option<usize> {
+        requests
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r)
+            .min_by_key(|(i, _)| {
+                let slack = self.deadlines[*i] as i64 - self.ages[*i] as i64;
+                (slack, *i as i64)
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn update(&mut self, requests: &[bool], winner: Option<usize>, _cycle: u64) {
+        for i in 0..self.ages.len() {
+            if winner == Some(i) || !requests.get(i).copied().unwrap_or(false) {
+                self.ages[i] = 0;
+            } else {
+                self.ages[i] += 1;
+            }
+        }
+    }
+
+    fn set_priorities(&mut self, _priorities: &[u8]) {}
+
+    fn reset(&mut self) {
+        self.ages.fill(0);
+    }
+}
+
+// --- bandwidth-limited --------------------------------------------------------
+
+#[derive(Debug)]
+struct BandwidthArbiter {
+    window: u64,
+    budgets: Vec<u32>,
+    used: Vec<u32>,
+    /// Round-robin pointer for tie-breaking among eligible ports.
+    pointer: usize,
+}
+
+impl BandwidthArbiter {
+    fn pick_rr(&self, eligible: impl Fn(usize) -> bool, n: usize) -> Option<usize> {
+        (1..=n)
+            .map(|k| (self.pointer + k) % n)
+            .find(|i| eligible(*i))
+    }
+}
+
+impl Arbiter for BandwidthArbiter {
+    fn kind(&self) -> ArbitrationKind {
+        ArbitrationKind::BandwidthLimited
+    }
+
+    fn choose(&self, requests: &[bool]) -> Option<usize> {
+        let n = requests.len();
+        // Ports still inside their budget win first; the bus is
+        // work-conserving, so over-budget requesters get it when nobody
+        // in-budget asks.
+        self.pick_rr(
+            |i| requests[i] && self.used[i] < self.budgets[i],
+            n,
+        )
+        .or_else(|| self.pick_rr(|i| requests[i], n))
+    }
+
+    fn update(&mut self, _requests: &[bool], winner: Option<usize>, cycle: u64) {
+        if cycle.is_multiple_of(self.window) {
+            self.used.fill(0);
+        }
+        if let Some(w) = winner {
+            self.used[w] = self.used[w].saturating_add(1);
+            self.pointer = w;
+        }
+    }
+
+    fn set_priorities(&mut self, _priorities: &[u8]) {}
+
+    fn reset(&mut self) {
+        self.used.fill(0);
+        self.pointer = 0;
+    }
+}
+
+// --- round robin ---------------------------------------------------------------
+
+#[derive(Debug)]
+struct RoundRobinArbiter {
+    pointer: usize,
+    n_ports: usize,
+}
+
+impl Arbiter for RoundRobinArbiter {
+    fn kind(&self) -> ArbitrationKind {
+        ArbitrationKind::RoundRobin
+    }
+
+    fn choose(&self, requests: &[bool]) -> Option<usize> {
+        let n = self.n_ports.min(requests.len());
+        (1..=n)
+            .map(|k| (self.pointer + k) % n)
+            .find(|i| requests[*i])
+    }
+
+    fn update(&mut self, _requests: &[bool], winner: Option<usize>, _cycle: u64) {
+        if let Some(w) = winner {
+            self.pointer = w;
+        }
+    }
+
+    fn set_priorities(&mut self, _priorities: &[u8]) {}
+
+    fn reset(&mut self) {
+        self.pointer = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb(kind: ArbitrationKind, n: usize) -> Box<dyn Arbiter> {
+        make_arbiter(kind, n, &ArbiterParams::default())
+    }
+
+    #[test]
+    fn fixed_priority_prefers_port0_by_default() {
+        let a = arb(ArbitrationKind::FixedPriority, 4);
+        assert_eq!(a.choose(&[true, true, true, true]), Some(0));
+        assert_eq!(a.choose(&[false, true, true, false]), Some(1));
+        assert_eq!(a.choose(&[false; 4]), None);
+    }
+
+    #[test]
+    fn fixed_priority_ignores_reprogramming() {
+        let mut a = arb(ArbitrationKind::FixedPriority, 3);
+        a.set_priorities(&[0, 0, 9]);
+        assert_eq!(a.choose(&[true, false, true]), Some(0));
+    }
+
+    #[test]
+    fn variable_priority_reprograms_and_resets() {
+        let mut a = arb(ArbitrationKind::VariablePriority, 3);
+        assert_eq!(a.choose(&[true, true, true]), Some(0));
+        a.set_priorities(&[0, 9, 1]);
+        assert_eq!(a.choose(&[true, true, true]), Some(1));
+        a.reset();
+        assert_eq!(a.choose(&[true, true, true]), Some(0));
+    }
+
+    #[test]
+    fn lru_rotates_under_full_contention() {
+        let mut a = arb(ArbitrationKind::Lru, 3);
+        let all = [true, true, true];
+        let mut grants = Vec::new();
+        for cycle in 0..6 {
+            let w = a.choose(&all).unwrap();
+            a.update(&all, Some(w), cycle);
+            grants.push(w);
+        }
+        assert_eq!(grants, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn lru_prefers_longest_idle() {
+        let mut a = arb(ArbitrationKind::Lru, 3);
+        // Grant 0 and 1 a few times; port 2 never granted → wins next.
+        for c in 0..4 {
+            let req = [true, true, false];
+            let w = a.choose(&req).unwrap();
+            a.update(&req, Some(w), c);
+        }
+        assert_eq!(a.choose(&[true, true, true]), Some(2));
+    }
+
+    #[test]
+    fn latency_based_meets_tight_deadline() {
+        let params = ArbiterParams {
+            deadlines: Some(vec![100, 2]), // port 1 has a tight deadline
+            ..ArbiterParams::default()
+        };
+        let mut a = make_arbiter(ArbitrationKind::LatencyBased, 2, &params);
+        let all = [true, true];
+        // Port 1's slack (2) is below port 0's (100) → port 1 granted first.
+        let w = a.choose(&all).unwrap();
+        assert_eq!(w, 1);
+        a.update(&all, Some(w), 0);
+        // After being served, its age resets; port 0 aged by one.
+        assert_eq!(a.choose(&all), Some(1)); // slack 2 vs 99 — still port 1
+    }
+
+    #[test]
+    fn latency_ages_only_waiting_requesters() {
+        let params = ArbiterParams {
+            deadlines: Some(vec![5, 5]),
+            ..ArbiterParams::default()
+        };
+        let mut a = make_arbiter(ArbitrationKind::LatencyBased, 2, &params);
+        // Port 0 waits 3 cycles while port 1 is served... then port 0 wins.
+        for c in 0..3 {
+            a.update(&[true, true], Some(1), c);
+        }
+        assert_eq!(a.choose(&[true, true]), Some(0));
+        a.reset();
+        // After reset ages are equal → tie broken by index.
+        assert_eq!(a.choose(&[true, true]), Some(0));
+    }
+
+    #[test]
+    fn bandwidth_limits_the_hog() {
+        let params = ArbiterParams {
+            window: 8,
+            budgets: Some(vec![2, 8]),
+            ..ArbiterParams::default()
+        };
+        let mut a = make_arbiter(ArbitrationKind::BandwidthLimited, 2, &params);
+        let all = [true, true];
+        let mut grants = [0usize; 2];
+        for cycle in 1..=8 {
+            let w = a.choose(&all).unwrap();
+            a.update(&all, Some(w), cycle);
+            grants[w] += 1;
+        }
+        // Port 0 capped at its budget of 2; port 1 takes the rest.
+        assert_eq!(grants, [2, 6]);
+    }
+
+    #[test]
+    fn bandwidth_is_work_conserving() {
+        let params = ArbiterParams {
+            window: 100,
+            budgets: Some(vec![1, 1]),
+            ..ArbiterParams::default()
+        };
+        let mut a = make_arbiter(ArbitrationKind::BandwidthLimited, 2, &params);
+        // Only port 0 requests; even over budget it keeps being granted.
+        for cycle in 1..=5 {
+            let w = a.choose(&[true, false]).unwrap();
+            assert_eq!(w, 0);
+            a.update(&[true, false], Some(w), cycle);
+        }
+    }
+
+    #[test]
+    fn round_robin_is_fair_and_skips_idle() {
+        let mut a = arb(ArbitrationKind::RoundRobin, 4);
+        let all = [true, true, true, true];
+        let mut seq = Vec::new();
+        for c in 0..8 {
+            let w = a.choose(&all).unwrap();
+            a.update(&all, Some(w), c);
+            seq.push(w);
+        }
+        assert_eq!(seq, vec![1, 2, 3, 0, 1, 2, 3, 0]);
+        // Idle ports are skipped.
+        assert_eq!(a.choose(&[false, false, true, false]), Some(2));
+    }
+
+    #[test]
+    fn factory_checks_lengths() {
+        let params = ArbiterParams {
+            priorities: Some(vec![1, 2]),
+            ..ArbiterParams::default()
+        };
+        let r = std::panic::catch_unwind(|| make_arbiter(ArbitrationKind::FixedPriority, 3, &params));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn kinds_report_themselves() {
+        for kind in ArbitrationKind::ALL {
+            assert_eq!(arb(kind, 2).kind(), kind);
+        }
+    }
+
+    proptest! {
+        /// Safety property shared by all policies: the winner always
+        /// requested, and nobody wins when nobody requests.
+        #[test]
+        fn prop_winner_requested(
+            kind_idx in 0usize..6,
+            reqs in proptest::collection::vec(any::<bool>(), 1..16),
+            steps in 1usize..50,
+            seed: u64,
+        ) {
+            let kind = ArbitrationKind::ALL[kind_idx];
+            let n = reqs.len();
+            let mut a = make_arbiter(kind, n, &ArbiterParams::default());
+            let mut rng = seed;
+            let mut requests = reqs;
+            for cycle in 0..steps as u64 {
+                match a.choose(&requests) {
+                    Some(w) => prop_assert!(requests[w], "{kind} granted idle port {w}"),
+                    None => prop_assert!(requests.iter().all(|r| !r)),
+                }
+                let w = a.choose(&requests);
+                a.update(&requests, w, cycle);
+                // Evolve the request vector pseudo-randomly.
+                for r in requests.iter_mut() {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    *r = (rng >> 33) & 1 == 1;
+                }
+            }
+        }
+
+        /// choose() must be pure: two consecutive calls agree.
+        #[test]
+        fn prop_choose_is_pure(
+            kind_idx in 0usize..6,
+            reqs in proptest::collection::vec(any::<bool>(), 1..16),
+        ) {
+            let kind = ArbitrationKind::ALL[kind_idx];
+            let a = make_arbiter(kind, reqs.len(), &ArbiterParams::default());
+            prop_assert_eq!(a.choose(&reqs), a.choose(&reqs));
+        }
+
+        /// Fairness: under permanent full contention, round-robin and LRU
+        /// spread grants evenly — no port's share deviates by more than
+        /// one full rotation.
+        #[test]
+        fn prop_rr_and_lru_are_fair_under_saturation(
+            n in 2usize..8,
+            rounds in 4usize..40,
+            kind_idx in 0usize..2,
+        ) {
+            let kind = [ArbitrationKind::RoundRobin, ArbitrationKind::Lru][kind_idx];
+            let mut arb = make_arbiter(kind, n, &ArbiterParams::default());
+            let all = vec![true; n];
+            let mut grants = vec![0u64; n];
+            for cycle in 0..(rounds * n) as u64 {
+                let w = arb.choose(&all).expect("saturated");
+                arb.update(&all, Some(w), cycle);
+                grants[w as usize] += 1;
+            }
+            let min = *grants.iter().min().expect("nonempty");
+            let max = *grants.iter().max().expect("nonempty");
+            prop_assert!(max - min <= 1, "{kind} grants {grants:?}");
+        }
+
+        /// The bandwidth limiter never lets an in-budget port lose to an
+        /// over-budget one.
+        #[test]
+        fn prop_bandwidth_budget_is_respected(
+            n in 2usize..6,
+            window in 4u64..32,
+            steps in 8usize..100,
+            seed: u64,
+        ) {
+            let budgets: Vec<u32> = (0..n).map(|i| 1 + (i as u32 % 3)).collect();
+            let params = ArbiterParams {
+                window,
+                budgets: Some(budgets.clone()),
+                ..ArbiterParams::default()
+            };
+            let mut arb = make_arbiter(ArbitrationKind::BandwidthLimited, n, &params);
+            let mut used = vec![0u32; n];
+            let mut rng = seed;
+            for cycle in 1..=steps as u64 {
+                if cycle % window == 0 {
+                    used.fill(0);
+                }
+                let requests: Vec<bool> = (0..n).map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (rng >> 40) & 1 == 1
+                }).collect();
+                if let Some(w) = arb.choose(&requests) {
+                    // If the winner is over budget, no in-budget requester
+                    // may exist (the grant is purely work-conserving).
+                    if used[w] >= budgets[w] {
+                        let in_budget_waiting = (0..n)
+                            .any(|i| requests[i] && used[i] < budgets[i]);
+                        prop_assert!(!in_budget_waiting,
+                            "over-budget port {w} beat an in-budget requester");
+                    }
+                    arb.update(&requests, Some(w), cycle);
+                    used[w] += 1;
+                } else {
+                    arb.update(&requests, None, cycle);
+                }
+            }
+        }
+
+        /// The latency policy never lets a port exceed its deadline by more
+        /// than the worst case implied by the other ports' deadlines, under
+        /// full contention with a single grant per cycle.
+        #[test]
+        fn prop_latency_bounds_wait_times(n in 2usize..6, rounds in 5usize..30) {
+            let deadlines: Vec<u64> = (0..n).map(|i| 2 + 3 * i as u64).collect();
+            let params = ArbiterParams {
+                deadlines: Some(deadlines.clone()),
+                ..ArbiterParams::default()
+            };
+            let mut arb = make_arbiter(ArbitrationKind::LatencyBased, n, &params);
+            let all = vec![true; n];
+            let mut waits = vec![0u64; n];
+            for cycle in 0..(rounds * n) as u64 {
+                let w = arb.choose(&all).expect("saturated");
+                arb.update(&all, Some(w), cycle);
+                for (i, wait) in waits.iter_mut().enumerate() {
+                    if i == w { *wait = 0 } else { *wait += 1 }
+                }
+                for (i, wait) in waits.iter().enumerate() {
+                    // One grant per cycle: the bound is deadline + n slots.
+                    prop_assert!(
+                        *wait <= deadlines[i] + n as u64,
+                        "port {i} waited {wait} (deadline {})",
+                        deadlines[i]
+                    );
+                }
+            }
+        }
+
+        /// Determinism: two identical arbiters fed identical histories make
+        /// identical decisions — the property the RTL/BCA alignment relies
+        /// on.
+        #[test]
+        fn prop_two_instances_align(
+            kind_idx in 0usize..6,
+            n in 1usize..8,
+            steps in 1usize..60,
+            seed: u64,
+        ) {
+            let kind = ArbitrationKind::ALL[kind_idx];
+            let mut a = make_arbiter(kind, n, &ArbiterParams::default());
+            let mut b = make_arbiter(kind, n, &ArbiterParams::default());
+            let mut rng = seed;
+            for cycle in 0..steps as u64 {
+                let requests: Vec<bool> = (0..n).map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (rng >> 37) & 1 == 1
+                }).collect();
+                let wa = a.choose(&requests);
+                let wb = b.choose(&requests);
+                prop_assert_eq!(wa, wb);
+                a.update(&requests, wa, cycle);
+                b.update(&requests, wb, cycle);
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Bus cells — the per-cycle unit of transfer — and the id newtypes used
+//! throughout the workspace.
+
+use crate::opcode::Opcode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum data-bus width supported by the node: 256 bits = 32 bytes.
+pub const MAX_BUS_BYTES: usize = 32;
+
+/// Identifies an initiator port of the node (0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct InitiatorId(pub u8);
+
+/// Identifies a target port of the node (0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct TargetId(pub u8);
+
+/// A transaction id, used by Type 3 to match out-of-order responses to
+/// their requests.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct TransactionId(pub u8);
+
+impl fmt::Display for InitiatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+impl fmt::Display for TargetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TransactionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid{}", self.0)
+    }
+}
+
+/// The data lanes of one cell: up to [`MAX_BUS_BYTES`] bytes.
+///
+/// Only the low `bus_bytes` lanes of a given configuration are meaningful;
+/// the rest stay zero. `CellData` is `Copy` so cells can move through
+/// pipeline registers without allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellData {
+    bytes: [u8; MAX_BUS_BYTES],
+}
+
+impl CellData {
+    /// All-zero data.
+    pub const fn zero() -> Self {
+        CellData {
+            bytes: [0; MAX_BUS_BYTES],
+        }
+    }
+
+    /// Builds from a byte slice (low lanes first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() > MAX_BUS_BYTES`.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= MAX_BUS_BYTES, "cell data too wide");
+        let mut d = CellData::zero();
+        d.bytes[..bytes.len()].copy_from_slice(bytes);
+        d
+    }
+
+    /// The full lane array.
+    pub fn as_bytes(&self) -> &[u8; MAX_BUS_BYTES] {
+        &self.bytes
+    }
+
+    /// The low `n` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_BUS_BYTES`.
+    pub fn lanes(&self, n: usize) -> &[u8] {
+        &self.bytes[..n]
+    }
+
+    /// Mutable lane access.
+    pub fn lanes_mut(&mut self, n: usize) -> &mut [u8] {
+        &mut self.bytes[..n]
+    }
+
+    /// Reads byte lane `i`.
+    pub fn byte(&self, i: usize) -> u8 {
+        self.bytes[i]
+    }
+
+    /// Writes byte lane `i`.
+    pub fn set_byte(&mut self, i: usize, v: u8) {
+        self.bytes[i] = v;
+    }
+
+    /// The low 8 lanes as a little-endian integer (waveform convenience).
+    pub fn low_u64(&self) -> u64 {
+        u64::from_le_bytes(self.bytes[..8].try_into().expect("8 bytes"))
+    }
+}
+
+impl Default for CellData {
+    fn default() -> Self {
+        CellData::zero()
+    }
+}
+
+impl fmt::Debug for CellData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CellData(0x")?;
+        // Print only up to the last nonzero byte to keep logs readable.
+        let last = self
+            .bytes
+            .iter()
+            .rposition(|b| *b != 0)
+            .map_or(1, |i| i + 1);
+        for b in self.bytes[..last].iter().rev() {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One request-phase cell, sampled on a cycle where `req && gnt`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ReqCell {
+    /// The byte address this cell refers to.
+    pub addr: u64,
+    /// The operation; constant across all cells of one packet.
+    pub opcode: Opcode,
+    /// Data lanes (stores and atomics only).
+    pub data: CellData,
+    /// Byte-enable mask over the bus lanes (bit i = lane i valid).
+    pub be: u32,
+    /// End of packet: asserted on the last cell only.
+    pub eop: bool,
+    /// Chunk lock: while asserted, the slave must not interleave other
+    /// traffic between this packet and the next from the same source.
+    pub lock: bool,
+    /// Transaction id (Type 3; tied to 0 otherwise).
+    pub tid: TransactionId,
+    /// The issuing initiator.
+    pub src: InitiatorId,
+    /// Request priority hint, consumed by some arbiters.
+    pub pri: u8,
+}
+
+impl ReqCell {
+    /// A convenience constructor with the common defaults.
+    pub fn new(addr: u64, opcode: Opcode, src: InitiatorId) -> Self {
+        ReqCell {
+            addr,
+            opcode,
+            data: CellData::zero(),
+            be: 0,
+            eop: true,
+            lock: false,
+            tid: TransactionId(0),
+            src,
+            pri: 0,
+        }
+    }
+}
+
+/// Response status of an [`RspCell`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum RspKind {
+    /// Normal completion.
+    #[default]
+    Ok,
+    /// The target (or the node address decoder) flagged an error.
+    Error,
+}
+
+impl fmt::Display for RspKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RspKind::Ok => f.write_str("OK"),
+            RspKind::Error => f.write_str("ERR"),
+        }
+    }
+}
+
+/// One response-phase cell, sampled on a cycle where `r_req && r_gnt`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RspCell {
+    /// Data lanes (loads and atomics only).
+    pub data: CellData,
+    /// Completion status.
+    pub kind: RspKind,
+    /// End of packet.
+    pub eop: bool,
+    /// Transaction id, echoing the request (Type 3).
+    pub tid: TransactionId,
+    /// The initiator this response is routed back to.
+    pub src: InitiatorId,
+}
+
+impl RspCell {
+    /// An OK response cell with no data.
+    pub fn ok(src: InitiatorId, tid: TransactionId, eop: bool) -> Self {
+        RspCell {
+            data: CellData::zero(),
+            kind: RspKind::Ok,
+            eop,
+            tid,
+            src,
+        }
+    }
+
+    /// An error response cell.
+    pub fn error(src: InitiatorId, tid: TransactionId, eop: bool) -> Self {
+        RspCell {
+            kind: RspKind::Error,
+            ..RspCell::ok(src, tid, eop)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::TransferSize;
+
+    #[test]
+    fn cell_data_round_trip() {
+        let d = CellData::from_bytes(&[1, 2, 3, 4]);
+        assert_eq!(d.byte(0), 1);
+        assert_eq!(d.byte(3), 4);
+        assert_eq!(d.byte(4), 0);
+        assert_eq!(d.lanes(4), &[1, 2, 3, 4]);
+        assert_eq!(d.low_u64(), 0x0000_0000_0403_0201);
+    }
+
+    #[test]
+    fn cell_data_debug_is_compact() {
+        let d = CellData::from_bytes(&[0xAB, 0xCD]);
+        assert_eq!(format!("{d:?}"), "CellData(0xcdab)");
+        assert_eq!(format!("{:?}", CellData::zero()), "CellData(0x00)");
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn cell_data_rejects_oversize() {
+        let _ = CellData::from_bytes(&[0u8; 33]);
+    }
+
+    #[test]
+    fn req_cell_defaults() {
+        let c = ReqCell::new(0x100, Opcode::load(TransferSize::B4), InitiatorId(2));
+        assert!(c.eop);
+        assert!(!c.lock);
+        assert_eq!(c.src, InitiatorId(2));
+        assert_eq!(c.tid, TransactionId(0));
+    }
+
+    #[test]
+    fn rsp_cell_constructors() {
+        let ok = RspCell::ok(InitiatorId(1), TransactionId(5), true);
+        assert_eq!(ok.kind, RspKind::Ok);
+        let err = RspCell::error(InitiatorId(1), TransactionId(5), false);
+        assert_eq!(err.kind, RspKind::Error);
+        assert!(!err.eop);
+        assert_eq!(err.tid, TransactionId(5));
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(InitiatorId(3).to_string(), "I3");
+        assert_eq!(TargetId(7).to_string(), "T7");
+        assert_eq!(TransactionId(9).to_string(), "tid9");
+    }
+}

@@ -1,0 +1,503 @@
+//! Node configuration: the "HDL parameters" the paper's regression tool
+//! sweeps across more than 36 instances.
+
+use crate::address::AddressMap;
+use crate::arbitration::{ArbiterParams, ArbitrationKind};
+use crate::cell::MAX_BUS_BYTES;
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three STBus protocol types.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ProtocolType {
+    /// Simple synchronous handshake, register access and slow peripherals.
+    Type1,
+    /// Split transactions and pipelining; responses stay ordered.
+    Type2,
+    /// Adds out-of-order responses and asymmetric packet lengths.
+    Type3,
+}
+
+impl ProtocolType {
+    /// True when responses may return out of request order.
+    pub const fn allows_out_of_order(self) -> bool {
+        matches!(self, ProtocolType::Type3)
+    }
+
+    /// True when request and response packets may have different lengths.
+    pub const fn asymmetric_packets(self) -> bool {
+        matches!(self, ProtocolType::Type3)
+    }
+
+    /// True when several transactions may be outstanding at once.
+    pub const fn split_transactions(self) -> bool {
+        !matches!(self, ProtocolType::Type1)
+    }
+}
+
+impl fmt::Display for ProtocolType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolType::Type1 => f.write_str("T1"),
+            ProtocolType::Type2 => f.write_str("T2"),
+            ProtocolType::Type3 => f.write_str("T3"),
+        }
+    }
+}
+
+/// Byte ordering of multi-cell packets on the data lanes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum Endianness {
+    /// Least-significant byte on lane 0 (the common SoC choice).
+    #[default]
+    Little,
+    /// Most-significant byte on lane 0.
+    Big,
+}
+
+/// The interconnect architecture of the node.
+///
+/// The paper (§3): a single shared bus gives the best wiring/area but worst
+/// performance; a full crossbar the reverse; a partial crossbar sits in
+/// between.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Architecture {
+    /// One transfer at a time through the whole node.
+    SharedBus,
+    /// Every target has its own lane; transfers to distinct targets
+    /// proceed concurrently.
+    FullCrossbar,
+    /// At most `lanes` concurrent transfers to distinct targets.
+    PartialCrossbar {
+        /// Number of concurrent request lanes (≥ 1).
+        lanes: usize,
+    },
+}
+
+impl Architecture {
+    /// The number of concurrent request routes this architecture allows
+    /// for a node with `n_targets` targets.
+    pub fn concurrency(self, n_targets: usize) -> usize {
+        match self {
+            Architecture::SharedBus => 1,
+            Architecture::FullCrossbar => n_targets,
+            Architecture::PartialCrossbar { lanes } => lanes.min(n_targets),
+        }
+    }
+
+    /// A crude area proxy — the number of port-to-port multiplexer inputs —
+    /// used by the architecture-trade-off experiment (E7).
+    pub fn area_proxy(self, n_initiators: usize, n_targets: usize) -> usize {
+        self.concurrency(n_targets) * n_initiators * n_targets
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Architecture::SharedBus => f.write_str("shared"),
+            Architecture::FullCrossbar => f.write_str("full-xbar"),
+            Architecture::PartialCrossbar { lanes } => write!(f, "partial-xbar({lanes})"),
+        }
+    }
+}
+
+/// A fully validated configuration of the STBus node.
+///
+/// Build with [`NodeConfig::builder`]:
+///
+/// ```
+/// use stbus_protocol::{NodeConfig, ProtocolType, Architecture, ArbitrationKind};
+///
+/// # fn main() -> Result<(), stbus_protocol::ConfigError> {
+/// let cfg = NodeConfig::builder("n3t2")
+///     .initiators(3)
+///     .targets(2)
+///     .bus_bytes(8)
+///     .protocol(ProtocolType::Type3)
+///     .architecture(Architecture::FullCrossbar)
+///     .arbitration(ArbitrationKind::Lru)
+///     .build()?;
+/// assert_eq!(cfg.n_initiators, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// A human-readable instance name used in reports and waveform scopes.
+    pub name: String,
+    /// Number of initiator ports (1..=32).
+    pub n_initiators: usize,
+    /// Number of target ports (1..=32).
+    pub n_targets: usize,
+    /// Data-bus width in bytes (1..=32, power of two) — 8 to 256 bits.
+    pub bus_bytes: usize,
+    /// Protocol type of all ports.
+    pub protocol: ProtocolType,
+    /// Interconnect architecture.
+    pub arch: Architecture,
+    /// Arbitration policy instantiated at every arbitration point.
+    pub arbitration: ArbitrationKind,
+    /// Policy tuning (per-initiator priorities, latency deadlines,
+    /// bandwidth budgets) applied to the request-path arbiters.
+    pub arb_params: ArbiterParams,
+    /// Request-path pipeline registers (0 = wire node, 1..=2 supported).
+    pub pipe_depth: usize,
+    /// Byte ordering.
+    pub endianness: Endianness,
+    /// Address decoding table.
+    pub address_map: AddressMap,
+    /// Whether the optional programmable-priority port exists.
+    pub prog_port: bool,
+    /// Maximum outstanding split transactions per initiator (Type 2/3).
+    pub max_outstanding: usize,
+}
+
+impl NodeConfig {
+    /// Starts building a configuration named `name`.
+    pub fn builder(name: &str) -> NodeConfigBuilder {
+        NodeConfigBuilder::new(name)
+    }
+
+    /// A small, fully-featured reference configuration used across tests,
+    /// examples and experiments: 3 initiators, 2 targets, 64-bit bus,
+    /// Type 3, full crossbar, LRU — the shape of the paper's Figure 6
+    /// testbench.
+    pub fn reference() -> NodeConfig {
+        NodeConfig::builder("reference")
+            .initiators(3)
+            .targets(2)
+            .bus_bytes(8)
+            .protocol(ProtocolType::Type3)
+            .architecture(Architecture::FullCrossbar)
+            .arbitration(ArbitrationKind::Lru)
+            .prog_port(true)
+            .build()
+            .expect("reference config is valid")
+    }
+
+    /// The data-bus width in bits.
+    pub fn bus_bits(&self) -> usize {
+        self.bus_bytes * 8
+    }
+
+    /// The byte-enable mask covering all lanes of this bus width.
+    pub fn full_be(&self) -> u32 {
+        if self.bus_bytes == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.bus_bytes) - 1
+        }
+    }
+}
+
+impl fmt::Display for NodeConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}i x {}t, {}b, {}, {}, {:?}, pipe{}",
+            self.name,
+            self.n_initiators,
+            self.n_targets,
+            self.bus_bits(),
+            self.protocol,
+            self.arch,
+            self.arbitration,
+            self.pipe_depth
+        )
+    }
+}
+
+/// Builder for [`NodeConfig`]; all setters have sensible defaults.
+#[derive(Clone, Debug)]
+pub struct NodeConfigBuilder {
+    name: String,
+    n_initiators: usize,
+    n_targets: usize,
+    bus_bytes: usize,
+    protocol: ProtocolType,
+    arch: Architecture,
+    arbitration: ArbitrationKind,
+    arb_params: ArbiterParams,
+    pipe_depth: usize,
+    endianness: Endianness,
+    address_map: Option<AddressMap>,
+    prog_port: bool,
+    max_outstanding: usize,
+}
+
+impl NodeConfigBuilder {
+    fn new(name: &str) -> Self {
+        NodeConfigBuilder {
+            name: name.to_owned(),
+            n_initiators: 2,
+            n_targets: 2,
+            bus_bytes: 4,
+            protocol: ProtocolType::Type2,
+            arch: Architecture::SharedBus,
+            arbitration: ArbitrationKind::FixedPriority,
+            arb_params: ArbiterParams::default(),
+            pipe_depth: 0,
+            endianness: Endianness::Little,
+            address_map: None,
+            prog_port: false,
+            max_outstanding: 4,
+        }
+    }
+
+    /// Renames the configuration.
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Sets the initiator port count.
+    pub fn initiators(mut self, n: usize) -> Self {
+        self.n_initiators = n;
+        self
+    }
+
+    /// Sets the target port count.
+    pub fn targets(mut self, n: usize) -> Self {
+        self.n_targets = n;
+        self
+    }
+
+    /// Sets the bus width in bytes.
+    pub fn bus_bytes(mut self, n: usize) -> Self {
+        self.bus_bytes = n;
+        self
+    }
+
+    /// Sets the protocol type.
+    pub fn protocol(mut self, p: ProtocolType) -> Self {
+        self.protocol = p;
+        self
+    }
+
+    /// Sets the architecture.
+    pub fn architecture(mut self, a: Architecture) -> Self {
+        self.arch = a;
+        self
+    }
+
+    /// Sets the arbitration policy.
+    pub fn arbitration(mut self, a: ArbitrationKind) -> Self {
+        self.arbitration = a;
+        self
+    }
+
+    /// Tunes the request-path arbiters (priorities, deadlines, budgets).
+    pub fn arbiter_params(mut self, p: ArbiterParams) -> Self {
+        self.arb_params = p;
+        self
+    }
+
+    /// Sets the request pipeline depth (0..=2).
+    pub fn pipe_depth(mut self, d: usize) -> Self {
+        self.pipe_depth = d;
+        self
+    }
+
+    /// Sets the byte ordering.
+    pub fn endianness(mut self, e: Endianness) -> Self {
+        self.endianness = e;
+        self
+    }
+
+    /// Installs an explicit address map (default: 16 MiB per target).
+    pub fn address_map(mut self, m: AddressMap) -> Self {
+        self.address_map = Some(m);
+        self
+    }
+
+    /// Enables the programmable-priority port.
+    pub fn prog_port(mut self, enabled: bool) -> Self {
+        self.prog_port = enabled;
+        self
+    }
+
+    /// Sets the split-transaction depth per initiator.
+    pub fn max_outstanding(mut self, n: usize) -> Self {
+        self.max_outstanding = n;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first violated constraint:
+    /// port counts within 1..=32, bus width a power of two within 1..=32
+    /// bytes, pipe depth ≤ 2, partial-crossbar lane count ≥ 1, a
+    /// non-overlapping address map covering every target, and
+    /// `max_outstanding ≥ 1` for split protocols.
+    pub fn build(self) -> Result<NodeConfig, ConfigError> {
+        if !(1..=32).contains(&self.n_initiators) {
+            return Err(ConfigError::PortCount {
+                what: "initiators",
+                got: self.n_initiators,
+            });
+        }
+        if !(1..=32).contains(&self.n_targets) {
+            return Err(ConfigError::PortCount {
+                what: "targets",
+                got: self.n_targets,
+            });
+        }
+        if !self.bus_bytes.is_power_of_two() || !(1..=MAX_BUS_BYTES).contains(&self.bus_bytes) {
+            return Err(ConfigError::BusWidth { got: self.bus_bytes });
+        }
+        if self.pipe_depth > 2 {
+            return Err(ConfigError::PipeDepth { got: self.pipe_depth });
+        }
+        if let Architecture::PartialCrossbar { lanes } = self.arch {
+            if lanes == 0 {
+                return Err(ConfigError::ZeroLanes);
+            }
+        }
+        if self.protocol.split_transactions() && self.max_outstanding == 0 {
+            return Err(ConfigError::ZeroOutstanding);
+        }
+        for (what, len) in [
+            ("priorities", self.arb_params.priorities.as_ref().map(Vec::len)),
+            ("deadlines", self.arb_params.deadlines.as_ref().map(Vec::len)),
+            (
+                "budgets",
+                self.arb_params.budgets.as_ref().map(Vec::len),
+            ),
+        ] {
+            if let Some(len) = len {
+                if len != self.n_initiators {
+                    return Err(ConfigError::ArbParamLength {
+                        what,
+                        got: len,
+                        expected: self.n_initiators,
+                    });
+                }
+            }
+        }
+        let address_map = match self.address_map {
+            Some(m) => m,
+            None => AddressMap::default_for(self.n_targets),
+        };
+        address_map.validate(self.n_targets)?;
+        Ok(NodeConfig {
+            name: self.name,
+            n_initiators: self.n_initiators,
+            n_targets: self.n_targets,
+            bus_bytes: self.bus_bytes,
+            protocol: self.protocol,
+            arch: self.arch,
+            arbitration: self.arbitration,
+            arb_params: self.arb_params,
+            pipe_depth: self.pipe_depth,
+            endianness: self.endianness,
+            address_map,
+            prog_port: self.prog_port,
+            max_outstanding: self.max_outstanding.max(if self.protocol.split_transactions() {
+                1
+            } else {
+                0
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_config_is_valid() {
+        let cfg = NodeConfig::reference();
+        assert_eq!(cfg.n_initiators, 3);
+        assert_eq!(cfg.n_targets, 2);
+        assert_eq!(cfg.bus_bits(), 64);
+        assert_eq!(cfg.full_be(), 0xFF);
+        assert!(cfg.prog_port);
+    }
+
+    #[test]
+    fn builder_rejects_bad_port_counts() {
+        assert!(matches!(
+            NodeConfig::builder("x").initiators(0).build(),
+            Err(ConfigError::PortCount { what: "initiators", .. })
+        ));
+        assert!(matches!(
+            NodeConfig::builder("x").targets(33).build(),
+            Err(ConfigError::PortCount { what: "targets", .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_bad_bus_width() {
+        assert!(matches!(
+            NodeConfig::builder("x").bus_bytes(3).build(),
+            Err(ConfigError::BusWidth { got: 3 })
+        ));
+        assert!(matches!(
+            NodeConfig::builder("x").bus_bytes(64).build(),
+            Err(ConfigError::BusWidth { got: 64 })
+        ));
+        assert!(NodeConfig::builder("x").bus_bytes(32).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_deep_pipe_and_zero_lanes() {
+        assert!(matches!(
+            NodeConfig::builder("x").pipe_depth(3).build(),
+            Err(ConfigError::PipeDepth { got: 3 })
+        ));
+        assert!(matches!(
+            NodeConfig::builder("x")
+                .architecture(Architecture::PartialCrossbar { lanes: 0 })
+                .build(),
+            Err(ConfigError::ZeroLanes)
+        ));
+    }
+
+    #[test]
+    fn architecture_concurrency() {
+        assert_eq!(Architecture::SharedBus.concurrency(8), 1);
+        assert_eq!(Architecture::FullCrossbar.concurrency(8), 8);
+        assert_eq!(Architecture::PartialCrossbar { lanes: 3 }.concurrency(8), 3);
+        assert_eq!(Architecture::PartialCrossbar { lanes: 9 }.concurrency(8), 8);
+    }
+
+    #[test]
+    fn area_proxy_orders_architectures() {
+        let shared = Architecture::SharedBus.area_proxy(4, 4);
+        let partial = Architecture::PartialCrossbar { lanes: 2 }.area_proxy(4, 4);
+        let full = Architecture::FullCrossbar.area_proxy(4, 4);
+        assert!(shared < partial && partial < full);
+    }
+
+    #[test]
+    fn protocol_capabilities() {
+        assert!(!ProtocolType::Type1.split_transactions());
+        assert!(ProtocolType::Type2.split_transactions());
+        assert!(!ProtocolType::Type2.allows_out_of_order());
+        assert!(ProtocolType::Type3.allows_out_of_order());
+        assert!(ProtocolType::Type3.asymmetric_packets());
+    }
+
+    #[test]
+    fn display_formats() {
+        let cfg = NodeConfig::reference();
+        let s = cfg.to_string();
+        assert!(s.contains("3i x 2t"));
+        assert!(s.contains("64b"));
+        assert_eq!(ProtocolType::Type2.to_string(), "T2");
+        assert_eq!(Architecture::PartialCrossbar { lanes: 2 }.to_string(), "partial-xbar(2)");
+    }
+
+    #[test]
+    fn full_be_widths() {
+        let cfg = NodeConfig::builder("w").bus_bytes(32).build().unwrap();
+        assert_eq!(cfg.full_be(), u32::MAX);
+        let cfg = NodeConfig::builder("n").bus_bytes(1).build().unwrap();
+        assert_eq!(cfg.full_be(), 1);
+    }
+}

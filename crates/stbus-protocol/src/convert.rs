@@ -1,0 +1,213 @@
+//! Size and type conversion.
+//!
+//! The STBus interconnect "provides also the size conversion when the
+//! initiators and targets have different data bus size", and type
+//! converters let interfaces of different protocol types talk (paper §3,
+//! Figure 1). Conversion is defined at the packet level: a packet built for
+//! one `(bus width, protocol type)` pair is re-expressed for another. The
+//! RTL converter components in `stbus-rtl` apply these functions cell
+//! stream to cell stream.
+
+use crate::cell::{InitiatorId, TransactionId};
+use crate::error::BuildPacketError;
+use crate::opcode::Opcode;
+use crate::packet::{response_cells, PacketParams, RequestPacket, ResponsePacket};
+
+/// Re-expresses a request packet for a different bus width and/or protocol
+/// type, preserving its semantics (opcode, address, payload, ids, lock).
+///
+/// # Errors
+///
+/// [`BuildPacketError::IllegalOpcode`] when the opcode does not exist on
+/// the destination protocol type (e.g. converting an `LD64` from Type 2 to
+/// Type 1) — real interconnects must split such packets; this model rejects
+/// them so the mismatch is explicit.
+pub fn convert_request(
+    packet: &RequestPacket,
+    from: PacketParams,
+    to: PacketParams,
+) -> Result<RequestPacket, BuildPacketError> {
+    let payload = packet.payload(from);
+    let first = &packet.cells()[0];
+    RequestPacket::build(
+        packet.opcode(),
+        packet.addr(),
+        &payload,
+        to,
+        packet.src(),
+        packet.tid(),
+        first.pri,
+        first.lock,
+    )
+}
+
+/// Re-expresses a response packet for a different bus width and/or
+/// protocol type.
+///
+/// The `opcode` is the one from the matching request (responses do not
+/// carry it on the wire).
+pub fn convert_response(
+    packet: &ResponsePacket,
+    opcode: Opcode,
+    from_bus: usize,
+    to: PacketParams,
+) -> ResponsePacket {
+    let n_cells = response_cells(opcode, to.protocol, to.bus_bytes);
+    let src: InitiatorId = packet.src();
+    let tid: TransactionId = packet.tid();
+    if packet.is_error() {
+        return ResponsePacket::error(src, tid, n_cells);
+    }
+    if opcode.has_response_data() {
+        let payload = packet.payload(from_bus, opcode.size().bytes());
+        ResponsePacket::ok_with_data(src, tid, &payload, to.bus_bytes, n_cells)
+    } else {
+        ResponsePacket::ok_ack(src, tid, n_cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{InitiatorId, TransactionId};
+    use crate::config::{Endianness, ProtocolType};
+    use crate::opcode::TransferSize;
+    use proptest::prelude::*;
+
+    fn params(bus: usize, protocol: ProtocolType) -> PacketParams {
+        PacketParams {
+            bus_bytes: bus,
+            protocol,
+            endianness: Endianness::Little,
+        }
+    }
+
+    #[test]
+    fn downsize_splits_cells() {
+        let payload: Vec<u8> = (0..16).collect();
+        let wide = RequestPacket::build(
+            Opcode::store(TransferSize::B16),
+            0x400,
+            &payload,
+            params(16, ProtocolType::Type2),
+            InitiatorId(0),
+            TransactionId(0),
+            0,
+            false,
+        )
+        .unwrap();
+        assert_eq!(wide.len(), 1);
+        let narrow = convert_request(&wide, params(16, ProtocolType::Type2), params(4, ProtocolType::Type2)).unwrap();
+        assert_eq!(narrow.len(), 4);
+        assert_eq!(narrow.payload(params(4, ProtocolType::Type2)), payload);
+        assert_eq!(narrow.addr(), 0x400);
+    }
+
+    #[test]
+    fn upsize_merges_cells() {
+        let payload: Vec<u8> = (0..8).collect();
+        let narrow = RequestPacket::build(
+            Opcode::store(TransferSize::B8),
+            0x800,
+            &payload,
+            params(2, ProtocolType::Type2),
+            InitiatorId(1),
+            TransactionId(3),
+            2,
+            true,
+        )
+        .unwrap();
+        assert_eq!(narrow.len(), 4);
+        let wide = convert_request(&narrow, params(2, ProtocolType::Type2), params(8, ProtocolType::Type2)).unwrap();
+        assert_eq!(wide.len(), 1);
+        assert_eq!(wide.payload(params(8, ProtocolType::Type2)), payload);
+        assert!(wide.cells()[0].lock);
+        assert_eq!(wide.cells()[0].pri, 2);
+        assert_eq!(wide.tid(), TransactionId(3));
+    }
+
+    #[test]
+    fn type2_to_type3_shrinks_load_request() {
+        let ld = RequestPacket::build(
+            Opcode::load(TransferSize::B32),
+            0,
+            &[],
+            params(8, ProtocolType::Type2),
+            InitiatorId(0),
+            TransactionId(0),
+            0,
+            false,
+        )
+        .unwrap();
+        assert_eq!(ld.len(), 4);
+        let t3 = convert_request(&ld, params(8, ProtocolType::Type2), params(8, ProtocolType::Type3)).unwrap();
+        assert_eq!(t3.len(), 1);
+    }
+
+    #[test]
+    fn type_downgrade_rejects_big_opcode() {
+        let ld = RequestPacket::build(
+            Opcode::load(TransferSize::B64),
+            0,
+            &[],
+            params(8, ProtocolType::Type2),
+            InitiatorId(0),
+            TransactionId(0),
+            0,
+            false,
+        )
+        .unwrap();
+        let err = convert_request(&ld, params(8, ProtocolType::Type2), params(8, ProtocolType::Type1)).unwrap_err();
+        assert!(matches!(err, BuildPacketError::IllegalOpcode { .. }));
+    }
+
+    #[test]
+    fn response_conversion_preserves_data_and_error() {
+        let payload: Vec<u8> = (0..16).map(|i| i * 3).collect();
+        let r = ResponsePacket::ok_with_data(InitiatorId(0), TransactionId(2), &payload, 8, 2);
+        let conv = convert_response(
+            &r,
+            Opcode::load(TransferSize::B16),
+            8,
+            params(4, ProtocolType::Type2),
+        );
+        assert_eq!(conv.len(), 4);
+        assert_eq!(conv.payload(4, 16), payload);
+
+        let e = ResponsePacket::error(InitiatorId(0), TransactionId(2), 2);
+        let conv = convert_response(&e, Opcode::load(TransferSize::B16), 8, params(4, ProtocolType::Type2));
+        assert!(conv.is_error());
+        assert_eq!(conv.len(), 4);
+    }
+
+    #[test]
+    fn ack_response_conversion() {
+        let r = ResponsePacket::ok_ack(InitiatorId(1), TransactionId(0), 2);
+        let conv = convert_response(&r, Opcode::store(TransferSize::B16), 8, params(8, ProtocolType::Type3));
+        assert_eq!(conv.len(), 1);
+        assert!(!conv.is_error());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_size_conversion_round_trips(
+            size_idx in 0usize..7,
+            from_bus_idx in 0usize..6,
+            to_bus_idx in 0usize..6,
+            seed: u64,
+        ) {
+            let size = TransferSize::ALL[size_idx];
+            let from = params(1 << from_bus_idx, ProtocolType::Type2);
+            let to = params(1 << to_bus_idx, ProtocolType::Type2);
+            let payload: Vec<u8> = (0..size.bytes()).map(|i| (seed ^ (i as u64 * 7)) as u8).collect();
+            let p = RequestPacket::build(
+                Opcode::store(size), 0x1000, &payload, from,
+                InitiatorId(0), TransactionId(0), 0, false,
+            ).unwrap();
+            let conv = convert_request(&p, from, to).unwrap();
+            let back = convert_request(&conv, to, from).unwrap();
+            prop_assert_eq!(back.payload(from), payload);
+            prop_assert_eq!(back.len(), p.len());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Error types of the protocol crate.
+
+use std::fmt;
+
+/// A constraint violation detected while building a
+/// [`NodeConfig`](crate::NodeConfig).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// Port count outside 1..=32.
+    PortCount {
+        /// Which port group ("initiators" or "targets").
+        what: &'static str,
+        /// The offending value.
+        got: usize,
+    },
+    /// Bus width not a power of two in 1..=32 bytes.
+    BusWidth {
+        /// The offending value in bytes.
+        got: usize,
+    },
+    /// Pipeline depth above 2.
+    PipeDepth {
+        /// The offending value.
+        got: usize,
+    },
+    /// Partial crossbar with zero lanes.
+    ZeroLanes,
+    /// Split protocol with zero outstanding transactions.
+    ZeroOutstanding,
+    /// Address ranges overlap.
+    AddressOverlap {
+        /// Index of the first overlapping entry.
+        first: usize,
+        /// Index of the second overlapping entry.
+        second: usize,
+    },
+    /// An address-map entry points at a nonexistent target.
+    UnknownTarget {
+        /// The offending target index.
+        target: usize,
+        /// The number of targets in the configuration.
+        n_targets: usize,
+    },
+    /// A target has no address range at all.
+    UnreachableTarget {
+        /// The unreachable target index.
+        target: usize,
+    },
+    /// An address range has zero size.
+    EmptyRange {
+        /// Index of the empty entry.
+        index: usize,
+    },
+    /// An arbiter parameter vector has the wrong length.
+    ArbParamLength {
+        /// Which parameter ("priorities", "deadlines" or "budgets").
+        what: &'static str,
+        /// The provided length.
+        got: usize,
+        /// The required length (`n_initiators`).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::PortCount { what, got } => {
+                write!(f, "number of {what} must be 1..=32, got {got}")
+            }
+            ConfigError::BusWidth { got } => {
+                write!(f, "bus width must be a power of two in 1..=32 bytes, got {got}")
+            }
+            ConfigError::PipeDepth { got } => write!(f, "pipe depth must be 0..=2, got {got}"),
+            ConfigError::ZeroLanes => f.write_str("partial crossbar needs at least one lane"),
+            ConfigError::ZeroOutstanding => {
+                f.write_str("split protocols need max_outstanding >= 1")
+            }
+            ConfigError::AddressOverlap { first, second } => {
+                write!(f, "address ranges {first} and {second} overlap")
+            }
+            ConfigError::UnknownTarget { target, n_targets } => {
+                write!(f, "address map names target {target} but only {n_targets} exist")
+            }
+            ConfigError::UnreachableTarget { target } => {
+                write!(f, "target {target} has no address range")
+            }
+            ConfigError::EmptyRange { index } => write!(f, "address range {index} is empty"),
+            ConfigError::ArbParamLength { what, got, expected } => {
+                write!(f, "arbiter {what} must have {expected} entries, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A failure to construct a packet from its parts.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BuildPacketError {
+    /// The opcode is not legal on the configured protocol type.
+    IllegalOpcode {
+        /// Rendered opcode name.
+        opcode: String,
+    },
+    /// The address is not aligned to the transfer size.
+    Misaligned {
+        /// The offending address.
+        addr: u64,
+        /// The required alignment in bytes.
+        align: usize,
+    },
+    /// Payload length does not match the opcode size.
+    PayloadSize {
+        /// Bytes expected from the opcode.
+        expected: usize,
+        /// Bytes provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for BuildPacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildPacketError::IllegalOpcode { opcode } => {
+                write!(f, "opcode {opcode} is illegal on this protocol type")
+            }
+            BuildPacketError::Misaligned { addr, align } => {
+                write!(f, "address {addr:#x} not aligned to {align} bytes")
+            }
+            BuildPacketError::PayloadSize { expected, got } => {
+                write!(f, "payload must be {expected} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildPacketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(ConfigError::BusWidth { got: 5 }.to_string().contains("5"));
+        assert!(ConfigError::AddressOverlap { first: 0, second: 2 }
+            .to_string()
+            .contains("overlap"));
+        assert!(BuildPacketError::Misaligned { addr: 0x13, align: 4 }
+            .to_string()
+            .contains("0x13"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<ConfigError>();
+        check::<BuildPacketError>();
+    }
+}

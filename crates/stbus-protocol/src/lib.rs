@@ -1,0 +1,53 @@
+//! The STBus protocol model.
+//!
+//! This crate reconstructs, from the description in *"Common Reusable
+//! Verification Environment for BCA and RTL Models"* (Falconeri et al.,
+//! DATE 2004) and the public STBus documentation it cites, everything both
+//! design views and the verification environment need to agree on:
+//!
+//! * [`Opcode`]s and transfer sizes (loads/stores of 1–64 bytes, plus
+//!   read-modify-write, swap, flush and purge),
+//! * the three protocol **types** ([`ProtocolType`]): Type 1 (simple
+//!   synchronous handshake), Type 2 (split transactions, pipelining,
+//!   ordered responses, chunks) and Type 3 (out-of-order responses via
+//!   transaction ids, asymmetric packet lengths),
+//! * request/response [`cell`]s and [`packet`]s and their handshake
+//!   semantics (a cell transfers on a cycle where `req && gnt`),
+//! * [`AddressMap`]s and the [`NodeConfig`] describing one instance of the
+//!   STBus node (ports, bus width, architecture, arbitration, pipelining),
+//! * the six [`arbitration`] policies the node supports,
+//! * size/type [`convert`]ers, and
+//! * the [`rules`] catalogue that the protocol checkers enforce.
+//!
+//! Both the RTL view (`stbus-rtl`) and the BCA view (`stbus-bca`) are built
+//! on these types, which is what makes the common verification environment
+//! (`catg`) literally reusable across the two views.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod arbitration;
+pub mod cell;
+pub mod config;
+pub mod convert;
+pub mod error;
+pub mod opcode;
+pub mod packet;
+pub mod port;
+pub mod rules;
+pub mod transaction;
+
+pub use address::{AddressMap, AddressRange};
+pub use arbitration::{make_arbiter, Arbiter, ArbiterParams, ArbitrationKind};
+pub use cell::{CellData, InitiatorId, ReqCell, RspCell, RspKind, TargetId, TransactionId};
+pub use config::{Architecture, Endianness, NodeConfig, NodeConfigBuilder, ProtocolType};
+pub use error::{BuildPacketError, ConfigError};
+pub use opcode::{OpKind, Opcode, TransferSize};
+pub use packet::{PacketParams, RequestPacket, ResponsePacket};
+pub use port::{
+    DutInputs, DutOutputs, DutView, InitiatorPortIn, InitiatorPortOut, ProgCommand, TargetPortIn,
+    TargetPortOut, ViewKind,
+};
+pub use rules::RuleId;
+pub use transaction::Transaction;

@@ -1,0 +1,320 @@
+//! STBus opcodes and transfer sizes.
+
+use crate::config::ProtocolType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A power-of-two transfer size between 1 and 64 bytes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum TransferSize {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+    /// 16 bytes.
+    B16,
+    /// 32 bytes.
+    B32,
+    /// 64 bytes.
+    B64,
+}
+
+impl TransferSize {
+    /// All sizes, smallest first.
+    pub const ALL: [TransferSize; 7] = [
+        TransferSize::B1,
+        TransferSize::B2,
+        TransferSize::B4,
+        TransferSize::B8,
+        TransferSize::B16,
+        TransferSize::B32,
+        TransferSize::B64,
+    ];
+
+    /// The size in bytes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            TransferSize::B1 => 1,
+            TransferSize::B2 => 2,
+            TransferSize::B4 => 4,
+            TransferSize::B8 => 8,
+            TransferSize::B16 => 16,
+            TransferSize::B32 => 32,
+            TransferSize::B64 => 64,
+        }
+    }
+
+    /// The size whose byte count is `bytes`, if it is a legal STBus size.
+    pub fn from_bytes(bytes: usize) -> Option<Self> {
+        TransferSize::ALL.into_iter().find(|s| s.bytes() == bytes)
+    }
+
+    /// log2 of the byte count; used for address-alignment checks.
+    pub const fn log2_bytes(self) -> u32 {
+        self.bytes().trailing_zeros()
+    }
+}
+
+impl fmt::Display for TransferSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bytes())
+    }
+}
+
+/// The operation class of an [`Opcode`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Read `size` bytes; the response carries the data.
+    Load,
+    /// Write `size` bytes; the request carries the data.
+    Store,
+    /// Atomic read-modify-write: request carries data, response carries the
+    /// old memory content.
+    ReadModifyWrite,
+    /// Atomic swap: request carries data, response carries the old content.
+    Swap,
+    /// Cache-management hint; no data either way.
+    Flush,
+    /// Cache-management hint; no data either way.
+    Purge,
+}
+
+impl OpKind {
+    /// All kinds.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::ReadModifyWrite,
+        OpKind::Swap,
+        OpKind::Flush,
+        OpKind::Purge,
+    ];
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Load => "LD",
+            OpKind::Store => "ST",
+            OpKind::ReadModifyWrite => "RMW",
+            OpKind::Swap => "SWAP",
+            OpKind::Flush => "FLUSH",
+            OpKind::Purge => "PURGE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An STBus operation code: a kind plus a transfer size.
+///
+/// ```
+/// use stbus_protocol::{Opcode, OpKind, TransferSize};
+/// let op = Opcode::load(TransferSize::B32);
+/// assert_eq!(op.to_string(), "LD32");
+/// assert!(op.has_response_data());
+/// assert!(!op.has_request_data());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Opcode {
+    kind: OpKind,
+    size: TransferSize,
+}
+
+impl Opcode {
+    /// A load of `size` bytes.
+    pub const fn load(size: TransferSize) -> Self {
+        Opcode {
+            kind: OpKind::Load,
+            size,
+        }
+    }
+
+    /// A store of `size` bytes.
+    pub const fn store(size: TransferSize) -> Self {
+        Opcode {
+            kind: OpKind::Store,
+            size,
+        }
+    }
+
+    /// An arbitrary opcode.
+    pub const fn new(kind: OpKind, size: TransferSize) -> Self {
+        Opcode { kind, size }
+    }
+
+    /// The operation class.
+    pub const fn kind(self) -> OpKind {
+        self.kind
+    }
+
+    /// The transfer size.
+    pub const fn size(self) -> TransferSize {
+        self.size
+    }
+
+    /// True when the *request* packet carries data cells.
+    pub const fn has_request_data(self) -> bool {
+        matches!(
+            self.kind,
+            OpKind::Store | OpKind::ReadModifyWrite | OpKind::Swap
+        )
+    }
+
+    /// True when the *response* packet carries data cells.
+    pub const fn has_response_data(self) -> bool {
+        matches!(
+            self.kind,
+            OpKind::Load | OpKind::ReadModifyWrite | OpKind::Swap
+        )
+    }
+
+    /// True when the operation writes memory.
+    pub const fn writes_memory(self) -> bool {
+        matches!(
+            self.kind,
+            OpKind::Store | OpKind::ReadModifyWrite | OpKind::Swap
+        )
+    }
+
+    /// Whether this opcode may appear on an interface of the given
+    /// [`ProtocolType`].
+    ///
+    /// Type 1 is "a simple synchronous handshake protocol with a limited
+    /// set of available command types": loads and stores up to 8 bytes.
+    /// Types 2 and 3 allow the full set, with sizes up to 64 bytes.
+    pub fn legal_for(self, protocol: ProtocolType) -> bool {
+        match protocol {
+            ProtocolType::Type1 => {
+                matches!(self.kind, OpKind::Load | OpKind::Store) && self.size.bytes() <= 8
+            }
+            ProtocolType::Type2 | ProtocolType::Type3 => true,
+        }
+    }
+
+    /// Every opcode legal on the given protocol type.
+    pub fn all_for(protocol: ProtocolType) -> Vec<Opcode> {
+        let mut out = Vec::new();
+        for kind in OpKind::ALL {
+            for size in TransferSize::ALL {
+                let op = Opcode::new(kind, size);
+                if op.legal_for(protocol) {
+                    out.push(op);
+                }
+            }
+        }
+        out
+    }
+
+    /// A compact numeric encoding (for waveform dumping): kind in the top
+    /// three bits, log2(size) in the bottom three.
+    pub const fn encode(self) -> u8 {
+        let k = match self.kind {
+            OpKind::Load => 0u8,
+            OpKind::Store => 1,
+            OpKind::ReadModifyWrite => 2,
+            OpKind::Swap => 3,
+            OpKind::Flush => 4,
+            OpKind::Purge => 5,
+        };
+        (k << 3) | (self.size.log2_bytes() as u8)
+    }
+
+    /// Decodes [`Opcode::encode`].
+    pub fn decode(byte: u8) -> Option<Opcode> {
+        let kind = match byte >> 3 {
+            0 => OpKind::Load,
+            1 => OpKind::Store,
+            2 => OpKind::ReadModifyWrite,
+            3 => OpKind::Swap,
+            4 => OpKind::Flush,
+            5 => OpKind::Purge,
+            _ => return None,
+        };
+        let size = TransferSize::from_bytes(1usize.checked_shl((byte & 7) as u32)?)?;
+        Some(Opcode { kind, size })
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.kind, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sizes_are_powers_of_two() {
+        for s in TransferSize::ALL {
+            assert!(s.bytes().is_power_of_two());
+            assert_eq!(TransferSize::from_bytes(s.bytes()), Some(s));
+            assert_eq!(1usize << s.log2_bytes(), s.bytes());
+        }
+        assert_eq!(TransferSize::from_bytes(3), None);
+        assert_eq!(TransferSize::from_bytes(128), None);
+    }
+
+    #[test]
+    fn display_matches_stbus_mnemonics() {
+        assert_eq!(Opcode::load(TransferSize::B1).to_string(), "LD1");
+        assert_eq!(Opcode::store(TransferSize::B64).to_string(), "ST64");
+        assert_eq!(
+            Opcode::new(OpKind::ReadModifyWrite, TransferSize::B4).to_string(),
+            "RMW4"
+        );
+    }
+
+    #[test]
+    fn data_direction_flags() {
+        assert!(Opcode::store(TransferSize::B8).has_request_data());
+        assert!(!Opcode::store(TransferSize::B8).has_response_data());
+        assert!(Opcode::load(TransferSize::B8).has_response_data());
+        let rmw = Opcode::new(OpKind::ReadModifyWrite, TransferSize::B4);
+        assert!(rmw.has_request_data() && rmw.has_response_data());
+        let flush = Opcode::new(OpKind::Flush, TransferSize::B4);
+        assert!(!flush.has_request_data() && !flush.has_response_data());
+    }
+
+    #[test]
+    fn type1_restricts_opcodes() {
+        assert!(Opcode::load(TransferSize::B8).legal_for(ProtocolType::Type1));
+        assert!(!Opcode::load(TransferSize::B16).legal_for(ProtocolType::Type1));
+        assert!(!Opcode::new(OpKind::Swap, TransferSize::B4).legal_for(ProtocolType::Type1));
+        assert!(Opcode::new(OpKind::Swap, TransferSize::B4).legal_for(ProtocolType::Type2));
+        assert_eq!(Opcode::all_for(ProtocolType::Type1).len(), 8); // LD/ST x 1,2,4,8
+        assert_eq!(Opcode::all_for(ProtocolType::Type3).len(), 42); // 6 kinds x 7 sizes
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all() {
+        for kind in OpKind::ALL {
+            for size in TransferSize::ALL {
+                let op = Opcode::new(kind, size);
+                assert_eq!(Opcode::decode(op.encode()), Some(op));
+            }
+        }
+        assert_eq!(Opcode::decode(0xFF), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_never_panics(b: u8) {
+            let _ = Opcode::decode(b);
+        }
+
+        #[test]
+        fn prop_writes_memory_iff_request_data_for_basic_ops(k in 0usize..6, s in 0usize..7) {
+            let op = Opcode::new(OpKind::ALL[k], TransferSize::ALL[s]);
+            // In this model the ops that carry request data are exactly the
+            // memory-writing ones.
+            prop_assert_eq!(op.has_request_data(), op.writes_memory());
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The port-level DUT interface shared by the two design views.
+//!
+//! In the paper, the RTL model plugs into the testbench through a VHDL
+//! wrapper and the SystemC BCA model through a VHDL-wrapper-around-SystemC
+//! (Figure 3) — both ending up with the *same* signal-level interface. In
+//! this reproduction that interface is the [`DutView`] trait: one `step`
+//! per clock cycle over sampled port signals. `stbus-rtl` and `stbus-bca`
+//! both implement it, so the whole environment (harnesses, monitors,
+//! checkers, scoreboard, coverage, VCD dump) is literally identical across
+//! views.
+//!
+//! Signal-sampling model:
+//!
+//! * the testbench (BFMs) drives all [`DutInputs`] for cycle *N* as
+//!   registered (Moore) outputs decided from history up to cycle *N-1*;
+//! * [`DutView::step`] computes the node's cycle-*N*
+//!   [`DutOutputs`], which may depend combinationally on the inputs (the
+//!   grant path of a real node is combinational);
+//! * a request cell transfers at a port on cycle *N* iff `req && gnt`
+//!   there; a response cell iff `r_req && r_gnt`;
+//! * idle wires hold their last value, as registered hardware outputs do.
+
+use crate::cell::{InitiatorId, ReqCell, RspCell, TransactionId};
+use crate::config::NodeConfig;
+use crate::opcode::{Opcode, TransferSize};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+impl Default for Opcode {
+    /// The idle-wire value: `LD1`.
+    fn default() -> Self {
+        Opcode::load(TransferSize::B1)
+    }
+}
+
+impl Default for ReqCell {
+    fn default() -> Self {
+        ReqCell::new(0, Opcode::default(), InitiatorId(0))
+    }
+}
+
+impl Default for RspCell {
+    fn default() -> Self {
+        RspCell::ok(InitiatorId(0), TransactionId(0), false)
+    }
+}
+
+/// Signals driven *into* the node at one initiator port (by the initiator).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct InitiatorPortIn {
+    /// Request valid.
+    pub req: bool,
+    /// The request cell on the wires (meaningful while `req`).
+    pub cell: ReqCell,
+    /// Initiator ready to accept a response cell this cycle.
+    pub r_gnt: bool,
+}
+
+/// Signals driven *out of* the node at one initiator port (to the
+/// initiator).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct InitiatorPortOut {
+    /// Request grant: the presented cell transfers this cycle.
+    pub gnt: bool,
+    /// Response valid.
+    pub r_req: bool,
+    /// The response cell on the wires (meaningful while `r_req`).
+    pub r_cell: RspCell,
+}
+
+/// Signals driven *into* the node at one target port (by the target).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct TargetPortIn {
+    /// Target accepts the presented request cell this cycle.
+    pub gnt: bool,
+    /// Response valid.
+    pub r_req: bool,
+    /// The response cell on the wires (meaningful while `r_req`).
+    pub r_cell: RspCell,
+}
+
+/// Signals driven *out of* the node at one target port (to the target).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct TargetPortOut {
+    /// Request valid toward the target.
+    pub req: bool,
+    /// The forwarded request cell (meaningful while `req`).
+    pub cell: ReqCell,
+    /// Node ready to accept a response cell this cycle.
+    pub r_gnt: bool,
+}
+
+/// A write to the node's optional programming port: new arbitration
+/// priorities per initiator.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ProgCommand {
+    /// New priority per initiator (higher wins).
+    pub priorities: Vec<u8>,
+}
+
+/// All inputs the node samples on one clock cycle.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DutInputs {
+    /// One entry per initiator port.
+    pub initiator: Vec<InitiatorPortIn>,
+    /// One entry per target port.
+    pub target: Vec<TargetPortIn>,
+    /// Programming-port write, if any this cycle.
+    pub prog: Option<ProgCommand>,
+}
+
+impl DutInputs {
+    /// All-idle inputs for a configuration.
+    pub fn idle(config: &NodeConfig) -> Self {
+        DutInputs {
+            initiator: vec![InitiatorPortIn::default(); config.n_initiators],
+            target: vec![TargetPortIn::default(); config.n_targets],
+            prog: None,
+        }
+    }
+}
+
+/// All outputs the node produces on one clock cycle.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DutOutputs {
+    /// One entry per initiator port.
+    pub initiator: Vec<InitiatorPortOut>,
+    /// One entry per target port.
+    pub target: Vec<TargetPortOut>,
+}
+
+impl DutOutputs {
+    /// All-idle outputs for a configuration.
+    pub fn idle(config: &NodeConfig) -> Self {
+        DutOutputs {
+            initiator: vec![InitiatorPortOut::default(); config.n_initiators],
+            target: vec![TargetPortOut::default(); config.n_targets],
+        }
+    }
+}
+
+/// Which design view a [`DutView`] implementation is.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ViewKind {
+    /// The cycle-accurate signal-level model (`stbus-rtl`).
+    Rtl,
+    /// The bus-cycle-accurate transactional model (`stbus-bca`).
+    Bca,
+}
+
+impl fmt::Display for ViewKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewKind::Rtl => f.write_str("RTL"),
+            ViewKind::Bca => f.write_str("BCA"),
+        }
+    }
+}
+
+/// A pluggable design view of the STBus node.
+///
+/// This trait is the Rust equivalent of the paper's wrapper files: the
+/// single seam between the common verification environment and either
+/// model. Implementations must be deterministic: the same input sequence
+/// after `reset` must produce the same output sequence.
+pub trait DutView {
+    /// The configuration this instance was elaborated with.
+    fn config(&self) -> &NodeConfig;
+
+    /// Which view this is.
+    fn view_kind(&self) -> ViewKind;
+
+    /// Returns to the post-reset state.
+    fn reset(&mut self);
+
+    /// Advances one clock cycle: samples `inputs`, returns this cycle's
+    /// outputs.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `inputs` port counts do not match the
+    /// configuration.
+    fn step(&mut self, inputs: &DutInputs) -> DutOutputs;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_shapes_match_config() {
+        let cfg = NodeConfig::reference();
+        let i = DutInputs::idle(&cfg);
+        let o = DutOutputs::idle(&cfg);
+        assert_eq!(i.initiator.len(), 3);
+        assert_eq!(i.target.len(), 2);
+        assert_eq!(o.initiator.len(), 3);
+        assert_eq!(o.target.len(), 2);
+        assert!(i.prog.is_none());
+        assert!(!i.initiator[0].req);
+        assert!(!o.target[0].req);
+    }
+
+    #[test]
+    fn defaults_are_idle() {
+        let c = ReqCell::default();
+        assert_eq!(c.addr, 0);
+        assert_eq!(c.opcode, Opcode::load(TransferSize::B1));
+        let r = RspCell::default();
+        assert!(!r.eop);
+    }
+
+    #[test]
+    fn view_kind_display() {
+        assert_eq!(ViewKind::Rtl.to_string(), "RTL");
+        assert_eq!(ViewKind::Bca.to_string(), "BCA");
+    }
+}

@@ -1,0 +1,151 @@
+//! The protocol rule catalogue enforced by the interface checkers.
+//!
+//! Each rule has a stable identifier so checker reports, coverage reports
+//! and the experiment tables all speak the same language. The checkers in
+//! `catg` implement the actual monitoring; this module is the single
+//! source of truth for what the rules *are*.
+
+use crate::config::ProtocolType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one interface protocol rule.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RuleId {
+    /// While `req` is high and `gnt` low, the request cell must hold
+    /// stable.
+    ReqStable,
+    /// `eop` must be asserted exactly on the last cell of each packet, as
+    /// implied by the opcode and bus width.
+    EopPosition,
+    /// The opcode must be legal for the interface's protocol type.
+    OpcodeLegal,
+    /// The packet address must be aligned to the transfer size.
+    AddrAligned,
+    /// Type 1/2: responses must arrive in request order per initiator.
+    OrderedResponse,
+    /// Type 3: every response `tid` must match an outstanding request.
+    TidMatch,
+    /// Cells of a locked chunk must not interleave with other sources at a
+    /// target port.
+    ChunkAtomic,
+    /// Byte enables must match the opcode footprint.
+    ByteEnable,
+    /// The response packet length must match the opcode and protocol type.
+    RspLength,
+    /// No response may arrive for which no request is outstanding.
+    OrphanResponse,
+    /// Type 1/2/3 handshake: a grant only makes sense while requested
+    /// (monitored as: a transfer happens only on `req && gnt`).
+    GrantWithoutReq,
+    /// While `r_req` is high and `r_gnt` low, the response cell must hold
+    /// stable.
+    RspStable,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 12] = [
+        RuleId::ReqStable,
+        RuleId::EopPosition,
+        RuleId::OpcodeLegal,
+        RuleId::AddrAligned,
+        RuleId::OrderedResponse,
+        RuleId::TidMatch,
+        RuleId::ChunkAtomic,
+        RuleId::ByteEnable,
+        RuleId::RspLength,
+        RuleId::OrphanResponse,
+        RuleId::GrantWithoutReq,
+        RuleId::RspStable,
+    ];
+
+    /// A one-line description for reports.
+    pub const fn description(self) -> &'static str {
+        match self {
+            RuleId::ReqStable => "request cell stable while req && !gnt",
+            RuleId::EopPosition => "eop exactly on the last cell of each packet",
+            RuleId::OpcodeLegal => "opcode legal for the interface protocol type",
+            RuleId::AddrAligned => "address aligned to the transfer size",
+            RuleId::OrderedResponse => "responses in request order (Type 1/2)",
+            RuleId::TidMatch => "response tid matches an outstanding request (Type 3)",
+            RuleId::ChunkAtomic => "locked chunks not interleaved at the target",
+            RuleId::ByteEnable => "byte enables match the opcode footprint",
+            RuleId::RspLength => "response packet length matches opcode",
+            RuleId::OrphanResponse => "no response without an outstanding request",
+            RuleId::GrantWithoutReq => "transfers only on req && gnt",
+            RuleId::RspStable => "response cell stable while r_req && !r_gnt",
+        }
+    }
+
+    /// Whether the rule is meaningful on the given protocol type.
+    pub fn applies_to(self, protocol: ProtocolType) -> bool {
+        match self {
+            RuleId::OrderedResponse => !protocol.allows_out_of_order(),
+            RuleId::TidMatch => protocol.allows_out_of_order(),
+            RuleId::ChunkAtomic => protocol.split_transactions(),
+            _ => true,
+        }
+    }
+
+    /// The rules active on a protocol type.
+    pub fn active_for(protocol: ProtocolType) -> Vec<RuleId> {
+        RuleId::ALL
+            .into_iter()
+            .filter(|r| r.applies_to(protocol))
+            .collect()
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuleId::ReqStable => "R-REQ-STABLE",
+            RuleId::EopPosition => "R-EOP",
+            RuleId::OpcodeLegal => "R-OPC",
+            RuleId::AddrAligned => "R-ALIGN",
+            RuleId::OrderedResponse => "R-ORDER",
+            RuleId::TidMatch => "R-TID",
+            RuleId::ChunkAtomic => "R-CHUNK",
+            RuleId::ByteEnable => "R-BE",
+            RuleId::RspLength => "R-RSP-LEN",
+            RuleId::OrphanResponse => "R-ORPHAN",
+            RuleId::GrantWithoutReq => "R-GNT",
+            RuleId::RspStable => "R-RSP-STABLE",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_has_description_and_name() {
+        for r in RuleId::ALL {
+            assert!(!r.description().is_empty());
+            assert!(r.to_string().starts_with("R-"));
+        }
+    }
+
+    #[test]
+    fn ordering_rules_split_by_protocol() {
+        assert!(RuleId::OrderedResponse.applies_to(ProtocolType::Type2));
+        assert!(!RuleId::OrderedResponse.applies_to(ProtocolType::Type3));
+        assert!(RuleId::TidMatch.applies_to(ProtocolType::Type3));
+        assert!(!RuleId::TidMatch.applies_to(ProtocolType::Type2));
+        assert!(!RuleId::ChunkAtomic.applies_to(ProtocolType::Type1));
+    }
+
+    #[test]
+    fn active_sets_are_consistent() {
+        let t2 = RuleId::active_for(ProtocolType::Type2);
+        let t3 = RuleId::active_for(ProtocolType::Type3);
+        assert!(t2.contains(&RuleId::OrderedResponse));
+        assert!(t3.contains(&RuleId::TidMatch));
+        // Exactly one of the two ordering rules is active on each type.
+        assert_eq!(t2.len(), t3.len());
+        assert_eq!(t2.len(), 11);
+    }
+}

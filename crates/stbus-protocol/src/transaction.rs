@@ -1,0 +1,113 @@
+//! Whole transactions: a request packet paired with its response and the
+//! cycle timestamps the monitors attach.
+
+use crate::cell::{InitiatorId, TargetId, TransactionId};
+use crate::packet::{RequestPacket, ResponsePacket};
+use serde::{Deserialize, Serialize};
+
+/// A request/response pair as observed at an interface, with timing.
+///
+/// Monitors produce these; the scoreboard, the functional-coverage model
+/// and the bus analyzer consume them.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Transaction {
+    /// The request packet.
+    pub request: RequestPacket,
+    /// The response packet, once observed (`None` while outstanding).
+    pub response: Option<ResponsePacket>,
+    /// The target the request decodes to (`None` for unmapped addresses).
+    pub target: Option<TargetId>,
+    /// Cycle on which the first request cell was granted.
+    pub request_start: u64,
+    /// Cycle on which the last request cell was granted.
+    pub request_end: u64,
+    /// Cycle of the first response cell (0 while outstanding).
+    pub response_start: u64,
+    /// Cycle of the last response cell (0 while outstanding).
+    pub response_end: u64,
+}
+
+impl Transaction {
+    /// Creates an outstanding transaction from a completed request packet.
+    pub fn outstanding(request: RequestPacket, target: Option<TargetId>, start: u64, end: u64) -> Self {
+        Transaction {
+            request,
+            response: None,
+            target,
+            request_start: start,
+            request_end: end,
+            response_start: 0,
+            response_end: 0,
+        }
+    }
+
+    /// The issuing initiator.
+    pub fn src(&self) -> InitiatorId {
+        self.request.src()
+    }
+
+    /// The transaction id.
+    pub fn tid(&self) -> TransactionId {
+        self.request.tid()
+    }
+
+    /// True once the response completed.
+    pub fn is_complete(&self) -> bool {
+        self.response.is_some()
+    }
+
+    /// End-to-end latency in cycles (first request cell to last response
+    /// cell), or `None` while outstanding.
+    pub fn latency(&self) -> Option<u64> {
+        self.response.as_ref()?;
+        Some(self.response_end.saturating_sub(self.request_start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::InitiatorId;
+    use crate::config::{Endianness, ProtocolType};
+    use crate::opcode::{Opcode, TransferSize};
+    use crate::packet::PacketParams;
+
+    fn make_request() -> RequestPacket {
+        RequestPacket::build(
+            Opcode::load(TransferSize::B8),
+            0x0,
+            &[],
+            PacketParams {
+                bus_bytes: 8,
+                protocol: ProtocolType::Type3,
+                endianness: Endianness::Little,
+            },
+            InitiatorId(1),
+            TransactionId(4),
+            0,
+            false,
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn outstanding_then_complete() {
+        let mut t = Transaction::outstanding(make_request(), Some(TargetId(0)), 10, 10);
+        assert!(!t.is_complete());
+        assert_eq!(t.latency(), None);
+        assert_eq!(t.src(), InitiatorId(1));
+        assert_eq!(t.tid(), TransactionId(4));
+
+        t.response = Some(ResponsePacket::ok_with_data(
+            InitiatorId(1),
+            TransactionId(4),
+            &[0; 8],
+            8,
+            1,
+        ));
+        t.response_start = 14;
+        t.response_end = 14;
+        assert!(t.is_complete());
+        assert_eq!(t.latency(), Some(4));
+    }
+}

@@ -1,0 +1,43 @@
+//! The RTL view of the STBus node.
+//!
+//! This crate plays the role of the VHDL design in the paper: a
+//! cycle-accurate, signal-level model of the STBus node elaborated onto the
+//! [`sim_kernel`] event-driven simulator. Every interface field is a real
+//! kernel signal; the node body is a combinational mega-process (the
+//! request and response paths) plus a clocked state process, exactly the
+//! evaluate/commit split of synthesizable RTL.
+//!
+//! The micro-architecture implemented here (and independently re-implemented
+//! by the transactional BCA view in `stbus-bca`) is:
+//!
+//! * per-target request arbiters and per-initiator response arbiters, all
+//!   instances of the shared [`stbus_protocol::arbitration`] policies;
+//! * combinational grant path: a request cell presented on cycle *N* can be
+//!   forwarded to its target and granted on cycle *N* (pipe depth 0), or
+//!   pass through a per-initiator skid FIFO (pipe depth 1–2);
+//! * architecture lane limits: shared bus = 1 concurrent route, partial
+//!   crossbar = `lanes`, full crossbar = one per target;
+//! * packet route locking, chunk (`lock`) ownership, per-initiator
+//!   outstanding-transaction limits, Type 2 ordered responses, Type 3
+//!   out-of-order responses, and an internal error responder for unmapped
+//!   addresses;
+//! * an optional programming port that rewrites arbitration priorities.
+//!
+//! Because the node runs on the event kernel with per-field signals and
+//! delta cycles, it simulates an order of magnitude slower than the BCA
+//! view — the very gap the paper's introduction motivates BCA models with.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod converters;
+mod node;
+mod register_decoder;
+mod signals;
+mod spec;
+mod trace;
+
+pub use converters::{SizeConverter, TypeConverter};
+pub use node::RtlNode;
+pub use register_decoder::{RegisterDecoder, RegisterFile};
+pub use spec::{ErrResponse, NodeSpec, NodeState, OutstandingTx, Plan, ProbePoint, Route, ERROR_RESPONSE_LATENCY};

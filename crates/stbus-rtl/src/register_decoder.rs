@@ -1,0 +1,214 @@
+//! The register decoder: a simple Type 1-style register-file target.
+//!
+//! One of the four basic STBus components (paper §3). It serves a small
+//! register window with single-cycle reads and writes; useful as a
+//! peripheral target in interconnect examples and as the backing store of
+//! the node's programming interface in larger systems.
+
+use stbus_protocol::packet::{response_cells, PacketParams, RequestPacket, ResponsePacket};
+
+/// A byte-addressable register file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegisterFile {
+    base: u64,
+    bytes: Vec<u8>,
+}
+
+impl RegisterFile {
+    /// A file of `size` bytes based at `base`.
+    pub fn new(base: u64, size: usize) -> Self {
+        RegisterFile {
+            base,
+            bytes: vec![0; size],
+        }
+    }
+
+    /// The base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the file has no registers.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// True when `[addr, addr+len)` falls inside the file.
+    pub fn covers(&self, addr: u64, len: usize) -> bool {
+        addr >= self.base && (addr - self.base) as usize + len <= self.bytes.len()
+    }
+
+    /// Reads `len` bytes at `addr`, or `None` when out of range.
+    pub fn read(&self, addr: u64, len: usize) -> Option<Vec<u8>> {
+        if !self.covers(addr, len) {
+            return None;
+        }
+        let off = (addr - self.base) as usize;
+        Some(self.bytes[off..off + len].to_vec())
+    }
+
+    /// Writes bytes at `addr`; returns false (and writes nothing) when out
+    /// of range.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> bool {
+        if !self.covers(addr, data.len()) {
+            return false;
+        }
+        let off = (addr - self.base) as usize;
+        self.bytes[off..off + data.len()].copy_from_slice(data);
+        true
+    }
+}
+
+/// A register-decoder target: executes request packets against a
+/// [`RegisterFile`] and produces the protocol-correct response packet.
+#[derive(Clone, Debug)]
+pub struct RegisterDecoder {
+    file: RegisterFile,
+    params: PacketParams,
+}
+
+impl RegisterDecoder {
+    /// A decoder over `file` speaking the given interface parameters.
+    pub fn new(file: RegisterFile, params: PacketParams) -> Self {
+        RegisterDecoder { file, params }
+    }
+
+    /// The backing register file.
+    pub fn file(&self) -> &RegisterFile {
+        &self.file
+    }
+
+    /// Executes one request packet, mutating registers on writes, and
+    /// returns the response packet (an error response for out-of-range
+    /// accesses).
+    pub fn execute(&mut self, request: &RequestPacket) -> ResponsePacket {
+        let opcode = request.opcode();
+        let size = opcode.size().bytes();
+        let addr = request.addr();
+        let src = request.src();
+        let tid = request.tid();
+        let n_cells = response_cells(opcode, self.params.protocol, self.params.bus_bytes);
+
+        if !self.file.covers(addr, size) {
+            return ResponsePacket::error(src, tid, n_cells);
+        }
+        let old = self.file.read(addr, size).expect("covered");
+        if opcode.writes_memory() {
+            let data = request.payload(self.params);
+            self.file.write(addr, &data);
+        }
+        if opcode.has_response_data() {
+            // Loads return the current value; atomics return the old one.
+            ResponsePacket::ok_with_data(src, tid, &old, self.params.bus_bytes, n_cells)
+        } else {
+            ResponsePacket::ok_ack(src, tid, n_cells)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stbus_protocol::{
+        Endianness, InitiatorId, OpKind, Opcode, ProtocolType, TransactionId, TransferSize,
+    };
+
+    fn params() -> PacketParams {
+        PacketParams {
+            bus_bytes: 4,
+            protocol: ProtocolType::Type1,
+            endianness: Endianness::Little,
+        }
+    }
+
+    fn build(op: Opcode, addr: u64, payload: &[u8]) -> RequestPacket {
+        RequestPacket::build(op, addr, payload, params(), InitiatorId(0), TransactionId(0), 0, false)
+            .expect("valid")
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut dec = RegisterDecoder::new(RegisterFile::new(0x1000, 64), params());
+        let w = build(Opcode::store(TransferSize::B4), 0x1010, &[1, 2, 3, 4]);
+        let rsp = dec.execute(&w);
+        assert!(!rsp.is_error());
+        let r = build(Opcode::load(TransferSize::B4), 0x1010, &[]);
+        let rsp = dec.execute(&r);
+        assert_eq!(rsp.payload(4, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let mut dec = RegisterDecoder::new(RegisterFile::new(0x1000, 16), params());
+        let r = build(Opcode::load(TransferSize::B4), 0x2000, &[]);
+        assert!(dec.execute(&r).is_error());
+        // Straddling the top edge is also out of range.
+        let r = build(Opcode::load(TransferSize::B8), 0x1008, &[]);
+        assert!(!dec.execute(&r).is_error());
+        let r2 = RequestPacket::build(
+            Opcode::load(TransferSize::B8),
+            0x1010,
+            &[],
+            params(),
+            InitiatorId(0),
+            TransactionId(0),
+            0,
+            false,
+        )
+        .unwrap();
+        assert!(dec.execute(&r2).is_error());
+    }
+
+    #[test]
+    fn rmw_returns_old_value_and_writes_new() {
+        let p = PacketParams {
+            bus_bytes: 4,
+            protocol: ProtocolType::Type2,
+            endianness: Endianness::Little,
+        };
+        let mut dec = RegisterDecoder::new(RegisterFile::new(0, 16), p);
+        let init = RequestPacket::build(
+            Opcode::store(TransferSize::B4),
+            0,
+            &[5, 5, 5, 5],
+            p,
+            InitiatorId(0),
+            TransactionId(0),
+            0,
+            false,
+        )
+        .unwrap();
+        dec.execute(&init);
+        let rmw = RequestPacket::build(
+            Opcode::new(OpKind::ReadModifyWrite, TransferSize::B4),
+            0,
+            &[9, 9, 9, 9],
+            p,
+            InitiatorId(0),
+            TransactionId(1),
+            0,
+            false,
+        )
+        .unwrap();
+        let rsp = dec.execute(&rmw);
+        assert_eq!(rsp.payload(4, 4), vec![5, 5, 5, 5]); // old value
+        assert_eq!(dec.file().read(0, 4).unwrap(), vec![9, 9, 9, 9]); // new
+    }
+
+    #[test]
+    fn register_file_bounds() {
+        let mut f = RegisterFile::new(0x100, 8);
+        assert_eq!(f.len(), 8);
+        assert!(!f.is_empty());
+        assert!(f.write(0x100, &[1; 8]));
+        assert!(!f.write(0x100, &[1; 9]));
+        assert!(!f.write(0xFF, &[1]));
+        assert_eq!(f.read(0x104, 4), Some(vec![1; 4]));
+        assert_eq!(f.read(0x105, 4), None);
+    }
+}

@@ -1,0 +1,46 @@
+//! VCD parse errors.
+
+use std::fmt;
+
+/// An error encountered while parsing a VCD document.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseVcdError {
+    /// 1-based line number of the offending token.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseVcdError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseVcdError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseVcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vcd parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseVcdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseVcdError::new(12, "bad token");
+        assert_eq!(e.to_string(), "vcd parse error at line 12: bad token");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<ParseVcdError>();
+    }
+}

@@ -1,0 +1,220 @@
+//! VCD value representations.
+
+use std::fmt;
+
+/// A single VCD scalar value character.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Scalar {
+    /// `0`
+    #[default]
+    V0,
+    /// `1`
+    V1,
+    /// `x`
+    X,
+    /// `z`
+    Z,
+}
+
+impl Scalar {
+    /// The VCD character.
+    pub const fn to_char(self) -> char {
+        match self {
+            Scalar::V0 => '0',
+            Scalar::V1 => '1',
+            Scalar::X => 'x',
+            Scalar::Z => 'z',
+        }
+    }
+
+    /// Parses one VCD value character (case-insensitive for x/z).
+    pub fn from_char(c: char) -> Option<Self> {
+        match c {
+            '0' => Some(Scalar::V0),
+            '1' => Some(Scalar::V1),
+            'x' | 'X' => Some(Scalar::X),
+            'z' | 'Z' => Some(Scalar::Z),
+            _ => None,
+        }
+    }
+
+    /// Converts a bool.
+    pub const fn from_bool(b: bool) -> Self {
+        if b {
+            Scalar::V1
+        } else {
+            Scalar::V0
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// A (possibly vector) value attached to a change record.
+///
+/// Bit 0 of `bits` is the least-significant bit.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct VcdValue {
+    bits: Vec<Scalar>,
+}
+
+impl VcdValue {
+    /// A scalar value.
+    pub fn scalar(s: Scalar) -> Self {
+        VcdValue { bits: vec![s] }
+    }
+
+    /// All-`x` of the given width (the VCD initial state).
+    pub fn unknown(width: usize) -> Self {
+        VcdValue {
+            bits: vec![Scalar::X; width.max(1)],
+        }
+    }
+
+    /// From the low `width` bits of an integer.
+    pub fn from_u64(v: u64, width: usize) -> Self {
+        let width = width.max(1);
+        VcdValue {
+            bits: (0..width)
+                .map(|i| Scalar::from_bool(i < 64 && (v >> i) & 1 == 1))
+                .collect(),
+        }
+    }
+
+    /// Parses the MSB-first binary literal body (after `b`).
+    pub fn from_binary_str(s: &str) -> Option<Self> {
+        let mut bits: Vec<Scalar> = s.chars().map(Scalar::from_char).collect::<Option<_>>()?;
+        if bits.is_empty() {
+            return None;
+        }
+        bits.reverse(); // stored LSB-first
+        Some(VcdValue { bits })
+    }
+
+    /// The number of bits stored.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Bit `i`, LSB first; out-of-range bits read as `V0` (VCD
+    /// left-extension rule for `0`/`1` values).
+    pub fn bit(&self, i: usize) -> Scalar {
+        self.bits.get(i).copied().unwrap_or_else(|| {
+            // VCD extends with the MSB for x/z, with 0 otherwise.
+            match self.bits.last() {
+                Some(Scalar::X) => Scalar::X,
+                Some(Scalar::Z) => Scalar::Z,
+                _ => Scalar::V0,
+            }
+        })
+    }
+
+    /// Interprets as an integer when every bit is 0/1 and width ≤ 64.
+    pub fn as_u64(&self) -> Option<u64> {
+        let mut out = 0u64;
+        for (i, b) in self.bits.iter().enumerate() {
+            match b {
+                Scalar::V1 if i < 64 => out |= 1 << i,
+                Scalar::V0 | Scalar::V1 => {}
+                Scalar::X | Scalar::Z => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// True if any bit is `x` or `z`.
+    pub fn has_unknown(&self) -> bool {
+        self.bits.iter().any(|b| matches!(b, Scalar::X | Scalar::Z))
+    }
+
+    /// MSB-first binary rendering (no `b` prefix).
+    pub fn to_binary_string(&self) -> String {
+        self.bits.iter().rev().map(|b| b.to_char()).collect()
+    }
+
+    /// Compares two values bit-by-bit at a given width, treating missing
+    /// high bits per the VCD extension rule. `x`/`z` compare equal only to
+    /// themselves.
+    pub fn equals_at_width(&self, other: &VcdValue, width: usize) -> bool {
+        (0..width).all(|i| self.bit(i) == other.bit(i))
+    }
+}
+
+impl fmt::Display for VcdValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.to_binary_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        for s in [Scalar::V0, Scalar::V1, Scalar::X, Scalar::Z] {
+            assert_eq!(Scalar::from_char(s.to_char()), Some(s));
+        }
+        assert_eq!(Scalar::from_char('q'), None);
+        assert_eq!(Scalar::from_char('X'), Some(Scalar::X));
+    }
+
+    #[test]
+    fn value_from_u64_and_back() {
+        let v = VcdValue::from_u64(0xDE, 8);
+        assert_eq!(v.as_u64(), Some(0xDE));
+        assert_eq!(v.to_binary_string(), "11011110");
+    }
+
+    #[test]
+    fn value_width_masks() {
+        let v = VcdValue::from_u64(0xFF, 4);
+        assert_eq!(v.as_u64(), Some(0xF));
+        assert_eq!(v.width(), 4);
+    }
+
+    #[test]
+    fn binary_parse_msb_first() {
+        let v = VcdValue::from_binary_str("10x").unwrap();
+        assert_eq!(v.bit(0), Scalar::X);
+        assert_eq!(v.bit(1), Scalar::V0);
+        assert_eq!(v.bit(2), Scalar::V1);
+        assert!(v.has_unknown());
+        assert_eq!(v.as_u64(), None);
+        assert!(VcdValue::from_binary_str("").is_none());
+        assert!(VcdValue::from_binary_str("12").is_none());
+    }
+
+    #[test]
+    fn extension_rule() {
+        // A short "1" literal extends high bits with 0.
+        let v = VcdValue::from_binary_str("1").unwrap();
+        assert_eq!(v.bit(0), Scalar::V1);
+        assert_eq!(v.bit(5), Scalar::V0);
+        // A short "x" literal extends with x.
+        let x = VcdValue::from_binary_str("x").unwrap();
+        assert_eq!(x.bit(7), Scalar::X);
+    }
+
+    #[test]
+    fn equals_at_width_uses_extension() {
+        let a = VcdValue::from_binary_str("1").unwrap();
+        let b = VcdValue::from_u64(1, 8);
+        assert!(a.equals_at_width(&b, 8));
+        let c = VcdValue::from_u64(3, 8);
+        assert!(!a.equals_at_width(&c, 8));
+        assert!(a.equals_at_width(&c, 1));
+    }
+
+    #[test]
+    fn unknown_constructor() {
+        let u = VcdValue::unknown(4);
+        assert!(u.has_unknown());
+        assert_eq!(u.width(), 4);
+        assert_eq!(u.to_binary_string(), "xxxx");
+    }
+}

@@ -1,0 +1,38 @@
+//! A miniature regression campaign: a handful of configurations through
+//! the full Figure 4/5 flow (both views, same seeds, coverage merge,
+//! alignment comparison).
+//!
+//! ```text
+//! cargo run --release --example regression_sweep
+//! ```
+//!
+//! The full >36-configuration sweep lives in the `stbus-regress` binary
+//! and the `exp_configs` experiment; this example keeps it small.
+
+use regression::{render_config, run_regression, standard_configs, RegressionOptions};
+
+fn main() {
+    // Take a slice of the standard sweep; print one config file to show
+    // the text format the paper's tool loads from a directory.
+    let configs: Vec<_> = standard_configs().into_iter().take(6).collect();
+    println!("example configuration file ({}.cfg):", configs[0].name);
+    println!("{}", render_config(&configs[0]));
+
+    let tests = catg::tests_lib::all(10);
+    let options = RegressionOptions {
+        seeds: vec![1],
+        ..RegressionOptions::default()
+    };
+    println!(
+        "running {} configs x {} tests on both views...\n",
+        configs.len(),
+        tests.len()
+    );
+    let report = run_regression(&configs, &tests, &options);
+    println!("{}", report.table());
+    println!(
+        "{}/{} signed off",
+        report.signed_off_count(),
+        report.configs.len()
+    );
+}

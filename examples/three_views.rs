@@ -1,0 +1,74 @@
+//! Three abstraction levels of the same node through one environment:
+//! TLM (untimed functional), BCA (bus-cycle-accurate) and RTL — the
+//! paper's flow today plus its future-work TLM phase.
+//!
+//! ```text
+//! cargo run --release --example three_views
+//! ```
+
+use catg::{tests_lib, Testbench, TestbenchOptions};
+use stbus_bca::{BcaNode, Fidelity, TlmNode};
+use stbus_protocol::{DutView, NodeConfig};
+use stbus_rtl::RtlNode;
+
+fn main() {
+    let config = NodeConfig::reference();
+    let bench = Testbench::new(
+        config.clone(),
+        TestbenchOptions {
+            capture_vcd: true,
+            ..TestbenchOptions::default()
+        },
+    );
+    let spec = tests_lib::lru_fairness(30);
+
+    let mut rtl = RtlNode::new(config.clone());
+    let rtl_run = bench.run(&mut rtl, &spec, 1);
+
+    let mut views: Vec<(&str, Box<dyn DutView>)> = vec![
+        ("TLM (untimed)", Box::new(TlmNode::new(config.clone()))),
+        ("BCA (relaxed)", Box::new(BcaNode::new(config.clone(), Fidelity::Relaxed))),
+        ("BCA (exact)", Box::new(BcaNode::new(config.clone(), Fidelity::Exact))),
+    ];
+
+    println!("one environment, three model abstraction levels (vs RTL):\n");
+    println!(
+        "{:<16} {:>8} {:>8} {:>12} {:>14}",
+        "view", "passed", "cycles", "align vs RTL", "phase"
+    );
+    println!(
+        "{:<16} {:>8} {:>8} {:>12} {:>14}",
+        "RTL (golden)",
+        rtl_run.passed(),
+        rtl_run.cycles,
+        "-",
+        "sign-off ref"
+    );
+    for (name, view) in views.iter_mut() {
+        let run = bench.run(view.as_mut(), &spec, 1);
+        let align = stba::compare_vcd(
+            rtl_run.vcd.as_ref().expect("captured"),
+            run.vcd.as_ref().expect("captured"),
+            catg::vcd_cycle_time(),
+        )
+        .map(|r| format!("{:.2}%", r.min_rate() * 100.0))
+        .unwrap_or_else(|_| "n/a".into());
+        let phase = if name.starts_with("TLM") {
+            "functional"
+        } else {
+            "bus-accurate"
+        };
+        println!(
+            "{:<16} {:>8} {:>8} {:>12} {:>14}",
+            name,
+            run.passed(),
+            run.cycles,
+            align,
+            phase
+        );
+    }
+    println!();
+    println!("all three pass the functional checks; only the BCA views clear the");
+    println!("99% bus-accuracy bar — the reason the paper verifies BCA, not TLM,");
+    println!("against the RTL before delivering models to STBus customers.");
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate re-exporting the whole STBus verification workspace.
+//!
+//! See the individual crates for details:
+//! [`catg`] (the common environment), [`stbus_rtl`] / [`stbus_bca`] (the
+//! two design views), [`stbus_protocol`], [`sim_kernel`], [`vcd`],
+//! [`stba`] and [`regression`].
+
+pub use catg;
+pub use regression;
+pub use sim_kernel;
+pub use stba;
+pub use stbus_bca;
+pub use stbus_protocol;
+pub use stbus_rtl;
+pub use vcd;

@@ -1,0 +1,204 @@
+//! The simulation kernel as a standalone product: classic small circuits
+//! built purely from signals and processes, verifying HDL-style semantics
+//! (nonblocking updates, delta convergence, edges, timed events) beyond
+//! what the STBus node exercises.
+
+use sim_kernel::{Edge, SimError, SimTime, Simulator, VecTrace};
+
+#[test]
+fn four_bit_counter_with_carry_chain() {
+    // A ripple counter: bit k toggles on the falling edge of bit k-1.
+    let mut sim = Simulator::new();
+    let clk = sim.add_signal("clk", false);
+    let bits: Vec<_> = (0..4).map(|k| sim.add_signal(&format!("q{k}"), false)).collect();
+    let mut prev = clk;
+    for &bit in &bits {
+        sim.add_clocked_process("toggle", prev, Edge::Falling, move |ctx| {
+            let v = ctx.get(bit);
+            ctx.set(bit, !v);
+        });
+        prev = bit;
+    }
+    sim.add_clock(clk, 5).unwrap();
+    // 32 full clock periods = the 4-bit counter wraps exactly twice.
+    sim.run_for(32 * 10).unwrap();
+    let value: u32 = bits
+        .iter()
+        .enumerate()
+        .map(|(k, b)| (sim.value(*b) as u32) << k)
+        .sum();
+    assert_eq!(value, 0, "counter wrapped to zero");
+}
+
+#[test]
+fn gray_code_fsm_cycles_correctly() {
+    // A 2-bit Gray-code state machine: 00 -> 01 -> 11 -> 10 -> 00.
+    let mut sim = Simulator::new();
+    let clk = sim.add_signal("clk", false);
+    let state = sim.add_signal("state", 0u8);
+    let seen = sim.add_signal("seen", 0u32); // bitmask of visited states
+    sim.add_clocked_process("fsm", clk, Edge::Rising, move |ctx| {
+        let s = ctx.get(state);
+        let next = match s {
+            0b00 => 0b01,
+            0b01 => 0b11,
+            0b11 => 0b10,
+            _ => 0b00,
+        };
+        ctx.set(state, next);
+        let v = ctx.get(seen);
+        ctx.set(seen, v | (1 << next));
+    });
+    sim.add_clock(clk, 10).unwrap();
+    sim.run_for(8 * 20).unwrap();
+    assert_eq!(sim.value(seen), 0b1111, "all four states visited");
+    assert_eq!(sim.value(state), 0b00, "back at reset state after 8 steps");
+}
+
+#[test]
+fn alu_comb_cone_settles_in_one_pass() {
+    // add -> shift -> compare chain: three chained combinational processes
+    // settle through delta cycles without ever clocking.
+    let mut sim = Simulator::new();
+    let a = sim.add_signal("a", 0u32);
+    let b = sim.add_signal("b", 0u32);
+    let sum = sim.add_signal("sum", 0u32);
+    let shifted = sim.add_signal("shifted", 0u32);
+    let big = sim.add_signal("big", false);
+    sim.add_comb_process("adder", &[a.id(), b.id()], move |ctx| {
+        let v = ctx.get(a).wrapping_add(ctx.get(b));
+        ctx.set(sum, v);
+    });
+    sim.add_comb_process("shifter", &[sum.id()], move |ctx| {
+        let v = ctx.get(sum) << 1;
+        ctx.set(shifted, v);
+    });
+    sim.add_comb_process("comparator", &[shifted.id()], move |ctx| {
+        let v = ctx.get(shifted) > 100;
+        ctx.set(big, v);
+    });
+    sim.drive(a, 30);
+    sim.drive(b, 25);
+    sim.settle().unwrap();
+    assert_eq!(sim.value(sum), 55);
+    assert_eq!(sim.value(shifted), 110);
+    assert!(sim.value(big));
+    sim.drive(b, 10);
+    sim.settle().unwrap();
+    assert!(!sim.value(big));
+}
+
+#[test]
+fn handshake_between_producer_and_consumer() {
+    // Producer asserts valid with data; consumer acks on the next clock;
+    // producer advances on ack — four-phase-ish handshake across two
+    // clocked processes.
+    let mut sim = Simulator::new();
+    let clk = sim.add_signal("clk", false);
+    let valid = sim.add_signal("valid", false);
+    let data = sim.add_signal("data", 0u32);
+    let ack = sim.add_signal("ack", false);
+    let received = sim.add_signal("received", 0u32);
+    let count = sim.add_signal("count", 0u32);
+
+    sim.add_clocked_process("producer", clk, Edge::Rising, move |ctx| {
+        if !ctx.get(valid) {
+            let n = ctx.get(count);
+            ctx.set(data, 100 + n);
+            ctx.set(valid, true);
+        } else if ctx.get(ack) {
+            ctx.set(valid, false);
+            let n = ctx.get(count);
+            ctx.set(count, n + 1);
+        }
+    });
+    sim.add_clocked_process("consumer", clk, Edge::Rising, move |ctx| {
+        if ctx.get(valid) && !ctx.get(ack) {
+            ctx.set(ack, true);
+            let d = ctx.get(data);
+            ctx.set(received, d);
+        } else {
+            ctx.set(ack, false);
+        }
+    });
+    sim.add_clock(clk, 5).unwrap();
+    sim.run_for(300).unwrap();
+    let transferred = sim.value(count);
+    assert!(transferred >= 5, "handshake made progress: {transferred}");
+    assert!(sim.value(received) >= 100);
+}
+
+#[test]
+fn oscillator_is_caught_as_delta_overflow() {
+    // A zero-delay NOT feeding itself.
+    let mut sim = Simulator::new();
+    let x = sim.add_signal("x", false);
+    sim.add_comb_process("inv", &[x.id()], move |ctx| {
+        let v = ctx.get(x);
+        ctx.set(x, !v);
+    });
+    sim.set_delta_limit(32);
+    let err = sim.settle().unwrap_err();
+    assert!(matches!(err, SimError::DeltaOverflow { limit: 32, .. }));
+}
+
+#[test]
+fn delayed_writes_model_transport_delay() {
+    // A "wire with 7ns transport delay" via set_after.
+    let mut sim = Simulator::new();
+    let input = sim.add_signal("in", 0u8);
+    let output = sim.add_signal("out", 0u8);
+    sim.add_comb_process("delay_line", &[input.id()], move |ctx| {
+        let v = ctx.get(input);
+        ctx.set_after(output, v, 7);
+    });
+    sim.settle().unwrap();
+    sim.drive(input, 42);
+    sim.run_for(6).unwrap();
+    assert_eq!(sim.value(output), 0, "value still in flight");
+    sim.run_for(1).unwrap();
+    assert_eq!(sim.value(output), 42, "arrives exactly at 7 ticks");
+    assert_eq!(sim.now(), SimTime::from_ticks(7));
+}
+
+#[test]
+fn trace_captures_counter_waveform() {
+    let mut sim = Simulator::new();
+    let clk = sim.add_signal("clk", false);
+    let q = sim.add_signal("q", 0u8);
+    sim.add_clocked_process("cnt", clk, Edge::Rising, move |ctx| {
+        let v = ctx.get(q);
+        ctx.set(q, v.wrapping_add(1));
+    });
+    sim.set_trace(VecTrace::default());
+    sim.trace_signal(q.id());
+    sim.add_clock(clk, 10).unwrap();
+    sim.run_for(100).unwrap();
+    let trace: &VecTrace = sim.trace().unwrap();
+    assert_eq!(trace.records.len(), 5, "five increments traced");
+    // Values ascend 1..=5 at times 10, 30, 50, 70, 90.
+    for (k, rec) in trace.records.iter().enumerate() {
+        assert_eq!(rec.value.low_u64(), k as u64 + 1);
+        assert_eq!(rec.time.ticks(), 10 + 20 * k as u64);
+    }
+}
+
+#[test]
+fn activity_coverage_reflects_a_dead_branch() {
+    let mut sim = Simulator::new();
+    let sel = sim.add_signal("sel", false);
+    let live = sim.add_branch("mux/live");
+    let dead = sim.add_branch("mux/dead");
+    sim.add_comb_process("mux", &[sel.id()], move |ctx| {
+        if ctx.get(sel) {
+            ctx.cov(dead);
+        } else {
+            ctx.cov(live);
+        }
+    });
+    sim.settle().unwrap();
+    let cov = sim.activity_coverage();
+    assert_eq!(cov.branch_coverage(), 0.5);
+    let missed: Vec<_> = cov.missed_branches().map(|b| b.name.clone()).collect();
+    assert_eq!(missed, ["mux/dead"]);
+}

@@ -1,0 +1,150 @@
+//! Integration: the full twelve-test suite across a representative slice
+//! of configurations, on both views — the inner loop of the paper's
+//! regression campaign, kept small enough to run in CI.
+
+use catg::{tests_lib, Testbench, TestbenchOptions};
+use stbus_protocol::{
+    Architecture, ArbitrationKind, NodeConfig, ProtocolType, ViewKind,
+};
+
+fn configs() -> Vec<NodeConfig> {
+    vec![
+        // Type 1: the simple handshake protocol, one outstanding at a time.
+        NodeConfig::builder("it_t1")
+            .initiators(2)
+            .targets(2)
+            .bus_bytes(4)
+            .protocol(ProtocolType::Type1)
+            .architecture(Architecture::SharedBus)
+            .arbitration(ArbitrationKind::RoundRobin)
+            .build()
+            .expect("valid"),
+        // Type 2 with the narrowest legal bus.
+        NodeConfig::builder("it_t2_narrow")
+            .initiators(2)
+            .targets(2)
+            .bus_bytes(1)
+            .protocol(ProtocolType::Type2)
+            .architecture(Architecture::PartialCrossbar { lanes: 1 })
+            .arbitration(ArbitrationKind::LatencyBased)
+            .build()
+            .expect("valid"),
+        // Type 3 with the widest bus and a pipeline stage.
+        NodeConfig::builder("it_t3_wide_piped")
+            .initiators(3)
+            .targets(3)
+            .bus_bytes(32)
+            .protocol(ProtocolType::Type3)
+            .architecture(Architecture::FullCrossbar)
+            .arbitration(ArbitrationKind::BandwidthLimited)
+            .pipe_depth(2)
+            .build()
+            .expect("valid"),
+        // Big-endian lanes.
+        NodeConfig::builder("it_big_endian")
+            .initiators(2)
+            .targets(2)
+            .bus_bytes(8)
+            .protocol(ProtocolType::Type2)
+            .architecture(Architecture::FullCrossbar)
+            .arbitration(ArbitrationKind::FixedPriority)
+            .endianness(stbus_protocol::Endianness::Big)
+            .build()
+            .expect("valid"),
+    ]
+}
+
+#[test]
+fn suite_passes_on_every_config_and_view() {
+    for config in configs() {
+        let bench = Testbench::new(config.clone(), TestbenchOptions::default());
+        for kind in [ViewKind::Rtl, ViewKind::Bca] {
+            let mut dut = catg::build_view(&config, kind);
+            for spec in tests_lib::all(12) {
+                let result = bench.run(dut.as_mut(), &spec, 9);
+                assert!(
+                    result.passed(),
+                    "{} / {kind} / {}: {:?} {:?} {:?}",
+                    config.name,
+                    spec.name,
+                    result.checker.violations,
+                    result.scoreboard_errors,
+                    result.anomalies
+                );
+                assert!(result.completed, "{} {} drained", config.name, spec.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn transaction_counts_match_across_views_everywhere() {
+    for config in configs() {
+        let bench = Testbench::new(config.clone(), TestbenchOptions::default());
+        let mut rtl = catg::build_view(&config, ViewKind::Rtl);
+        let mut bca = catg::build_view(&config, ViewKind::Bca);
+        for spec in tests_lib::all(8) {
+            let a = bench.run(rtl.as_mut(), &spec, 4);
+            let b = bench.run(bca.as_mut(), &spec, 4);
+            assert_eq!(
+                a.transactions, b.transactions,
+                "{} / {}",
+                config.name, spec.name
+            );
+            assert_eq!(
+                a.stats, b.stats,
+                "per-initiator statistics differ on {} / {}",
+                config.name, spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn coverage_bins_identical_across_views() {
+    // "of course they must be equal running the same tests".
+    let config = NodeConfig::reference();
+    let bench = Testbench::new(config.clone(), TestbenchOptions::default());
+    let mut rtl = catg::build_view(&config, ViewKind::Rtl);
+    let mut bca = catg::build_view(&config, ViewKind::Bca);
+    for spec in tests_lib::all(10) {
+        let a = bench.run(rtl.as_mut(), &spec, 2);
+        let b = bench.run(bca.as_mut(), &spec, 2);
+        assert!(
+            a.coverage.same_hits(&b.coverage),
+            "coverage hit patterns differ on {}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn checker_exercises_every_applicable_rule() {
+    // Across the suite, every rule of the catalogue that applies to the
+    // protocol type must actually have been evaluated (a checker that
+    // never runs is worse than no checker).
+    use stbus_protocol::rules::RuleId;
+    for config in [configs().remove(0), NodeConfig::reference()] {
+        let bench = Testbench::new(config.clone(), TestbenchOptions::default());
+        let mut dut = catg::build_view(&config, ViewKind::Bca);
+        let mut seen: std::collections::BTreeMap<RuleId, u64> = Default::default();
+        for spec in tests_lib::all(15) {
+            let result = bench.run(dut.as_mut(), &spec, 1);
+            for (rule, n) in result.checker.checks_passed {
+                *seen.entry(rule).or_insert(0) += n;
+            }
+        }
+        for rule in RuleId::active_for(config.protocol) {
+            // Stability rules only tally when a stall actually happened;
+            // everything else must have fired.
+            if matches!(rule, RuleId::ReqStable | RuleId::RspStable) {
+                continue;
+            }
+            assert!(
+                seen.get(&rule).copied().unwrap_or(0) > 0,
+                "{}: rule {rule} was never evaluated",
+                config.name
+            );
+        }
+    }
+}
