@@ -1,0 +1,376 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access. This crate reimplements
+//! the subset the workspace's property tests use — integer-range, tuple,
+//! `any::<T>()` and `collection::vec` strategies, `.prop_map`, the
+//! `proptest!` macro with an optional `#![proptest_config(...)]` header,
+//! and `prop_assert!`/`prop_assert_eq!` — as plain deterministic random
+//! sampling. There is no shrinking: a failing case panics with the
+//! sampled inputs in the assertion message, which the regression flow
+//! treats exactly like any other failing test.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// Number of sampled cases when a `proptest!` block carries no
+/// `#![proptest_config(...)]` header.
+pub const DEFAULT_CASES: u32 = 32;
+
+/// Run-count configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// The sampling RNG handed to strategies; deterministic per test and case.
+pub type TestRng = StdRng;
+
+/// Builds the per-case RNG: test name and case index pin the stream, so a
+/// failure reproduces on rerun.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+/// A value generator. Unlike real proptest there is no shrink tree; a
+/// strategy just samples.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// The `.prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy producing one fixed value (`proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+
+/// Types with a full-domain default strategy (`any::<T>()` or a bare
+/// `name: Type` parameter in `proptest!`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// A `Vec` strategy: length drawn from `len`, elements from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length falls in `len` (half-open or
+    /// inclusive).
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into().0,
+        }
+    }
+
+    /// A length specification convertible from range syntax.
+    pub struct SizeRange(pub std::ops::Range<usize>);
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange(*r.start()..r.end().saturating_add(1))
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*); };
+}
+
+/// Asserts equality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*); };
+}
+
+/// Asserts inequality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*); };
+}
+
+/// Binds `proptest!` parameters: `pat in strategy` samples the strategy,
+/// `name: Type` samples `any::<Type>()`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident;) => {};
+    ($rng:ident; $pat:pat_param in $strat:expr) => {
+        let $pat = $crate::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident; $pat:pat_param in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bindings!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bindings!($rng; $($rest)*);
+    };
+}
+
+/// Expands the test functions of a `proptest!` block under a given config.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(stringify!($name), case);
+                $crate::__proptest_bindings!(rng; $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// The `proptest!` block: an optional `#![proptest_config(...)]` header
+/// followed by `#[test]` functions whose parameters are strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = crate::case_rng("ranges", 0);
+        let s = (1usize..=4, 0u64..50, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _c) = s.sample(&mut rng);
+            assert!((1..=4).contains(&a));
+            assert!(b < 50);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = crate::case_rng("vec", 0);
+        let s = collection::vec(any::<u8>(), 1..6);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((1..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::case_rng("map", 0);
+        let s = (0usize..3).prop_map(|x| x * 10);
+        for _ in 0..50 {
+            assert!(matches!(s.sample(&mut rng), 0 | 10 | 20));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_form_runs(x in 0u32..10, flag: bool, v in collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(x.wrapping_add(u32::from(flag)).wrapping_sub(u32::from(flag)), x);
+            prop_assert!(v.len() < 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_runs(seed: u64) {
+            let _ = seed;
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! See `serde_derive`'s crate docs for the rationale. The traits are
+//! markers with blanket implementations: every type "is" `Serialize` /
+//! `Deserialize`, which satisfies any bound the workspace writes while the
+//! no-op derives keep the `#[derive(...)]` attributes valid.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,8 +1,8 @@
 //! Bench of the STBA pipeline: VCD dump, parse and cycle-by-cycle
 //! alignment comparison.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use catg::{tests_lib, Testbench, TestbenchOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
 use stbus_protocol::{NodeConfig, ViewKind};
 
 fn bench_analyzer(c: &mut Criterion) {

@@ -10,18 +10,22 @@ fn bench_policies(c: &mut Criterion) {
     for kind in ArbitrationKind::ALL {
         let mut arb = make_arbiter(kind, n, &ArbiterParams::default());
         let mut requests = vec![false; n];
-        group.bench_with_input(BenchmarkId::from_parameter(kind.to_string()), &(), |b, _| {
-            let mut cycle = 0u64;
-            b.iter(|| {
-                for (i, r) in requests.iter_mut().enumerate() {
-                    *r = !(cycle + i as u64).is_multiple_of(3);
-                }
-                let w = arb.choose(&requests);
-                arb.update(&requests, w, cycle);
-                cycle += 1;
-                w
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.to_string()),
+            &(),
+            |b, _| {
+                let mut cycle = 0u64;
+                b.iter(|| {
+                    for (i, r) in requests.iter_mut().enumerate() {
+                        *r = !(cycle + i as u64).is_multiple_of(3);
+                    }
+                    let w = arb.choose(&requests);
+                    arb.update(&requests, w, cycle);
+                    cycle += 1;
+                    w
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -85,7 +85,10 @@ fn main() {
             }
         }
         if worst == 1.0 {
-            println!("== {} : fully aligned across the suite (Exact fidelity)", config.name);
+            println!(
+                "== {} : fully aligned across the suite (Exact fidelity)",
+                config.name
+            );
         }
     }
 }

@@ -31,7 +31,16 @@ fn main() {
     );
 
     println!("=== E4: per-port RTL/BCA alignment (paper section 4) ===\n");
+    let tel = telemetry::Telemetry::to_stderr(telemetry::Level::Info);
     for fidelity in [Fidelity::Exact, Fidelity::Relaxed] {
+        tel.info(
+            "exp.alignment",
+            "comparing suite at fidelity",
+            [
+                ("fidelity", telemetry::Json::from(format!("{fidelity:?}"))),
+                ("intensity", telemetry::Json::from(intensity)),
+            ],
+        );
         let mut rtl = RtlNode::new(config.clone());
         let mut bca = BcaNode::new(config.clone(), fidelity);
         // Per-port aggregation across the whole campaign.
@@ -41,7 +50,11 @@ fn main() {
             for seed in [1u64, 2] {
                 let a = bench.run(&mut rtl, &spec, seed);
                 let b = bench.run(&mut bca, &spec, seed);
-                assert!(a.passed() && b.passed(), "{}: both views must pass", spec.name);
+                assert!(
+                    a.passed() && b.passed(),
+                    "{}: both views must pass",
+                    spec.name
+                );
                 let report = stba::compare_vcd(
                     a.vcd.as_ref().expect("captured"),
                     b.vcd.as_ref().expect("captured"),

@@ -10,10 +10,10 @@
 //! cargo run -p stbus-bench --release --bin exp_arbitration [intensity]
 //! ```
 
-use catg::{OpMix, TargetProfile, Testbench, TestbenchOptions, TestSpec, TrafficProfile};
+use catg::{OpMix, TargetProfile, TestSpec, Testbench, TestbenchOptions, TrafficProfile};
 use stbus_protocol::arbitration::ArbiterParams;
 use stbus_protocol::{
-    Architecture, ArbitrationKind, NodeConfig, ProtocolType, TargetId, TransferSize, ViewKind,
+    ArbitrationKind, Architecture, NodeConfig, ProtocolType, TargetId, TransferSize, ViewKind,
 };
 
 fn workload(intensity: usize) -> TestSpec {
@@ -60,12 +60,20 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
     let spec = workload(intensity);
-    println!("=== E8: the six arbitration policies under asymmetric load (paper section 3/5) ===\n");
+    println!(
+        "=== E8: the six arbitration policies under asymmetric load (paper section 3/5) ===\n"
+    );
     println!(
         "{:<18} {:>9} {:>9} {:>9} {:>11} {:>11} {:>11} {:>8}",
         "policy", "hog tx", "steady tx", "vip tx", "hog lat", "steady lat", "vip lat", "cycles"
     );
+    let tel = telemetry::Telemetry::to_stderr(telemetry::Level::Info);
     for policy in ArbitrationKind::ALL {
+        tel.info(
+            "exp.arbitration",
+            "running policy",
+            [("policy", telemetry::Json::from(policy.to_string()))],
+        );
         // Policy tuning, as a system integrator would set it: the VIP
         // (initiator 2) gets a tight latency deadline and top priority;
         // the hog (initiator 0) gets a small bandwidth budget.

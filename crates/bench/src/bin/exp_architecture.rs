@@ -12,7 +12,7 @@
 //! ```
 
 use catg::{tests_lib, Testbench, TestbenchOptions};
-use stbus_protocol::{Architecture, ArbitrationKind, NodeConfig, ProtocolType, ViewKind};
+use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType, ViewKind};
 
 fn main() {
     let intensity: usize = std::env::args()
@@ -30,7 +30,13 @@ fn main() {
         "architecture", "area proxy", "cycles", "tx/kcycle", "mean latency"
     );
     let (ni, nt) = (4usize, 4usize);
+    let tel = telemetry::Telemetry::to_stderr(telemetry::Level::Info);
     for arch in archs {
+        tel.info(
+            "exp.architecture",
+            "running architecture",
+            [("arch", telemetry::Json::from(arch.to_string()))],
+        );
         let config = NodeConfig::builder("arch")
             .initiators(ni)
             .targets(nt)

@@ -12,7 +12,7 @@
 
 use catg::{tests_lib, LegacyTestbench, Testbench, TestbenchOptions};
 use stbus_bca::{BcaBug, BcaNode, Fidelity};
-use stbus_protocol::{Architecture, ArbitrationKind, NodeConfig, ProtocolType};
+use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType};
 use stbus_rtl::RtlNode;
 
 struct Detection {
@@ -64,7 +64,9 @@ fn hunt(bug: BcaBug) -> Detection {
                         .violations
                         .first()
                         .map(|v| format!("{}", v.kind))
-                        .or_else(|| (!result.scoreboard_errors.is_empty()).then(|| "scoreboard".into()))
+                        .or_else(|| {
+                            (!result.scoreboard_errors.is_empty()).then(|| "scoreboard".into())
+                        })
                         .unwrap_or_else(|| "harness anomaly".into());
                     break 'outer;
                 }
@@ -95,10 +97,19 @@ fn hunt(bug: BcaBug) -> Detection {
 
 fn main() {
     println!("=== E2: five injected BCA bugs (paper section 5) ===\n");
-    println!("{:<4} {:<52} {:<12} {:<11} detector", "bug", "description", "legacy flow", "common env");
+    println!(
+        "{:<4} {:<52} {:<12} {:<11} detector",
+        "bug", "description", "legacy flow", "common env"
+    );
+    let tel = telemetry::Telemetry::to_stderr(telemetry::Level::Info);
     let mut legacy_total = 0;
     let mut common_total = 0;
     for bug in BcaBug::ALL {
+        tel.info(
+            "exp.bugs",
+            "hunting injected bug",
+            [("bug", telemetry::Json::from(bug.label()))],
+        );
         let d = hunt(bug);
         legacy_total += usize::from(d.legacy);
         common_total += usize::from(d.common);
@@ -113,5 +124,7 @@ fn main() {
     }
     println!();
     println!("legacy flow found {legacy_total}/5, common environment found {common_total}/5");
-    println!("paper claim: five BCA bugs found by the common environment, none by the old flow's checks");
+    println!(
+        "paper claim: five BCA bugs found by the common environment, none by the old flow's checks"
+    );
 }

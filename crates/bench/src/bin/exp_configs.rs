@@ -12,6 +12,7 @@
 
 use regression::{run_regression, standard_configs, RegressionOptions};
 use stbus_bca::Fidelity;
+use telemetry::{Json, Level, Telemetry};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -26,27 +27,48 @@ fn main() {
         ..RegressionOptions::default()
     };
 
-    eprintln!(
-        "E1: {} configurations x {} tests x {} seed(s) x 2 views ...",
-        configs.len(),
-        tests.len(),
-        n_seeds
+    let tel = Telemetry::to_stderr(Level::Info);
+    tel.info(
+        "exp.configs",
+        "E1 sweep starting on both views",
+        [
+            ("configs", Json::from(configs.len())),
+            ("tests", Json::from(tests.len())),
+            ("seeds", Json::from(n_seeds)),
+            ("intensity", Json::from(intensity)),
+        ],
     );
     let start = std::time::Instant::now();
     let report = run_regression(&configs, &tests, &options);
+    tel.info(
+        "exp.configs",
+        "E1 sweep finished",
+        [
+            ("signed_off", Json::from(report.signed_off_count())),
+            ("wall_us", Json::from(start.elapsed().as_micros() as u64)),
+        ],
+    );
     println!("=== E1: configuration sweep (paper section 5) ===\n");
     println!("{}", report.table());
     println!(
         "{} of {} configurations signed off   ({} runs total, {:.1}s)",
         report.signed_off_count(),
         report.configs.len(),
-        report.configs.iter().map(|c| c.runs.len() * 2).sum::<usize>(),
+        report
+            .configs
+            .iter()
+            .map(|c| c.runs.len() * 2)
+            .sum::<usize>(),
         start.elapsed().as_secs_f64(),
     );
     for c in &report.configs {
         if let Some(cov) = &c.coverage_rtl {
             if !cov.is_full() {
-                println!("  {} coverage holes: {}", c.config.name, cov.holes().join(", "));
+                println!(
+                    "  {} coverage holes: {}",
+                    c.config.name,
+                    cov.holes().join(", ")
+                );
             }
         }
     }

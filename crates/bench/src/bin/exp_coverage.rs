@@ -21,9 +21,15 @@ fn main() {
     let mut rtl = RtlNode::new(config.clone());
     let mut bca = BcaNode::new(config.clone(), Fidelity::Relaxed);
 
+    let tel = telemetry::Telemetry::to_stderr(telemetry::Level::Info);
     let mut cov_rtl: Option<CoverageReport> = None;
     let mut cov_bca: Option<CoverageReport> = None;
     for spec in tests_lib::all(intensity) {
+        tel.info(
+            "exp.coverage",
+            "running test on both views",
+            [("test", telemetry::Json::from(spec.name.as_str()))],
+        );
         for seed in [1u64, 2, 3] {
             let a = bench.run(&mut rtl, &spec, seed);
             let b = bench.run(&mut bca, &spec, seed);

@@ -13,7 +13,7 @@
 //! ```
 
 use stbus_bench::{measure_view_speed, ratio_label};
-use stbus_protocol::{Architecture, ArbitrationKind, NodeConfig, ProtocolType, ViewKind};
+use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType, ViewKind};
 
 fn config(ni: usize, nt: usize) -> NodeConfig {
     NodeConfig::builder(&format!("speed_{ni}x{nt}"))
@@ -37,7 +37,17 @@ fn main() {
         "{:<12} {:>16} {:>16} {:>10}",
         "node size", "RTL cycles/s", "BCA cycles/s", "speedup"
     );
+    let tel = telemetry::Telemetry::to_stderr(telemetry::Level::Info);
     for (ni, nt) in [(2usize, 2usize), (4, 2), (8, 4), (16, 8), (32, 16)] {
+        tel.info(
+            "exp.speed",
+            "measuring node size",
+            [
+                ("initiators", telemetry::Json::from(ni)),
+                ("targets", telemetry::Json::from(nt)),
+                ("cycles", telemetry::Json::from(cycles)),
+            ],
+        );
         let cfg = config(ni, nt);
         let mut rtl = catg::build_view(&cfg, ViewKind::Rtl);
         let mut bca = catg::build_view(&cfg, ViewKind::Bca);

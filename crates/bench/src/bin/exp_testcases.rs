@@ -26,8 +26,17 @@ fn main() {
         "{:<4} {:<22} {:<46} {:>5} {:>8} {:>7} {:>11}",
         "#", "test", "feature targeted", "pass", "tx", "cov%", "cumulative%"
     );
+    let tel = telemetry::Telemetry::to_stderr(telemetry::Level::Info);
     let mut cumulative: Option<CoverageReport> = None;
     for (k, spec) in tests_lib::all(intensity).iter().enumerate() {
+        tel.info(
+            "exp.testcases",
+            "running test",
+            [
+                ("index", telemetry::Json::from(k + 1)),
+                ("test", telemetry::Json::from(spec.name.as_str())),
+            ],
+        );
         let mut own: Option<CoverageReport> = None;
         let mut passed = true;
         let mut tx = 0;
@@ -58,7 +67,10 @@ fn main() {
     }
     let total = cumulative.expect("ran");
     println!();
-    println!("suite functional coverage: {:.2}%", total.coverage() * 100.0);
+    println!(
+        "suite functional coverage: {:.2}%",
+        total.coverage() * 100.0
+    );
     if total.is_full() {
         println!("GOAL MET: 100% functional coverage (the paper's sign-off criterion)");
     } else {

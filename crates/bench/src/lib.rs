@@ -7,9 +7,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use catg::{Testbench, TestbenchOptions, TestSpec};
-use std::time::Instant;
+use catg::{TestSpec, Testbench, TestbenchOptions};
 use stbus_protocol::{DutInputs, DutView, NodeConfig};
+use std::time::Instant;
 
 /// Walltime and simulated cycles of one measured run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -69,7 +69,12 @@ pub fn measure_view_speed(dut: &mut dyn DutView, cycles: u64) -> SpeedSample {
 
 /// Runs one test through the full environment and measures the wall time
 /// (used by the env-overhead ablation).
-pub fn measure_env_run(config: &NodeConfig, dut: &mut dyn DutView, spec: &TestSpec, seed: u64) -> SpeedSample {
+pub fn measure_env_run(
+    config: &NodeConfig,
+    dut: &mut dyn DutView,
+    spec: &TestSpec,
+    seed: u64,
+) -> SpeedSample {
     measure_env_run_with(config, dut, spec, seed, TestbenchOptions::default())
 }
 

@@ -3,10 +3,10 @@
 //! port of whichever design view is plugged in.
 
 use crate::record::{CycleRecord, PortId};
-use std::collections::{BTreeMap, HashMap, VecDeque};
 use stbus_protocol::packet::{request_cells, response_cells};
 use stbus_protocol::rules::RuleId;
 use stbus_protocol::{NodeConfig, Opcode, ReqCell, RspCell};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// What kind of check a [`Violation`] comes from.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -41,7 +41,11 @@ pub struct Violation {
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{} @ {} cycle {}] {}", self.kind, self.port, self.cycle, self.message)
+        write!(
+            f,
+            "[{} @ {} cycle {}] {}",
+            self.kind, self.port, self.cycle, self.message
+        )
     }
 }
 
@@ -172,7 +176,14 @@ impl ProtocolChecker {
         }
     }
 
-    fn check(&mut self, ok: bool, rule: RuleId, port: PortId, cycle: u64, msg: impl FnOnce() -> String) {
+    fn check(
+        &mut self,
+        ok: bool,
+        rule: RuleId,
+        port: PortId,
+        cycle: u64,
+        msg: impl FnOnce() -> String,
+    ) {
         if ok {
             self.pass(rule);
         } else {
@@ -255,15 +266,23 @@ impl ProtocolChecker {
                 || format!("opcode {} illegal on {}", cell.opcode, protocol),
             );
             let align = cell.opcode.size().bytes() as u64;
-            self.check(cell.addr % align == 0, RuleId::AddrAligned, port, cycle, || {
-                format!("address {:#x} unaligned to {align}", cell.addr)
-            });
+            self.check(
+                cell.addr % align == 0,
+                RuleId::AddrAligned,
+                port,
+                cycle,
+                || format!("address {:#x} unaligned to {align}", cell.addr),
+            );
             self.req_prog.insert(
                 port,
                 ReqProgress {
                     opcode: cell.opcode,
                     addr: cell.addr,
-                    expected: request_cells(cell.opcode, self.config.protocol, self.config.bus_bytes),
+                    expected: request_cells(
+                        cell.opcode,
+                        self.config.protocol,
+                        self.config.bus_bytes,
+                    ),
                     count: 0,
                 },
             );
@@ -274,16 +293,26 @@ impl ProtocolChecker {
             (p.opcode, p.addr, p.expected, p.count)
         };
 
-        self.check(cell.opcode == opcode, RuleId::EopPosition, port, cycle, || {
-            format!("opcode changed mid-packet: {} -> {}", opcode, cell.opcode)
-        });
+        self.check(
+            cell.opcode == opcode,
+            RuleId::EopPosition,
+            port,
+            cycle,
+            || format!("opcode changed mid-packet: {} -> {}", opcode, cell.opcode),
+        );
         let be_expected = self.expected_be(opcode, addr, count - 1);
-        self.check(cell.be == be_expected, RuleId::ByteEnable, port, cycle, || {
-            format!(
-                "byte enables {:#010b} != expected {:#010b} for {} at {:#x}",
-                cell.be, be_expected, opcode, addr
-            )
-        });
+        self.check(
+            cell.be == be_expected,
+            RuleId::ByteEnable,
+            port,
+            cycle,
+            || {
+                format!(
+                    "byte enables {:#010b} != expected {:#010b} for {} at {:#x}",
+                    cell.be, be_expected, opcode, addr
+                )
+            },
+        );
 
         if cell.eop {
             self.check(count == expected, RuleId::EopPosition, port, cycle, || {
@@ -293,11 +322,7 @@ impl ProtocolChecker {
             // Outstanding bookkeeping happens at the initiator boundary.
             if let PortId::Initiator(i) = port {
                 self.outstanding[i].push_back(OutEntry {
-                    target: self
-                        .config
-                        .address_map
-                        .decode(addr)
-                        .map(|t| t.0 as usize),
+                    target: self.config.address_map.decode(addr).map(|t| t.0 as usize),
                     tid: cell.tid.0,
                     opcode,
                 });
@@ -363,7 +388,9 @@ impl ProtocolChecker {
                     Some(0)
                 } else {
                     // fall back to any matching responder to keep state sane
-                    self.outstanding[i].iter().position(|e| e.target == resp_as_target)
+                    self.outstanding[i]
+                        .iter()
+                        .position(|e| e.target == resp_as_target)
                 }
             } else {
                 // R-TID: the (responder, tid) pair must be outstanding.
@@ -377,7 +404,9 @@ impl ProtocolChecker {
                     )
                 });
                 pos.or_else(|| {
-                    self.outstanding[i].iter().position(|e| e.target == resp_as_target)
+                    self.outstanding[i]
+                        .iter()
+                        .position(|e| e.target == resp_as_target)
                 })
             };
 
@@ -437,15 +466,28 @@ impl ProtocolChecker {
 
         if self.config.protocol.split_transactions() {
             if let Some(owner) = self.chunk_owner[t] {
-                self.check(cell.src.0 == owner, RuleId::ChunkAtomic, port, cycle, || {
-                    format!("source {} interleaved inside I{}'s locked chunk", cell.src, owner)
-                });
+                self.check(
+                    cell.src.0 == owner,
+                    RuleId::ChunkAtomic,
+                    port,
+                    cycle,
+                    || {
+                        format!(
+                            "source {} interleaved inside I{}'s locked chunk",
+                            cell.src, owner
+                        )
+                    },
+                );
             }
         }
         if let Some(owner) = self.pkt_owner[t] {
-            self.check(cell.src.0 == owner, RuleId::ChunkAtomic, port, cycle, || {
-                format!("source {} interleaved inside I{}'s packet", cell.src, owner)
-            });
+            self.check(
+                cell.src.0 == owner,
+                RuleId::ChunkAtomic,
+                port,
+                cycle,
+                || format!("source {} interleaved inside I{}'s packet", cell.src, owner),
+            );
         }
         self.pkt_owner[t] = if cell.eop { None } else { Some(cell.src.0) };
         if cell.lock {
@@ -523,7 +565,12 @@ mod tests {
         }
     }
 
-    fn fire_request(c: &NodeConfig, cycle: u64, i: usize, cell: stbus_protocol::ReqCell) -> CycleRecord {
+    fn fire_request(
+        c: &NodeConfig,
+        cycle: u64,
+        i: usize,
+        cell: stbus_protocol::ReqCell,
+    ) -> CycleRecord {
         let mut r = rec(c, cycle);
         r.inputs.initiator[i].req = true;
         r.inputs.initiator[i].cell = cell;
@@ -594,7 +641,10 @@ mod tests {
         chk.observe(&r);
         let report = chk.into_report();
         assert!(!report.passed());
-        assert_eq!(report.violations[0].kind, ViolationKind::Rule(RuleId::ReqStable));
+        assert_eq!(
+            report.violations[0].kind,
+            ViolationKind::Rule(RuleId::ReqStable)
+        );
     }
 
     #[test]
@@ -625,7 +675,10 @@ mod tests {
         chk.observe(&r);
         let report = chk.into_report();
         let kinds = report.failing_kinds();
-        assert!(kinds.contains(&ViolationKind::Rule(RuleId::TidMatch)), "{kinds:?}");
+        assert!(
+            kinds.contains(&ViolationKind::Rule(RuleId::TidMatch)),
+            "{kinds:?}"
+        );
     }
 
     #[test]
@@ -654,7 +707,7 @@ mod tests {
         };
         chk.observe(&fire_request(&c, 1, 0, mk(0x0000_0000))); // → T0
         chk.observe(&fire_request(&c, 2, 0, mk(0x0100_0000))); // → T1
-        // T1 responds first — out of order.
+                                                               // T1 responds first — out of order.
         let mut r = rec(&c, 6);
         r.inputs.initiator[0].r_gnt = true;
         let rsp = stbus_protocol::RspCell::ok(InitiatorId(0), TransactionId(0), true);
@@ -756,9 +809,7 @@ mod tests {
             chk.observe(&r);
         }
         let report = chk.into_report();
-        assert!(report
-            .failing_kinds()
-            .contains(&ViolationKind::Starvation));
+        assert!(report.failing_kinds().contains(&ViolationKind::Starvation));
     }
 
     #[test]

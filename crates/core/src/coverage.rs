@@ -9,9 +9,9 @@
 
 use crate::monitor::MonitorEvent;
 use crate::record::{CycleRecord, PortId};
-use std::collections::BTreeMap;
 use stbus_protocol::packet::request_cells;
 use stbus_protocol::{NodeConfig, OpKind, Opcode, RspKind, TransferSize};
+use std::collections::BTreeMap;
 
 /// One named group of coverage bins.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -82,7 +82,11 @@ impl CoverageReport {
     ///
     /// Panics when the reports were built for different configurations.
     pub fn merge(&mut self, other: &CoverageReport) {
-        assert_eq!(self.groups.len(), other.groups.len(), "coverage shape mismatch");
+        assert_eq!(
+            self.groups.len(),
+            other.groups.len(),
+            "coverage shape mismatch"
+        );
         for (a, b) in self.groups.iter_mut().zip(&other.groups) {
             assert_eq!(a.name, b.name, "coverage shape mismatch");
             for (bin, hits) in &b.bins {
@@ -200,12 +204,7 @@ impl FunctionalCoverage {
             CoverageGroup::new(
                 G_ARB,
                 (0..config.n_targets)
-                    .flat_map(|t| {
-                        [
-                            format!("t{t}/contention"),
-                            format!("t{t}/back_to_back"),
-                        ]
-                    }),
+                    .flat_map(|t| [format!("t{t}/contention"), format!("t{t}/back_to_back")]),
             ),
         );
         groups.insert(
@@ -251,7 +250,12 @@ impl FunctionalCoverage {
             let requesters = (0..self.config.n_initiators)
                 .filter(|i| {
                     let (req, cell, _) = rec.init_request(*i);
-                    req && self.config.address_map.decode(cell.addr).map(|x| x.0 as usize) == Some(t)
+                    req && self
+                        .config
+                        .address_map
+                        .decode(cell.addr)
+                        .map(|x| x.0 as usize)
+                        == Some(t)
                 })
                 .count();
             if requesters >= 2 {
@@ -352,9 +356,7 @@ impl FunctionalCoverage {
 mod tests {
     use super::*;
     use stbus_protocol::packet::PacketParams;
-    use stbus_protocol::{
-        DutInputs, DutOutputs, InitiatorId, RequestPacket, TransactionId,
-    };
+    use stbus_protocol::{DutInputs, DutOutputs, InitiatorId, RequestPacket, TransactionId};
 
     fn cfg() -> NodeConfig {
         NodeConfig::reference()
@@ -417,7 +419,11 @@ mod tests {
         let routing = report.groups.iter().find(|g| g.name == "routing").unwrap();
         assert_eq!(routing.bins["i1->t1"], 1);
         assert_eq!(routing.bins["i0->t0"], 0);
-        let sizes = report.groups.iter().find(|g| g.name == "transfer_size").unwrap();
+        let sizes = report
+            .groups
+            .iter()
+            .find(|g| g.name == "transfer_size")
+            .unwrap();
         assert_eq!(sizes.bins["8B"], 1);
     }
 

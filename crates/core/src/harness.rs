@@ -3,12 +3,12 @@
 
 use crate::record::CycleRecord;
 use crate::traffic::{throttled, TransactionPlan};
-use std::collections::VecDeque;
 use stbus_protocol::packet::PacketParams;
 use stbus_protocol::{
     InitiatorId, InitiatorPortIn, NodeConfig, Opcode, ProtocolType, RequestPacket, RspKind,
     TransactionId,
 };
+use std::collections::VecDeque;
 
 #[derive(Clone, Debug)]
 struct PendingTx {
@@ -141,14 +141,16 @@ impl InitiatorBfm {
     /// Produces the cycle-`cycle` port inputs (Moore).
     pub fn drive(&mut self, cycle: u64) -> InitiatorPortIn {
         let mut out = InitiatorPortIn {
-            r_gnt: !throttled(self.seed, 31 * self.index as u64 + 1, cycle, self.throttle_percent),
+            r_gnt: !throttled(
+                self.seed,
+                31 * self.index as u64 + 1,
+                cycle,
+                self.throttle_percent,
+            ),
             ..InitiatorPortIn::default()
         };
         if self.current.is_none() {
-            let ready = self
-                .plans
-                .front()
-                .is_some_and(|p| p.issue_cycle <= cycle);
+            let ready = self.plans.front().is_some_and(|p| p.issue_cycle <= cycle);
             if ready {
                 if let Some(tid) = self.allocate_tid() {
                     let plan = self.plans.pop_front().expect("front checked");
@@ -262,7 +264,11 @@ mod tests {
         InitiatorBfm::new(cfg, 0, generate_plans(&profile, cfg, 0, 1), 1, 0)
     }
 
-    fn record_with(cfg: &NodeConfig, inputs: DutInputs, f: impl FnOnce(&mut DutOutputs)) -> CycleRecord {
+    fn record_with(
+        cfg: &NodeConfig,
+        inputs: DutInputs,
+        f: impl FnOnce(&mut DutOutputs),
+    ) -> CycleRecord {
         let mut outputs = DutOutputs::idle(cfg);
         f(&mut outputs);
         CycleRecord {
@@ -379,6 +385,9 @@ mod tests {
         let profile = TrafficProfile {
             n_transactions: 4,
             mean_gap: 0,
+            // Loads only: request packets are single-cell, so each grant
+            // completes one issue regardless of the RNG stream's sizes.
+            op_mix: crate::traffic::OpMix::loads_only(),
             ..TrafficProfile::default()
         };
         let plans = generate_plans(&profile, &cfg, 0, 3);

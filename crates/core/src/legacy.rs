@@ -11,11 +11,11 @@
 
 use crate::record::CycleRecord;
 use crate::target::{TargetBfm, TargetProfile};
-use std::collections::VecDeque;
 use stbus_protocol::packet::{PacketParams, RequestPacket};
 use stbus_protocol::{
     DutInputs, DutView, InitiatorId, NodeConfig, Opcode, TargetId, TransactionId, TransferSize,
 };
+use std::collections::VecDeque;
 
 /// What the legacy flow concluded.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -253,7 +253,11 @@ mod tests {
             let mut node = BcaNode::new(cfg.clone(), Fidelity::Exact);
             node.inject_bug(bug);
             let out = legacy.run(&mut node);
-            assert!(out.passed, "{bug} should evade the legacy flow: {:?}", out.mismatches);
+            assert!(
+                out.passed,
+                "{bug} should evade the legacy flow: {:?}",
+                out.mismatches
+            );
         }
     }
 }

@@ -246,7 +246,13 @@ mod tests {
             .filter(|e| matches!(e, MonitorEvent::RequestPacket { .. }))
             .collect();
         assert_eq!(pkt_events.len(), 1);
-        if let MonitorEvent::RequestPacket { packet: p, start, cycle, .. } = pkt_events[0] {
+        if let MonitorEvent::RequestPacket {
+            packet: p,
+            start,
+            cycle,
+            ..
+        } = pkt_events[0]
+        {
             assert_eq!(p, &packet);
             assert_eq!(*start, 10);
             assert_eq!(*cycle, 11);

@@ -26,7 +26,13 @@ impl RunResult {
         );
         let _ = writeln!(out, "\nprotocol checks (passed evaluations per rule):");
         for (rule, n) in &self.checker.checks_passed {
-            let _ = writeln!(out, "  {:<14} {:>8}   {}", rule.to_string(), n, rule.description());
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>8}   {}",
+                rule.to_string(),
+                n,
+                rule.description()
+            );
         }
         let _ = writeln!(
             out,
@@ -80,7 +86,11 @@ impl RunResult {
     pub fn coverage_report(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "=== functional coverage report ===");
-        let _ = writeln!(out, "test : {}   seed {}   view {}", self.test, self.seed, self.view);
+        let _ = writeln!(
+            out,
+            "test : {}   seed {}   view {}",
+            self.test, self.seed, self.view
+        );
         let _ = write!(out, "{}", self.coverage);
         let holes = self.coverage.holes();
         if holes.is_empty() {

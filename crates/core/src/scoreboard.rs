@@ -10,9 +10,9 @@
 use crate::memory::SparseMemory;
 use crate::monitor::MonitorEvent;
 use crate::record::PortId;
-use std::collections::VecDeque;
 use stbus_protocol::packet::{PacketParams, RequestPacket};
 use stbus_protocol::NodeConfig;
+use std::collections::VecDeque;
 
 /// One data-integrity failure.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -27,7 +27,11 @@ pub struct ScoreboardError {
 
 impl std::fmt::Display for ScoreboardError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[scoreboard @ {} cycle {}] {}", self.port, self.cycle, self.message)
+        write!(
+            f,
+            "[scoreboard @ {} cycle {}] {}",
+            self.port, self.cycle, self.message
+        )
     }
 }
 
@@ -158,7 +162,11 @@ impl Scoreboard {
         let src = observed.src().0 as usize;
         let port = PortId::Target(t);
         if src >= self.sent.len() {
-            self.err(cycle, port, format!("packet from unknown source {}", observed.src()));
+            self.err(
+                cycle,
+                port,
+                format!("packet from unknown source {}", observed.src()),
+            );
             return;
         }
         let pos = self.sent[src].iter().position(|s| {
@@ -260,7 +268,11 @@ impl Scoreboard {
                     } else if self.expected_errors[i].pop_front().is_some() {
                         self.checks += 1; // ordered protocols carry tid 0
                     } else {
-                        self.err(cycle, port, "error response with no unmapped request".into());
+                        self.err(
+                            cycle,
+                            port,
+                            "error response with no unmapped request".into(),
+                        );
                     }
                 } else {
                     self.err(cycle, port, "internal response without error flag".into());
@@ -296,9 +308,7 @@ impl Scoreboard {
                         self.err(
                             cycle,
                             port,
-                            format!(
-                                "data mismatch: expected {expected_data:02x?}, got {got:02x?}"
-                            ),
+                            format!("data mismatch: expected {expected_data:02x?}, got {got:02x?}"),
                         );
                     } else {
                         self.checks += 1;
@@ -320,7 +330,11 @@ impl Scoreboard {
                 .flat_map(|v| v.iter())
                 .map(VecDeque::len)
                 .sum::<usize>()
-            + self.expected_errors.iter().map(VecDeque::len).sum::<usize>()
+            + self
+                .expected_errors
+                .iter()
+                .map(VecDeque::len)
+                .sum::<usize>()
     }
 }
 

@@ -26,12 +26,12 @@
 
 use crate::record::CycleRecord;
 use crate::target::{TargetBfm, TargetProfile};
-use std::fmt;
 use stbus_protocol::packet::{PacketParams, RequestPacket};
 use stbus_protocol::{
     BuildPacketError, DutInputs, DutView, InitiatorId, NodeConfig, OpKind, Opcode, RspCell,
     RspKind, TransactionId, TransferSize,
 };
+use std::fmt;
 
 /// Why a directed operation failed.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -153,8 +153,7 @@ impl SequenceRunner {
     ///
     /// See [`SequenceError`].
     pub fn read(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, SequenceError> {
-        let size =
-            TransferSize::from_bytes(len).ok_or(SequenceError::IllegalSize { len })?;
+        let size = TransferSize::from_bytes(len).ok_or(SequenceError::IllegalSize { len })?;
         self.execute(Opcode::load(size), addr, &[])
     }
 
@@ -170,7 +169,12 @@ impl SequenceRunner {
     }
 
     /// Runs one whole transaction to completion, returning response data.
-    fn execute(&mut self, opcode: Opcode, addr: u64, payload: &[u8]) -> Result<Vec<u8>, SequenceError> {
+    fn execute(
+        &mut self,
+        opcode: Opcode,
+        addr: u64,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, SequenceError> {
         let tid = TransactionId(self.tid);
         self.tid = self.tid.wrapping_add(1) % 4;
         let packet = RequestPacket::build(
@@ -222,7 +226,11 @@ impl SequenceRunner {
                         data.extend_from_slice(c.data.lanes(self.config.bus_bytes));
                     }
                     data.truncate(opcode.size().bytes());
-                    return Ok(if opcode.has_response_data() { data } else { Vec::new() });
+                    return Ok(if opcode.has_response_data() {
+                        data
+                    } else {
+                        Vec::new()
+                    });
                 }
             }
         }

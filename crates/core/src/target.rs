@@ -4,9 +4,9 @@
 use crate::memory::SparseMemory;
 use crate::record::{CycleRecord, PortId};
 use crate::traffic::throttled;
-use std::collections::VecDeque;
 use stbus_protocol::packet::{response_cells, PacketParams, RequestPacket, ResponsePacket};
 use stbus_protocol::{NodeConfig, ReqCell, TargetPortIn};
+use std::collections::VecDeque;
 
 /// The speed personality of one target — the paper's out-of-order test
 /// forces short transactions toward "different targets, having different
@@ -119,7 +119,11 @@ impl TargetBfm {
 
     /// Deterministic per-transaction latency jitter.
     fn latency_for(&self, addr: u64, tid: u8) -> u64 {
-        let span = self.profile.max_latency.saturating_sub(self.profile.min_latency) + 1;
+        let span = self
+            .profile
+            .max_latency
+            .saturating_sub(self.profile.min_latency)
+            + 1;
         let x = addr
             .wrapping_mul(0xFF51_AFD7_ED55_8CCD)
             .wrapping_add((tid as u64).wrapping_mul(0xC4CE_B9FE_1A85_EC53))
@@ -199,7 +203,13 @@ impl TargetBfm {
             }
         }
         if opcode.has_response_data() {
-            ResponsePacket::ok_with_data(packet.src(), packet.tid(), &old, self.params.bus_bytes, n_cells)
+            ResponsePacket::ok_with_data(
+                packet.src(),
+                packet.tid(),
+                &old,
+                self.params.bus_bytes,
+                n_cells,
+            )
         } else {
             ResponsePacket::ok_ack(packet.src(), packet.tid(), n_cells)
         }
@@ -217,7 +227,12 @@ mod tests {
         NodeConfig::reference()
     }
 
-    fn feed_packet(bfm: &mut TargetBfm, config: &NodeConfig, packet: &RequestPacket, start: u64) -> u64 {
+    fn feed_packet(
+        bfm: &mut TargetBfm,
+        config: &NodeConfig,
+        packet: &RequestPacket,
+        start: u64,
+    ) -> u64 {
         let mut cycle = start;
         for cell in packet.cells() {
             let mut outputs = DutOutputs::idle(config);

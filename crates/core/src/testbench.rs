@@ -10,8 +10,10 @@ use crate::scoreboard::{Scoreboard, ScoreboardError};
 use crate::target::{TargetBfm, TargetProfile};
 use crate::traffic::{generate_plans, TrafficProfile};
 use crate::vcd_dump::VcdDump;
-use std::collections::VecDeque;
 use stbus_protocol::{DutInputs, DutView, NodeConfig, ProgCommand, ViewKind};
+use std::collections::VecDeque;
+use std::time::Instant;
+use telemetry::{Json, Telemetry};
 
 /// Knobs of a testbench run.
 #[derive(Clone, Debug)]
@@ -28,6 +30,9 @@ pub struct TestbenchOptions {
     pub checks: bool,
     /// Collect functional coverage (default).
     pub collect_coverage: bool,
+    /// Telemetry handle; every run is wrapped in a `tb.run` span and
+    /// feeds the `tb.*` metrics. Disabled (zero-cost) by default.
+    pub telemetry: Telemetry,
 }
 
 impl Default for TestbenchOptions {
@@ -38,6 +43,7 @@ impl Default for TestbenchOptions {
             starvation_limit: None,
             checks: true,
             collect_coverage: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -162,6 +168,13 @@ impl Testbench {
         );
         assert_eq!(dut.config().n_targets, self.config.n_targets);
         let cfg = &self.config;
+        let tel = &self.options.telemetry;
+        let started = Instant::now();
+        let span = tel
+            .span("tb.run")
+            .field("test", Json::from(spec.name.as_str()))
+            .field("seed", Json::from(seed))
+            .field("view", Json::from(dut.view_kind().to_string()));
         dut.reset();
 
         let mut harnesses: Vec<InitiatorBfm> = (0..cfg.n_initiators)
@@ -193,8 +206,7 @@ impl Testbench {
         let mut vcd = self.options.capture_vcd.then(|| VcdDump::new(cfg));
 
         // Out-of-order and outstanding tracking for the coverage features.
-        let mut issue_order: Vec<VecDeque<Option<usize>>> =
-            vec![VecDeque::new(); cfg.n_initiators];
+        let mut issue_order: Vec<VecDeque<Option<usize>>> = vec![VecDeque::new(); cfg.n_initiators];
         let mut prog_iter = spec.prog_schedule.iter().peekable();
         let mut events: Vec<MonitorEvent> = Vec::new();
 
@@ -255,10 +267,7 @@ impl Testbench {
                         packet,
                         ..
                     } => {
-                        let dest = cfg
-                            .address_map
-                            .decode(packet.addr())
-                            .map(|t| t.0 as usize);
+                        let dest = cfg.address_map.decode(packet.addr()).map(|t| t.0 as usize);
                         issue_order[*i].push_back(dest);
                         if issue_order[*i].len() >= 2 {
                             coverage.note_outstanding_gt1();
@@ -272,9 +281,7 @@ impl Testbench {
                         if issue_order[*i].front() != Some(responder) {
                             coverage.note_out_of_order();
                         }
-                        if let Some(pos) =
-                            issue_order[*i].iter().position(|d| d == responder)
-                        {
+                        if let Some(pos) = issue_order[*i].iter().position(|d| d == responder) {
                             issue_order[*i].remove(pos);
                         } else {
                             issue_order[*i].pop_front();
@@ -298,7 +305,7 @@ impl Testbench {
         }
 
         let transactions = harnesses.iter().map(|h| h.stats().completed).sum();
-        RunResult {
+        let result = RunResult {
             test: spec.name.clone(),
             seed,
             view: dut.view_kind(),
@@ -315,7 +322,60 @@ impl Testbench {
             completed,
             transactions,
             vcd: vcd.map(VcdDump::finish),
+        };
+
+        let wall = started.elapsed();
+        let cycles_per_sec = result.cycles as f64 / wall.as_secs_f64().max(1e-9);
+        let metrics = tel.metrics();
+        metrics.counter("tb.runs").inc();
+        metrics.counter("tb.cycles").add(result.cycles);
+        metrics.counter("tb.transactions").add(result.transactions);
+        metrics
+            .counter("tb.checker_checks")
+            .add(result.checker.total_checks());
+        metrics
+            .counter("tb.checker_violations")
+            .add(result.checker.violations.len() as u64);
+        metrics
+            .counter("tb.scoreboard_checks")
+            .add(result.scoreboard_checks);
+        metrics
+            .counter("tb.scoreboard_errors")
+            .add(result.scoreboard_errors.len() as u64);
+        if !result.passed() {
+            metrics.counter("tb.failures").inc();
         }
+        span.end([
+            ("cycles", Json::from(result.cycles)),
+            ("transactions", Json::from(result.transactions)),
+            ("cycles_per_sec", Json::from(cycles_per_sec)),
+            ("checker_checks", Json::from(result.checker.total_checks())),
+            (
+                "checker_violations",
+                Json::from(result.checker.violations.len()),
+            ),
+            ("scoreboard_checks", Json::from(result.scoreboard_checks)),
+            (
+                "scoreboard_errors",
+                Json::from(result.scoreboard_errors.len()),
+            ),
+            (
+                "coverage_pct",
+                Json::from(result.coverage.coverage() * 100.0),
+            ),
+            ("passed", Json::from(result.passed())),
+            (
+                "checker_rules",
+                Json::obj(
+                    result
+                        .checker
+                        .checks_passed
+                        .iter()
+                        .map(|(rule, count)| (rule.to_string(), Json::from(*count))),
+                ),
+            ),
+        ]);
+        result
     }
 }
 
@@ -357,7 +417,54 @@ mod tests {
         assert_eq!(ra.cycles, rb.cycles);
         assert_eq!(ra.transactions, rb.transactions);
         let rc = tb.run(a.as_mut(), &spec, 4);
-        assert!(rc.cycles != ra.cycles || rc.transactions != ra.transactions || ra.stats != rc.stats);
+        assert!(
+            rc.cycles != ra.cycles || rc.transactions != ra.transactions || ra.stats != rc.stats
+        );
+    }
+
+    #[test]
+    fn run_emits_span_and_metrics() {
+        let (sink, handle) = telemetry::MemorySink::new();
+        let tel = Telemetry::builder().with_sink(Box::new(sink)).build();
+        let cfg = NodeConfig::reference();
+        let tb = Testbench::new(
+            cfg.clone(),
+            TestbenchOptions {
+                telemetry: tel.clone(),
+                ..TestbenchOptions::default()
+            },
+        );
+        let spec = tests_lib::basic_read_write(10);
+        let mut dut = build_view(&cfg, ViewKind::Rtl);
+        dut.attach_metrics(tel.metrics());
+        let result = tb.run(dut.as_mut(), &spec, 5);
+
+        let events = handle.events();
+        let end = events
+            .iter()
+            .find(|e| e.scope == "tb.run.end")
+            .expect("span end event");
+        assert_eq!(
+            end.field("cycles").and_then(telemetry::Json::as_u64),
+            Some(result.cycles)
+        );
+        assert_eq!(
+            end.field("transactions").and_then(telemetry::Json::as_u64),
+            Some(result.transactions)
+        );
+        assert!(end.field("cycles_per_sec").is_some());
+        assert_eq!(
+            end.field("passed").and_then(telemetry::Json::as_bool),
+            Some(true)
+        );
+
+        let snap = tel.metrics().snapshot();
+        assert_eq!(snap.counters["tb.runs"], 1);
+        assert_eq!(snap.counters["tb.cycles"], result.cycles);
+        assert_eq!(snap.counters["tb.transactions"], result.transactions);
+        // The RTL view runs on the instrumented kernel.
+        assert!(snap.counters["kernel.delta_cycles"] > 0);
+        assert!(snap.counters["kernel.process_activations"] > 0);
     }
 
     #[test]

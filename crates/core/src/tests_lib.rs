@@ -136,7 +136,10 @@ pub fn priority_prog(intensity: usize) -> TestSpec {
             ..TrafficProfile::default()
         }],
     );
-    s.prog_schedule = vec![(20, vec![1, 9, 5, 7, 3, 8, 2, 6]), (60, vec![9, 1, 2, 3, 4, 5, 6, 7])];
+    s.prog_schedule = vec![
+        (20, vec![1, 9, 5, 7, 3, 8, 2, 6]),
+        (60, vec![9, 1, 2, 3, 4, 5, 6, 7]),
+    ];
     s
 }
 

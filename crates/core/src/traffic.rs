@@ -183,15 +183,15 @@ pub fn generate_plans(
     initiator: usize,
     seed: u64,
 ) -> Vec<TransactionPlan> {
-    let mut rng = StdRng::seed_from_u64(
-        seed ^ (initiator as u64).wrapping_mul(0xA076_1D64_78BD_642F),
-    );
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (initiator as u64).wrapping_mul(0xA076_1D64_78BD_642F));
     let sizes: Vec<TransferSize> = profile
         .sizes
         .iter()
         .copied()
         .filter(|s| {
-            Opcode::load(*s).legal_for(config.protocol) || Opcode::store(*s).legal_for(config.protocol)
+            Opcode::load(*s).legal_for(config.protocol)
+                || Opcode::store(*s).legal_for(config.protocol)
         })
         .collect();
     let sizes = if sizes.is_empty() {
@@ -327,7 +327,11 @@ mod tests {
             ..TrafficProfile::default()
         };
         for plan in generate_plans(&p, &cfg, 0, 7) {
-            assert!(plan.opcode.legal_for(ProtocolType::Type1), "{:?}", plan.opcode);
+            assert!(
+                plan.opcode.legal_for(ProtocolType::Type1),
+                "{:?}",
+                plan.opcode
+            );
             assert_eq!(plan.addr % plan.opcode.size().bytes() as u64, 0);
             if plan.opcode.has_request_data() {
                 assert_eq!(plan.payload.len(), plan.opcode.size().bytes());
@@ -397,9 +401,7 @@ mod tests {
 
     #[test]
     fn throttle_is_deterministic_and_ratioed() {
-        let hits = (0..10_000u64)
-            .filter(|c| throttled(1, 2, *c, 30))
-            .count();
+        let hits = (0..10_000u64).filter(|c| throttled(1, 2, *c, 30)).count();
         assert!((2200..3800).contains(&hits), "≈30%: {hits}");
         for c in 0..100 {
             assert_eq!(throttled(1, 2, c, 30), throttled(1, 2, c, 30));

@@ -8,7 +8,7 @@
 
 use crate::record::CycleRecord;
 use stbus_protocol::{NodeConfig, ReqCell, RspCell, RspKind};
-use vcd::{Scalar, VcdValue, VcdWriter, VarId};
+use vcd::{Scalar, VarId, VcdValue, VcdWriter};
 
 /// Nanoseconds of simulated time per clock cycle in the dump.
 pub const CYCLE_TIME: u64 = 10;
@@ -40,11 +40,7 @@ pub fn port_var_names(bus_bytes: usize) -> Vec<(&'static str, usize)> {
 
 fn bytes_value(bytes: &[u8]) -> VcdValue {
     // MSB-first binary literal.
-    let s: String = bytes
-        .iter()
-        .rev()
-        .map(|b| format!("{b:08b}"))
-        .collect();
+    let s: String = bytes.iter().rev().map(|b| format!("{b:08b}")).collect();
     VcdValue::from_binary_str(&s).expect("binary digits")
 }
 

@@ -1,17 +1,25 @@
 //! The regression CLI: the paper's regression tool without the GUI.
 //!
 //! ```text
-//! stbus-regress [--configs <dir>] [--seeds N] [--intensity N]
+//! stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N]
 //!               [--no-compare] [--exact]
+//!               [--log-format text|json] [--log-file PATH] [--quiet]
 //! ```
 //!
 //! With `--configs <dir>`, every `*.cfg` text file in the directory is
 //! loaded ("It's sufficient to indicate the directory to which the tool
 //! has to point"); otherwise the built-in >36-configuration sweep runs.
+//!
+//! Progress goes to stderr through the telemetry layer: `--log-format`
+//! selects human-readable lines (default) or JSONL, `--log-file` appends
+//! the JSONL event stream to a file as well, and `--quiet` silences
+//! stderr (the file sink, when given, still receives everything). The
+//! final result table and the sign-off line stay on stdout either way.
 
-use stbus_regression::{parse_config, run_regression, standard_configs, RegressionOptions};
 use stbus_bca::Fidelity;
 use stbus_protocol::NodeConfig;
+use stbus_regression::{parse_config, run_regression, standard_configs, RegressionOptions};
+use telemetry::{Json, JsonlSink, Level, Telemetry, TextSink};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -21,6 +29,9 @@ fn main() {
     // The CLI default is deep enough to reach full functional coverage on
     // every sweep configuration (the library default favors test speed).
     let mut intensity = 30;
+    let mut log_format = "text".to_owned();
+    let mut log_file: Option<String> = None;
+    let mut quiet = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--configs" => config_dir = args.next(),
@@ -30,12 +41,26 @@ fn main() {
                 options.seeds = (1..=n).collect();
             }
             "--intensity" => {
-                intensity = args.next().and_then(|s| s.parse().ok()).unwrap_or(intensity);
+                intensity = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(intensity);
             }
             "--no-compare" => options.compare_waveforms = false,
             "--exact" => options.fidelity = Fidelity::Exact,
+            "--log-format" => {
+                log_format = args.next().unwrap_or_default();
+                if log_format != "text" && log_format != "json" {
+                    eprintln!("--log-format must be `text` or `json`");
+                    std::process::exit(2);
+                }
+            }
+            "--log-file" => log_file = args.next(),
+            "--quiet" => quiet = true,
             "--help" | "-h" => {
-                eprintln!("usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--no-compare] [--exact]");
+                eprintln!(
+                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet]"
+                );
                 return;
             }
             other => {
@@ -45,6 +70,26 @@ fn main() {
         }
     }
     options.intensity = intensity;
+
+    let mut builder = Telemetry::builder().min_level(Level::Info);
+    if !quiet {
+        builder = if log_format == "json" {
+            builder.with_sink(Box::new(JsonlSink::new(std::io::stderr())))
+        } else {
+            builder.with_sink(Box::new(TextSink::stderr()))
+        };
+    }
+    if let Some(path) = &log_file {
+        builder = match builder.with_jsonl_file(std::path::Path::new(path)) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot open log file {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+    }
+    let tel = builder.build();
+    options.telemetry = tel.clone();
 
     let configs: Vec<NodeConfig> = match &config_dir {
         Some(dir) => {
@@ -83,21 +128,35 @@ fn main() {
     }
 
     let tests = catg::tests_lib::all(options.intensity);
-    eprintln!(
-        "running {} configs x {} tests x {} seeds on both views ...",
-        configs.len(),
-        tests.len(),
-        options.seeds.len()
+    tel.info(
+        "regress.start",
+        "campaign starting on both views",
+        [
+            ("configs", Json::from(configs.len())),
+            ("tests", Json::from(tests.len())),
+            ("seeds", Json::from(options.seeds.len())),
+            ("intensity", Json::from(options.intensity)),
+            ("compare", Json::from(options.compare_waveforms)),
+        ],
     );
     let report = run_regression(&configs, &tests, &options);
     println!("{}", report.table());
     if let Some(out) = out_dir {
         let path = std::path::Path::new(&out);
         match report.write_reports(path) {
-            Ok(()) => eprintln!("reports written under {}", path.display()),
-            Err(e) => eprintln!("cannot write reports: {e}"),
+            Ok(()) => tel.info(
+                "regress.reports",
+                "reports written",
+                [("dir", Json::from(path.display().to_string()))],
+            ),
+            Err(e) => tel.error(
+                "regress.reports",
+                "cannot write reports",
+                [("error", Json::from(e.to_string()))],
+            ),
         }
     }
+    tel.flush();
     println!(
         "{} of {} configurations signed off (all checks green, full functional coverage, >=99% alignment)",
         report.signed_off_count(),

@@ -24,12 +24,12 @@
 //! window       = 16
 //! ```
 
-use std::fmt;
 use stbus_protocol::arbitration::ArbiterParams;
 use stbus_protocol::{
-    AddressMap, AddressRange, Architecture, ArbitrationKind, ConfigError, Endianness, NodeConfig,
+    AddressMap, AddressRange, ArbitrationKind, Architecture, ConfigError, Endianness, NodeConfig,
     ProtocolType, TargetId,
 };
+use std::fmt;
 
 /// A failure to parse or validate a configuration file.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -180,10 +180,7 @@ pub fn parse_config(text: &str) -> Result<NodeConfig, ParseConfigError> {
 
 /// Parses a numeric list like `1,2,3` into any integer type.
 fn parse_list<T: std::str::FromStr>(value: &str) -> Option<Vec<T>> {
-    value
-        .split(',')
-        .map(|s| s.trim().parse().ok())
-        .collect()
+    value.split(',').map(|s| s.trim().parse().ok()).collect()
 }
 
 /// Parses a `t<N>:<base>:<size>` address-range spec (hex or decimal).

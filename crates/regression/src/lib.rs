@@ -20,10 +20,12 @@
 #![warn(missing_docs)]
 
 pub mod config_file;
+mod manifest;
 mod matrix;
 mod report_files;
 mod runner;
 
 pub use config_file::{parse_config, render_config, ParseConfigError};
+pub use manifest::MANIFEST_SCHEMA;
 pub use matrix::standard_configs;
 pub use runner::{run_regression, ConfigOutcome, RegressionOptions, RegressionReport, RunRecord};

@@ -1,7 +1,7 @@
 //! The standard configuration sweep: the ">36 configurations of the Node"
 //! of the paper's §5.
 
-use stbus_protocol::{Architecture, ArbitrationKind, NodeConfig, ProtocolType};
+use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType};
 
 /// Generates the standard sweep of node configurations.
 ///
@@ -115,7 +115,11 @@ mod tests {
         ] {
             assert!(configs.iter().any(|c| c.arch == arch));
         }
-        for p in [ProtocolType::Type1, ProtocolType::Type2, ProtocolType::Type3] {
+        for p in [
+            ProtocolType::Type1,
+            ProtocolType::Type2,
+            ProtocolType::Type3,
+        ] {
             assert!(configs.iter().any(|c| c.protocol == p));
         }
         assert!(configs.iter().any(|c| c.pipe_depth > 0));

@@ -7,6 +7,7 @@
 //! ```text
 //! <out>/
 //!   summary.txt                      the per-configuration table
+//!   manifest.json                    the machine-readable campaign manifest
 //!   <config>/
 //!     config.cfg                     the text configuration file
 //!     <test>_seed<N>_<view>.verify.txt
@@ -27,6 +28,10 @@ impl RegressionReport {
     pub fn write_reports(&self, dir: &Path) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join("summary.txt"), self.table())?;
+        std::fs::write(
+            dir.join("manifest.json"),
+            self.manifest_json().render_pretty(),
+        )?;
         for outcome in &self.configs {
             let cfg_dir = dir.join(&outcome.config.name);
             std::fs::create_dir_all(&cfg_dir)?;
@@ -56,10 +61,7 @@ mod tests {
 
     #[test]
     fn report_tree_is_written() {
-        let dir = std::env::temp_dir().join(format!(
-            "stbus_regress_test_{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("stbus_regress_test_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let configs = vec![NodeConfig::reference()];
         let tests = vec![catg::tests_lib::basic_read_write(5)];
@@ -71,6 +73,8 @@ mod tests {
         let report = run_regression(&configs, &tests, &options);
         report.write_reports(&dir).expect("writable temp dir");
         assert!(dir.join("summary.txt").exists());
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).expect("written");
+        telemetry::Json::parse(&manifest).expect("manifest is valid JSON");
         let cfg_dir = dir.join("reference");
         assert!(cfg_dir.join("config.cfg").exists());
         assert!(cfg_dir
@@ -79,9 +83,8 @@ mod tests {
         assert!(cfg_dir
             .join("basic_read_write_seed1_bca.coverage.txt")
             .exists());
-        let verify =
-            std::fs::read_to_string(cfg_dir.join("basic_read_write_seed1_rtl.verify.txt"))
-                .expect("written");
+        let verify = std::fs::read_to_string(cfg_dir.join("basic_read_write_seed1_rtl.verify.txt"))
+            .expect("written");
         assert!(verify.contains("verdict : PASS"));
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -5,11 +5,13 @@
 //! the bus-accurate comparison on the VCD pairs ("Compare VCD results if
 //! full functional coverage").
 
-use catg::{CoverageReport, RunResult, Testbench, TestbenchOptions, TestSpec};
-use stba::compare_vcd;
+use catg::{CoverageReport, RunResult, TestSpec, Testbench, TestbenchOptions};
+use stba::compare_vcd_with;
 use stbus_bca::{BcaBug, BcaNode, Fidelity};
-use stbus_protocol::NodeConfig;
+use stbus_protocol::{DutView, NodeConfig, ViewKind};
 use stbus_rtl::RtlNode;
+use std::time::Instant;
+use telemetry::{Json, Telemetry};
 
 /// Options of one regression campaign.
 #[derive(Clone, Debug)]
@@ -25,6 +27,11 @@ pub struct RegressionOptions {
     pub bca_bugs: Vec<BcaBug>,
     /// Capture VCDs and run the alignment comparison.
     pub compare_waveforms: bool,
+    /// Telemetry handle; the campaign emits one `regress.cell` span per
+    /// `{config, test, seed, view}` cell, wires the testbench and kernel
+    /// metrics, and snapshots everything into the final report. Disabled
+    /// by default.
+    pub telemetry: Telemetry,
 }
 
 impl Default for RegressionOptions {
@@ -35,6 +42,7 @@ impl Default for RegressionOptions {
             fidelity: Fidelity::Relaxed,
             bca_bugs: Vec::new(),
             compare_waveforms: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -53,6 +61,12 @@ pub struct RunRecord {
     /// Per-port `(port, matching cycles, total cycles)` of this pair,
     /// when compared.
     pub alignment: Option<Vec<(String, u64, u64)>>,
+    /// Wall-clock microseconds of the RTL run.
+    pub rtl_wall_us: u64,
+    /// Wall-clock microseconds of the BCA run.
+    pub bca_wall_us: u64,
+    /// Wall-clock microseconds of the waveform comparison, when it ran.
+    pub compare_wall_us: Option<u64>,
 }
 
 impl RunRecord {
@@ -62,7 +76,9 @@ impl RunRecord {
         ports
             .iter()
             .map(|(_, m, t)| if *t == 0 { 1.0 } else { *m as f64 / *t as f64 })
-            .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.min(x))))
+            .fold(None, |acc: Option<f64>, x| {
+                Some(acc.map_or(x, |a| a.min(x)))
+            })
     }
 }
 
@@ -95,7 +111,9 @@ impl ConfigOutcome {
 
     /// Functional coverage (RTL side), 0..=1.
     pub fn functional_coverage(&self) -> f64 {
-        self.coverage_rtl.as_ref().map_or(0.0, CoverageReport::coverage)
+        self.coverage_rtl
+            .as_ref()
+            .map_or(0.0, CoverageReport::coverage)
     }
 
     /// Coverage equality across views — the paper: "of course they must be
@@ -128,7 +146,9 @@ impl ConfigOutcome {
         per_port
             .values()
             .map(|(m, t)| if *t == 0 { 1.0 } else { *m as f64 / *t as f64 })
-            .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.min(x))))
+            .fold(None, |acc: Option<f64>, x| {
+                Some(acc.map_or(x, |a| a.min(x)))
+            })
     }
 
     /// The paper's sign-off: everything passed, full functional coverage,
@@ -148,6 +168,11 @@ impl ConfigOutcome {
 pub struct RegressionReport {
     /// Per-configuration outcomes.
     pub configs: Vec<ConfigOutcome>,
+    /// Campaign wall-clock microseconds.
+    pub wall_us: u64,
+    /// Snapshot of every metric the campaign recorded (kernel, testbench
+    /// and analyzer counters), taken right after the last run.
+    pub metrics: telemetry::MetricsSnapshot,
 }
 
 impl RegressionReport {
@@ -199,16 +224,28 @@ pub fn run_regression(
     tests: &[TestSpec],
     options: &RegressionOptions,
 ) -> RegressionReport {
+    let tel = &options.telemetry;
+    let campaign_started = Instant::now();
+    let campaign_span = tel
+        .span("regress.campaign")
+        .field("configs", Json::from(configs.len()))
+        .field("tests", Json::from(tests.len()))
+        .field("seeds", Json::from(options.seeds.len()));
     let mut report = RegressionReport::default();
     for config in configs {
+        let config_span = tel
+            .span("regress.config")
+            .field("config", Json::from(config.name.as_str()));
         let bench = Testbench::new(
             config.clone(),
             TestbenchOptions {
                 capture_vcd: options.compare_waveforms,
+                telemetry: tel.clone(),
                 ..TestbenchOptions::default()
             },
         );
         let mut rtl = RtlNode::new(config.clone());
+        rtl.attach_metrics(tel.metrics());
         let mut bca = BcaNode::new(config.clone(), options.fidelity);
         for bug in &options.bca_bugs {
             bca.inject_bug(*bug);
@@ -218,25 +255,45 @@ pub fn run_regression(
         let mut coverage_bca: Option<CoverageReport> = None;
         for spec in tests {
             for &seed in &options.seeds {
-                let rtl_result = bench.run(&mut rtl, spec, seed);
-                let bca_result = bench.run(&mut bca, spec, seed);
+                let timed_run = |dut: &mut dyn DutView, view: ViewKind| {
+                    let span = tel
+                        .span("regress.cell")
+                        .field("config", Json::from(config.name.as_str()))
+                        .field("test", Json::from(spec.name.as_str()))
+                        .field("seed", Json::from(seed))
+                        .field("view", Json::from(view.to_string()));
+                    let started = Instant::now();
+                    let result = bench.run(dut, spec, seed);
+                    let wall_us = started.elapsed().as_micros() as u64;
+                    span.end([
+                        ("cycles", Json::from(result.cycles)),
+                        ("passed", Json::from(result.passed())),
+                    ]);
+                    (result, wall_us)
+                };
+                let (rtl_result, rtl_wall_us) = timed_run(&mut rtl, ViewKind::Rtl);
+                let (bca_result, bca_wall_us) = timed_run(&mut bca, ViewKind::Bca);
                 merge_cov(&mut coverage_rtl, &rtl_result.coverage);
                 merge_cov(&mut coverage_bca, &bca_result.coverage);
                 // Figure 4: the alignment comparison only happens once both
                 // verification runs passed.
+                let mut compare_wall_us = None;
                 let alignment = if options.compare_waveforms
                     && rtl_result.passed()
                     && bca_result.passed()
                 {
                     match (&rtl_result.vcd, &bca_result.vcd) {
-                        (Some(a), Some(b)) => compare_vcd(a, b, catg::vcd_cycle_time())
-                            .ok()
-                            .map(|r| {
+                        (Some(a), Some(b)) => {
+                            let started = Instant::now();
+                            let outcome = compare_vcd_with(a, b, catg::vcd_cycle_time(), tel);
+                            compare_wall_us = Some(started.elapsed().as_micros() as u64);
+                            outcome.ok().map(|r| {
                                 r.ports
                                     .iter()
                                     .map(|p| (p.port.clone(), p.matching_cycles, p.total_cycles))
                                     .collect()
-                            }),
+                            })
+                        }
                         _ => None,
                     }
                 } else {
@@ -248,17 +305,40 @@ pub fn run_regression(
                     rtl: strip_vcd(rtl_result),
                     bca: strip_vcd(bca_result),
                     alignment,
+                    rtl_wall_us,
+                    bca_wall_us,
+                    compare_wall_us,
                 });
             }
         }
-        report.configs.push(ConfigOutcome {
+        let outcome = ConfigOutcome {
             config: config.clone(),
             runs,
             coverage_rtl,
             coverage_bca,
             code_coverage_rtl: Some(rtl.activity_coverage()),
-        });
+        };
+        config_span.end([
+            ("runs", Json::from(outcome.runs.len() * 2)),
+            ("all_passed", Json::from(outcome.all_passed())),
+            (
+                "functional_coverage_pct",
+                Json::from(outcome.functional_coverage() * 100.0),
+            ),
+            (
+                "min_alignment_pct",
+                Json::from(outcome.min_alignment().map(|a| a * 100.0)),
+            ),
+            ("signed_off", Json::from(outcome.signed_off())),
+        ]);
+        report.configs.push(outcome);
     }
+    report.wall_us = campaign_started.elapsed().as_micros() as u64;
+    report.metrics = tel.metrics().snapshot();
+    campaign_span.end([
+        ("signed_off", Json::from(report.signed_off_count())),
+        ("wall_us", Json::from(report.wall_us)),
+    ]);
     report
 }
 
@@ -291,7 +371,14 @@ mod tests {
         let report = run_regression(&configs, &tests, &options);
         assert_eq!(report.configs.len(), 1);
         let c = &report.configs[0];
-        assert!(c.all_passed(), "{:#?}", c.runs.iter().map(|r| (&r.test, r.rtl.passed(), r.bca.passed())).collect::<Vec<_>>());
+        assert!(
+            c.all_passed(),
+            "{:#?}",
+            c.runs
+                .iter()
+                .map(|r| (&r.test, r.rtl.passed(), r.bca.passed()))
+                .collect::<Vec<_>>()
+        );
         assert!(c.coverage_matches_across_views());
         let align = c.min_alignment().expect("compared");
         assert!(align >= 0.99, "alignment {align}");

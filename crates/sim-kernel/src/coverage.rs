@@ -53,12 +53,18 @@ impl ActivityCoverage {
     ///
     /// Returns 1.0 for an empty design (vacuously covered).
     pub fn process_coverage(&self) -> f64 {
-        ratio(self.processes.iter().filter(|p| p.runs > 0).count(), self.processes.len())
+        ratio(
+            self.processes.iter().filter(|p| p.runs > 0).count(),
+            self.processes.len(),
+        )
     }
 
     /// Fraction of branch points hit at least once, in `[0, 1]`.
     pub fn branch_coverage(&self) -> f64 {
-        ratio(self.branches.iter().filter(|b| b.hits > 0).count(), self.branches.len())
+        ratio(
+            self.branches.iter().filter(|b| b.hits > 0).count(),
+            self.branches.len(),
+        )
     }
 
     /// Branch points that never executed — the "unjustified" residue the
@@ -118,13 +124,28 @@ mod tests {
     fn sample() -> ActivityCoverage {
         ActivityCoverage {
             processes: vec![
-                ProcessActivity { name: "a".into(), runs: 3 },
-                ProcessActivity { name: "b".into(), runs: 0 },
+                ProcessActivity {
+                    name: "a".into(),
+                    runs: 3,
+                },
+                ProcessActivity {
+                    name: "b".into(),
+                    runs: 0,
+                },
             ],
             branches: vec![
-                BranchActivity { name: "a/hit".into(), hits: 2 },
-                BranchActivity { name: "a/miss".into(), hits: 0 },
-                BranchActivity { name: "b/x".into(), hits: 1 },
+                BranchActivity {
+                    name: "a/hit".into(),
+                    hits: 2,
+                },
+                BranchActivity {
+                    name: "a/miss".into(),
+                    hits: 0,
+                },
+                BranchActivity {
+                    name: "b/x".into(),
+                    hits: 1,
+                },
             ],
         }
     }

@@ -46,11 +46,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = SimError::DeltaOverflow { time: SimTime::from_ticks(7), limit: 1000 };
+        let e = SimError::DeltaOverflow {
+            time: SimTime::from_ticks(7),
+            limit: 1000,
+        };
         assert!(e.to_string().contains("7t"));
         assert!(e.to_string().contains("1000"));
-        assert!(SimError::ZeroClockPeriod.to_string().contains("half-period"));
-        let e = SimError::EdgeOnNonBool { signal: "addr".into() };
+        assert!(SimError::ZeroClockPeriod
+            .to_string()
+            .contains("half-period"));
+        let e = SimError::EdgeOnNonBool {
+            signal: "addr".into(),
+        };
         assert!(e.to_string().contains("addr"));
     }
 

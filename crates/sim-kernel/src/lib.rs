@@ -46,6 +46,7 @@ mod logic;
 mod process;
 mod scheduler;
 mod signal;
+mod stats;
 mod time;
 mod trace;
 
@@ -56,5 +57,6 @@ pub use logic::{Bits, Logic, LogicVec};
 pub use process::{Edge, ProcCtx, ProcessId};
 pub use scheduler::Simulator;
 pub use signal::{Signal, SignalId, SignalValue};
+pub use stats::KernelStats;
 pub use time::SimTime;
 pub use trace::{ChangeRecord, TraceSink, VecTrace};

@@ -262,7 +262,11 @@ impl Bits {
                 *w &= (1u64 << top_bits) - 1;
             }
         }
-        for w in self.words.iter_mut().skip(full_words + usize::from(top_bits != 0)) {
+        for w in self
+            .words
+            .iter_mut()
+            .skip(full_words + usize::from(top_bits != 0))
+        {
             *w = 0;
         }
     }

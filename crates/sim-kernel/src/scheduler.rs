@@ -6,6 +6,7 @@ use crate::coverage::{ActivityCoverage, BranchActivity, BranchId, ProcessActivit
 use crate::error::SimError;
 use crate::process::{DelayedWrite, Edge, ProcCtx, ProcessId, ProcessSlot};
 use crate::signal::{Signal, SignalId, SignalSlot, SignalValue, TypedStore};
+use crate::stats::{KernelMetrics, KernelStats};
 use crate::time::SimTime;
 use crate::trace::TraceSink;
 use std::any::Any;
@@ -77,6 +78,8 @@ pub struct Simulator {
     written: Vec<SignalId>,
     initialized: bool,
     total_deltas: u64,
+    stats: KernelStats,
+    metrics: Option<KernelMetrics>,
 }
 
 impl Default for Simulator {
@@ -104,6 +107,8 @@ impl Simulator {
             written: Vec::new(),
             initialized: false,
             total_deltas: 0,
+            stats: KernelStats::default(),
+            metrics: None,
         }
     }
 
@@ -130,7 +135,12 @@ impl Simulator {
 
     /// Registers a combinational process sensitive to any change of the
     /// given signals. The process also runs once at initialization.
-    pub fn add_comb_process<F>(&mut self, name: &str, sensitivity: &[SignalId], body: F) -> ProcessId
+    pub fn add_comb_process<F>(
+        &mut self,
+        name: &str,
+        sensitivity: &[SignalId],
+        body: F,
+    ) -> ProcessId
     where
         F: FnMut(&mut ProcCtx<'_>) + 'static,
     {
@@ -142,7 +152,13 @@ impl Simulator {
     }
 
     /// Registers a process sensitive to an edge of a `bool` clock signal.
-    pub fn add_clocked_process<F>(&mut self, name: &str, clk: Signal<bool>, edge: Edge, body: F) -> ProcessId
+    pub fn add_clocked_process<F>(
+        &mut self,
+        name: &str,
+        clk: Signal<bool>,
+        edge: Edge,
+        body: F,
+    ) -> ProcessId
     where
         F: FnMut(&mut ProcCtx<'_>) + 'static,
     {
@@ -218,7 +234,11 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns [`SimError::ZeroClockPeriod`] when `half_period == 0`.
-    pub fn add_clock(&mut self, signal: Signal<bool>, half_period: u64) -> Result<ClockId, SimError> {
+    pub fn add_clock(
+        &mut self,
+        signal: Signal<bool>,
+        half_period: u64,
+    ) -> Result<ClockId, SimError> {
         if half_period == 0 {
             return Err(SimError::ZeroClockPeriod);
         }
@@ -296,6 +316,27 @@ impl Simulator {
         self.total_deltas
     }
 
+    /// A snapshot of the kernel's cumulative work counters.
+    pub fn kernel_stats(&self) -> KernelStats {
+        KernelStats {
+            delta_cycles: self.total_deltas,
+            ..self.stats
+        }
+    }
+
+    /// Publishes this simulator's work counters into `registry` under the
+    /// `kernel.*` metric names (`kernel.delta_cycles`,
+    /// `kernel.process_activations`, `kernel.signal_commits`,
+    /// `kernel.settle_calls`, `kernel.timed_events`, `kernel.time_steps`
+    /// and the `kernel.deltas_per_settle` histogram).
+    ///
+    /// Counters accumulate from the moment of attachment; several
+    /// simulators may share one registry, in which case their work adds
+    /// up — exactly what a regression campaign wants.
+    pub fn attach_metrics(&mut self, registry: &telemetry::MetricsRegistry) {
+        self.metrics = Some(KernelMetrics::new(registry));
+    }
+
     /// Installs a trace sink; only signals marked with
     /// [`Simulator::trace_signal`] (or all, after
     /// [`Simulator::trace_all`]) are reported.
@@ -344,17 +385,29 @@ impl Simulator {
         }
         self.commit_written();
         let mut deltas = 0u32;
+        let mut overflow = false;
         while !self.triggered.is_empty() {
             deltas += 1;
             self.total_deltas += 1;
             if deltas > self.delta_limit {
-                return Err(SimError::DeltaOverflow {
-                    time: self.time,
-                    limit: self.delta_limit,
-                });
+                overflow = true;
+                break;
             }
             self.run_triggered();
             self.commit_written();
+        }
+        self.stats.settle_calls += 1;
+        self.stats.max_deltas_per_settle = self.stats.max_deltas_per_settle.max(deltas);
+        if let Some(m) = &self.metrics {
+            m.settle_calls.inc();
+            m.delta_cycles.add(u64::from(deltas));
+            m.deltas_per_settle.observe(u64::from(deltas));
+        }
+        if overflow {
+            return Err(SimError::DeltaOverflow {
+                time: self.time,
+                limit: self.delta_limit,
+            });
         }
         Ok(())
     }
@@ -372,12 +425,14 @@ impl Simulator {
             self.trigger_marks[id.index()] = false;
         }
         let mut delayed: Vec<DelayedWrite> = Vec::new();
+        let mut activations = 0u64;
         for id in batch {
             let mut body = match self.processes[id.index()].body.take() {
                 Some(b) => b,
                 None => continue,
             };
             self.processes[id.index()].runs += 1;
+            activations += 1;
             {
                 let mut ctx = ProcCtx {
                     signals: &mut self.signals,
@@ -391,6 +446,10 @@ impl Simulator {
             }
             self.processes[id.index()].body = Some(body);
         }
+        self.stats.process_activations += activations;
+        if let Some(m) = &self.metrics {
+            m.process_activations.add(activations);
+        }
         for (delay, id, apply) in delayed {
             let at = self.time + delay;
             self.push_event(at, EventAction::Write(id, apply));
@@ -400,12 +459,14 @@ impl Simulator {
     fn commit_written(&mut self) {
         let written = std::mem::take(&mut self.written);
         let mut to_trigger: Vec<ProcessId> = Vec::new();
+        let mut commits = 0u64;
         for id in written {
             let slot = &mut self.signals[id.index()];
             let had_pending_edge = slot.store.bool_edge();
             if !slot.store.commit() {
                 continue;
             }
+            commits += 1;
             to_trigger.extend_from_slice(&slot.sensitive);
             if let Some((_, now_val)) = slot.store.bool_edge() {
                 // commit() updated previous/current; a change on a bool is
@@ -422,6 +483,10 @@ impl Simulator {
                     sink.on_change(self.time, id, &slot.name, &slot.store.bits());
                 }
             }
+        }
+        self.stats.signal_commits += commits;
+        if let Some(m) = &self.metrics {
+            m.signal_commits.add(commits);
         }
         for p in to_trigger {
             self.enqueue_process(p);
@@ -442,12 +507,20 @@ impl Simulator {
                 _ => break,
             };
             self.time = next_time;
+            self.stats.time_steps += 1;
+            let mut popped = 0u64;
             while let Some(Reverse(e)) = self.events.peek() {
                 if e.time != next_time {
                     break;
                 }
                 let Reverse(entry) = self.events.pop().expect("peeked");
                 self.apply_event(entry.action);
+                popped += 1;
+            }
+            self.stats.timed_events += popped;
+            if let Some(m) = &self.metrics {
+                m.time_steps.inc();
+                m.timed_events.add(popped);
             }
             self.settle()?;
         }
@@ -726,7 +799,10 @@ mod tests {
     fn zero_period_clock_rejected() {
         let mut sim = Simulator::new();
         let clk = sim.add_signal("clk", false);
-        assert_eq!(sim.add_clock(clk, 0).unwrap_err(), SimError::ZeroClockPeriod);
+        assert_eq!(
+            sim.add_clock(clk, 0).unwrap_err(),
+            SimError::ZeroClockPeriod
+        );
     }
 
     #[test]
@@ -770,6 +846,51 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_ticks(100));
         sim.run_until(SimTime::from_ticks(100)).unwrap();
         assert_eq!(sim.now(), SimTime::from_ticks(100));
+    }
+
+    #[test]
+    fn kernel_stats_and_metrics_count_work() {
+        let registry = telemetry::MetricsRegistry::new();
+        let mut sim = Simulator::new();
+        sim.attach_metrics(&registry);
+        let clk = sim.add_signal("clk", false);
+        let q = sim.add_signal("q", 0u32);
+        sim.add_clocked_process("cnt", clk, Edge::Rising, move |ctx| {
+            let v = ctx.get(q);
+            ctx.set(q, v + 1);
+        });
+        sim.add_clock(clk, 5).unwrap();
+        sim.run_for(50).unwrap(); // 10 toggles, 5 rising edges
+
+        let stats = sim.kernel_stats();
+        assert_eq!(stats.delta_cycles, sim.total_deltas());
+        assert_eq!(stats.process_activations, 5);
+        // 10 clock commits + 5 counter commits.
+        assert_eq!(stats.signal_commits, 15);
+        assert_eq!(stats.timed_events, 10);
+        assert_eq!(stats.time_steps, 10);
+        assert!(stats.settle_calls >= 10);
+        assert!(stats.max_deltas_per_settle >= 1);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["kernel.delta_cycles"], stats.delta_cycles);
+        assert_eq!(snap.counters["kernel.process_activations"], 5);
+        assert_eq!(snap.counters["kernel.signal_commits"], 15);
+        assert_eq!(snap.counters["kernel.timed_events"], 10);
+        assert_eq!(snap.counters["kernel.time_steps"], 10);
+        let hist = &snap.histograms["kernel.deltas_per_settle"];
+        assert_eq!(hist.count, stats.settle_calls);
+    }
+
+    #[test]
+    fn unattached_simulator_still_counts_stats() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 0u32);
+        sim.drive(s, 1);
+        sim.settle().unwrap();
+        let stats = sim.kernel_stats();
+        assert_eq!(stats.signal_commits, 1);
+        assert_eq!(stats.settle_calls, 1);
     }
 
     #[test]

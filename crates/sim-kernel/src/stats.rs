@@ -1,0 +1,67 @@
+//! Kernel work counters and their export to a telemetry
+//! [`MetricsRegistry`].
+//!
+//! The simulator always maintains a cheap [`KernelStats`] tally (plain
+//! integer fields, no atomics). When a registry is attached with
+//! [`Simulator::attach_metrics`] the same quantities are additionally
+//! published as shared metrics under the `kernel.*` namespace, so a
+//! testbench or regression campaign can snapshot them without holding a
+//! reference to the simulator.
+//!
+//! [`Simulator::attach_metrics`]: crate::Simulator::attach_metrics
+//! [`MetricsRegistry`]: telemetry::MetricsRegistry
+
+use telemetry::{Counter, Histogram, MetricsRegistry};
+
+/// Cumulative work counters of one [`Simulator`](crate::Simulator).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Delta cycles executed across all settle loops.
+    pub delta_cycles: u64,
+    /// Process bodies run (activations).
+    pub process_activations: u64,
+    /// Signal commits that actually changed a value.
+    pub signal_commits: u64,
+    /// Calls to [`Simulator::settle`](crate::Simulator::settle)
+    /// (including those implied by the run methods).
+    pub settle_calls: u64,
+    /// Timed events popped from the event queue (clock toggles and
+    /// delayed writes).
+    pub timed_events: u64,
+    /// Distinct simulation-time steps advanced by the run methods.
+    pub time_steps: u64,
+    /// Worst-case delta cycles needed by a single settle loop.
+    pub max_deltas_per_settle: u32,
+}
+
+/// Live handles into an attached registry; kept `None`-able on the
+/// simulator so the un-instrumented path stays free of atomic traffic.
+pub(crate) struct KernelMetrics {
+    pub(crate) delta_cycles: Counter,
+    pub(crate) process_activations: Counter,
+    pub(crate) signal_commits: Counter,
+    pub(crate) settle_calls: Counter,
+    pub(crate) timed_events: Counter,
+    pub(crate) time_steps: Counter,
+    pub(crate) deltas_per_settle: Histogram,
+}
+
+/// Bucket bounds for the `kernel.deltas_per_settle` histogram: most
+/// settle loops converge within a handful of deltas, so powers of two
+/// up to the default delta limit's low range give useful resolution.
+pub(crate) const DELTAS_PER_SETTLE_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+impl KernelMetrics {
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
+        KernelMetrics {
+            delta_cycles: registry.counter("kernel.delta_cycles"),
+            process_activations: registry.counter("kernel.process_activations"),
+            signal_commits: registry.counter("kernel.signal_commits"),
+            settle_calls: registry.counter("kernel.settle_calls"),
+            timed_events: registry.counter("kernel.timed_events"),
+            time_steps: registry.counter("kernel.time_steps"),
+            deltas_per_settle: registry
+                .histogram("kernel.deltas_per_settle", DELTAS_PER_SETTLE_BOUNDS),
+        }
+    }
+}

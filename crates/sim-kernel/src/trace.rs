@@ -60,11 +60,81 @@ impl TraceSink for VecTrace {
 mod tests {
     use super::*;
 
+    /// Changes reach the sink in commit order: monotonically non-decreasing
+    /// time, and within one instant, cascaded delta-cycle commits after the
+    /// driving commit that triggered them.
+    #[test]
+    fn vec_trace_preserves_commit_order_across_deltas_and_time() {
+        use crate::scheduler::Simulator;
+
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", false);
+        let q = sim.add_signal("q", 0u8);
+        let q2 = sim.add_signal("q2", 0u8);
+        // q follows clk's rising edge; q2 follows q combinationally, so each
+        // rising edge produces two commits separated by one delta cycle.
+        sim.add_clocked_process("reg", clk, crate::process::Edge::Rising, move |ctx| {
+            let v = ctx.get(q);
+            ctx.set(q, v.wrapping_add(1));
+        });
+        sim.add_comb_process("follow", &[q.id()], move |ctx| {
+            let v = ctx.get(q);
+            ctx.set(q2, v);
+        });
+        sim.set_trace(VecTrace::default());
+        sim.trace_all();
+        sim.add_clock(clk, 5).unwrap();
+        sim.run_until(SimTime::from_ticks(30)).unwrap();
+
+        let trace: &VecTrace = sim.trace().unwrap();
+        assert!(!trace.records.is_empty());
+        for pair in trace.records.windows(2) {
+            assert!(
+                pair[0].time <= pair[1].time,
+                "records out of time order: {pair:?}"
+            );
+        }
+        // At each rising edge the clk commit precedes q, which precedes its
+        // delta-cascaded follower q2 — all at the same instant.
+        let rising: Vec<&[ChangeRecord]> =
+            trace.records.split_inclusive(|r| r.name == "q2").collect();
+        let full_edges = rising
+            .iter()
+            .filter(|chunk| chunk.iter().any(|r| r.name == "q"))
+            .count();
+        assert!(full_edges >= 2, "expected several rising edges");
+        for chunk in rising {
+            let names: Vec<&str> = chunk.iter().map(|r| r.name.as_str()).collect();
+            if names.contains(&"q") {
+                let iq = names.iter().position(|n| *n == "q").unwrap();
+                let iq2 = names.iter().position(|n| *n == "q2").unwrap();
+                assert!(iq < iq2, "q must commit before its follower q2: {names:?}");
+                assert_eq!(
+                    chunk[iq].time, chunk[iq2].time,
+                    "delta-cascaded commits share the instant"
+                );
+                let v_q = &chunk[iq].value;
+                let v_q2 = &chunk[iq2].value;
+                assert_eq!(v_q, v_q2, "follower sees the committed value");
+            }
+        }
+    }
+
     #[test]
     fn vec_trace_records_changes() {
         let mut t = VecTrace::default();
-        t.on_change(SimTime::from_ticks(1), SignalId(0), "x", &Bits::from_bool(true));
-        t.on_change(SimTime::from_ticks(2), SignalId(0), "x", &Bits::from_bool(false));
+        t.on_change(
+            SimTime::from_ticks(1),
+            SignalId(0),
+            "x",
+            &Bits::from_bool(true),
+        );
+        t.on_change(
+            SimTime::from_ticks(2),
+            SignalId(0),
+            "x",
+            &Bits::from_bool(false),
+        );
         assert_eq!(t.records.len(), 2);
         assert_eq!(t.records[0].name, "x");
         assert_eq!(t.records[1].time, SimTime::from_ticks(2));

@@ -76,7 +76,12 @@ impl std::fmt::Display for AlignmentReport {
                 None => writeln!(f, "  fully aligned")?,
             }
         }
-        writeln!(f, "  min {:7.3}%  mean {:7.3}%", self.min_rate() * 100.0, self.mean_rate() * 100.0)
+        writeln!(
+            f,
+            "  min {:7.3}%  mean {:7.3}%",
+            self.min_rate() * 100.0,
+            self.mean_rate() * 100.0
+        )
     }
 }
 
@@ -144,7 +149,36 @@ fn ports_of(doc: &VcdDocument) -> BTreeMap<String, Vec<(String, vcd::VarId)>> {
 /// [`CompareVcdError::StructureMismatch`] when the variable trees differ.
 ///
 /// [`VcdDump`]: ../catg/struct.VcdDump.html
-pub fn compare_vcd(first: &str, second: &str, cycle_time: u64) -> Result<AlignmentReport, CompareVcdError> {
+pub fn compare_vcd(
+    first: &str,
+    second: &str,
+    cycle_time: u64,
+) -> Result<AlignmentReport, CompareVcdError> {
+    compare_vcd_with(first, second, cycle_time, &telemetry::Telemetry::disabled())
+}
+
+/// [`compare_vcd`] with telemetry: wraps the comparison in an
+/// `stba.compare` span whose end event carries the extraction (VCD
+/// parse) and comparison durations, and emits one `stba.divergence`
+/// warning per diverging port with the first diverging cycle and the
+/// variables involved.
+///
+/// # Errors
+///
+/// Same as [`compare_vcd`].
+pub fn compare_vcd_with(
+    first: &str,
+    second: &str,
+    cycle_time: u64,
+    tel: &telemetry::Telemetry,
+) -> Result<AlignmentReport, CompareVcdError> {
+    use telemetry::Json;
+
+    let span = tel
+        .span("stba.compare")
+        .field("first_bytes", Json::from(first.len()))
+        .field("second_bytes", Json::from(second.len()));
+    let parse_started = std::time::Instant::now();
     let doc_a = VcdDocument::parse(first).map_err(|error| CompareVcdError::Parse {
         which: "first",
         error,
@@ -153,8 +187,49 @@ pub fn compare_vcd(first: &str, second: &str, cycle_time: u64) -> Result<Alignme
         which: "second",
         error,
     })?;
-    let ports_a = ports_of(&doc_a);
-    let ports_b = ports_of(&doc_b);
+    let extract_us = parse_started.elapsed().as_micros() as u64;
+    let compare_started = std::time::Instant::now();
+    let report = compare_docs(&doc_a, &doc_b, cycle_time)?;
+    let compare_us = compare_started.elapsed().as_micros() as u64;
+
+    let metrics = tel.metrics();
+    metrics.counter("stba.compares").inc();
+    metrics
+        .counter("stba.ports_compared")
+        .add(report.ports.len() as u64);
+    for p in &report.ports {
+        if let Some(cycle) = p.first_divergence {
+            metrics.counter("stba.diverging_ports").inc();
+            tel.warn(
+                "stba.divergence",
+                "port diverges",
+                [
+                    ("port", Json::from(p.port.as_str())),
+                    ("first_cycle", Json::from(cycle)),
+                    ("rate", Json::from(p.rate())),
+                    ("vars", Json::from(p.diverging_vars.clone())),
+                ],
+            );
+        }
+    }
+    span.end([
+        ("extract_us", Json::from(extract_us)),
+        ("compare_us", Json::from(compare_us)),
+        ("cycles", Json::from(report.cycles)),
+        ("ports", Json::from(report.ports.len())),
+        ("min_rate", Json::from(report.min_rate())),
+        ("mean_rate", Json::from(report.mean_rate())),
+    ]);
+    Ok(report)
+}
+
+fn compare_docs(
+    doc_a: &VcdDocument,
+    doc_b: &VcdDocument,
+    cycle_time: u64,
+) -> Result<AlignmentReport, CompareVcdError> {
+    let ports_a = ports_of(doc_a);
+    let ports_b = ports_of(doc_b);
     if ports_a.keys().collect::<Vec<_>>() != ports_b.keys().collect::<Vec<_>>() {
         return Err(CompareVcdError::StructureMismatch {
             detail: format!(
@@ -270,7 +345,61 @@ mod tests {
         let err = compare_vcd("garbage", &a, 10).unwrap_err();
         assert!(matches!(err, CompareVcdError::Parse { which: "first", .. }));
         let err = compare_vcd(&a, "garbage", 10).unwrap_err();
-        assert!(matches!(err, CompareVcdError::Parse { which: "second", .. }));
+        assert!(matches!(
+            err,
+            CompareVcdError::Parse {
+                which: "second",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_report_means_full_alignment() {
+        // A report with no ports (e.g. two dumps whose variable trees are
+        // empty) must read as fully aligned, not NaN or 0/0 panics.
+        let report = AlignmentReport {
+            ports: Vec::new(),
+            cycles: 0,
+        };
+        assert_eq!(report.mean_rate(), 1.0);
+        assert_eq!(report.min_rate(), 1.0);
+        assert!(report.signed_off(0.99));
+    }
+
+    #[test]
+    fn compare_with_telemetry_emits_span_and_divergence() {
+        let (sink, handle) = telemetry::MemorySink::new();
+        let tel = telemetry::Telemetry::builder()
+            .with_sink(Box::new(sink))
+            .build();
+        let a = dump(&[(0, "!", 1), (0, "\"", 2), (10, "!", 3), (20, "!", 1)]);
+        let b = dump(&[(0, "!", 1), (0, "\"", 2), (10, "!", 9), (20, "!", 1)]);
+        let report = compare_vcd_with(&a, &b, 10, &tel).unwrap();
+        assert!(report.min_rate() < 1.0);
+
+        let events = handle.events();
+        let end = events
+            .iter()
+            .find(|e| e.scope == "stba.compare.end")
+            .expect("compare span end");
+        assert!(end.field("extract_us").is_some());
+        assert!(end.field("compare_us").is_some());
+        let div = events
+            .iter()
+            .find(|e| e.scope == "stba.divergence")
+            .expect("divergence event");
+        assert_eq!(
+            div.field("port").and_then(telemetry::Json::as_str),
+            Some("init0")
+        );
+        assert_eq!(
+            div.field("first_cycle").and_then(telemetry::Json::as_u64),
+            Some(1)
+        );
+        let snap = tel.metrics().snapshot();
+        assert_eq!(snap.counters["stba.compares"], 1);
+        assert_eq!(snap.counters["stba.diverging_ports"], 1);
     }
 
     #[test]

@@ -41,7 +41,11 @@ fn as_u64(v: &VcdValue) -> u64 {
 /// Extracts the transfer stream of port scope `port` (e.g. `"init0"`).
 ///
 /// Returns `None` when the dump does not declare that port.
-pub fn extract_transfers(doc: &VcdDocument, port: &str, cycle_time: u64) -> Option<Vec<ExtractedTransfer>> {
+pub fn extract_transfers(
+    doc: &VcdDocument,
+    port: &str,
+    cycle_time: u64,
+) -> Option<Vec<ExtractedTransfer>> {
     let var = |name: &str| doc.var_by_name(&format!("tb.{port}.{name}"));
     let req = var("req")?;
     let gnt = var("gnt")?;
@@ -114,10 +118,17 @@ pub enum TransferDiff {
 impl std::fmt::Display for TransferDiff {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TransferDiff::Mismatch { index, first, second } => {
+            TransferDiff::Mismatch {
+                index,
+                first,
+                second,
+            } => {
                 write!(f, "transfer {index} differs: {first:?} vs {second:?}")
             }
-            TransferDiff::LengthMismatch { first_len, second_len } => {
+            TransferDiff::LengthMismatch {
+                first_len,
+                second_len,
+            } => {
                 write!(f, "stream lengths differ: {first_len} vs {second_len}")
             }
         }
@@ -130,8 +141,14 @@ impl std::fmt::Display for TransferDiff {
 ///
 /// Returns `None` when the streams carry the same transfers in the same
 /// order.
-pub fn diff_transfers(first: &[ExtractedTransfer], second: &[ExtractedTransfer]) -> Option<TransferDiff> {
-    let strip = |t: &ExtractedTransfer| ExtractedTransfer { cycle: 0, ..t.clone() };
+pub fn diff_transfers(
+    first: &[ExtractedTransfer],
+    second: &[ExtractedTransfer],
+) -> Option<TransferDiff> {
+    let strip = |t: &ExtractedTransfer| ExtractedTransfer {
+        cycle: 0,
+        ..t.clone()
+    };
     for (index, (a, b)) in first.iter().zip(second).enumerate() {
         if strip(a) != strip(b) {
             return Some(TransferDiff::Mismatch {
@@ -171,7 +188,8 @@ mod tests {
             ("r_tid", 8, '+'),
             ("r_src", 8, ','),
         ];
-        let mut s = String::from("$timescale 1ns $end\n$scope module tb $end\n$scope module init0 $end\n");
+        let mut s =
+            String::from("$timescale 1ns $end\n$scope module tb $end\n$scope module init0 $end\n");
         for (name, width, code) in vars {
             s.push_str(&format!("$var wire {width} {code} {name} $end\n"));
         }
@@ -216,7 +234,10 @@ mod tests {
         // Same stream shifted in time: equal transactionally.
         let shifted: Vec<ExtractedTransfer> = a
             .iter()
-            .map(|t| ExtractedTransfer { cycle: t.cycle + 7, ..t.clone() })
+            .map(|t| ExtractedTransfer {
+                cycle: t.cycle + 7,
+                ..t.clone()
+            })
             .collect();
         assert_eq!(diff_transfers(&a, &shifted), None);
 
@@ -230,7 +251,10 @@ mod tests {
 
         // Truncation: flagged as a length mismatch.
         match diff_transfers(&a, &a[..1]) {
-            Some(TransferDiff::LengthMismatch { first_len: 2, second_len: 1 }) => {}
+            Some(TransferDiff::LengthMismatch {
+                first_len: 2,
+                second_len: 1,
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }

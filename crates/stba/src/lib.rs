@@ -19,5 +19,7 @@
 mod align;
 mod extract;
 
-pub use align::{compare_vcd, AlignmentReport, CompareVcdError, PortAlignment};
-pub use extract::{diff_transfers, extract_transfers, ExtractedTransfer, TransferDiff, TransferPhase};
+pub use align::{compare_vcd, compare_vcd_with, AlignmentReport, CompareVcdError, PortAlignment};
+pub use extract::{
+    diff_transfers, extract_transfers, ExtractedTransfer, TransferDiff, TransferPhase,
+};

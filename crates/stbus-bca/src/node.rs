@@ -1,13 +1,13 @@
 //! The transactional BCA node engine.
 
 use crate::bugs::BcaBug;
-use std::collections::{BTreeSet, VecDeque};
 use stbus_protocol::arbitration::{make_arbiter, Arbiter, ArbiterParams};
 use stbus_protocol::packet::{response_cells, ResponsePacket};
 use stbus_protocol::{
     ArbitrationKind, DutInputs, DutOutputs, DutView, NodeConfig, Opcode, ReqCell, RspCell,
     TargetId, TransactionId, ViewKind,
 };
+use std::collections::{BTreeSet, VecDeque};
 
 /// How many cycles the internal error responder takes — matches the RTL
 /// view's `ERROR_RESPONSE_LATENCY`.
@@ -177,7 +177,8 @@ impl BcaNode {
     }
 
     fn ordered(&self) -> bool {
-        !self.config.protocol.allows_out_of_order() && !self.bugs.contains(&BcaBug::ReorderedT2Responses)
+        !self.config.protocol.allows_out_of_order()
+            && !self.bugs.contains(&BcaBug::ReorderedT2Responses)
     }
 }
 
@@ -241,8 +242,7 @@ impl DutView for BcaNode {
                 if gate_blocks(self, i) {
                     continue;
                 }
-                let chunk_ok = ignore_chunk
-                    || self.chunk_owner[t].is_none_or(|owner| owner == i);
+                let chunk_ok = ignore_chunk || self.chunk_owner[t].is_none_or(|owner| owner == i);
                 let pkt_ok = self.tgt_pkt_owner[t].is_none_or(|owner| owner == i);
                 if chunk_ok && pkt_ok {
                     req_vecs[t][i] = true;
@@ -360,8 +360,8 @@ impl DutView for BcaNode {
             // than 100%. Crucially the arbiter never sees (or updates on)
             // internal responses in this mode, so the divergence stays
             // local instead of skewing the arbiter state forever.
-            let side_path = self.fidelity == Fidelity::Relaxed
-                && self.config.protocol.allows_out_of_order();
+            let side_path =
+                self.fidelity == Fidelity::Relaxed && self.config.protocol.allows_out_of_order();
             let mut arb_eligible = eligible.clone();
             if side_path {
                 arb_eligible[nt] = false;
@@ -410,8 +410,8 @@ impl DutView for BcaNode {
         }
 
         // ----- commit ---------------------------------------------------------
-        let skip_lru = self.bugs.contains(&BcaBug::StuckLruState)
-            && cfg.arbitration == ArbitrationKind::Lru;
+        let skip_lru =
+            self.bugs.contains(&BcaBug::StuckLruState) && cfg.arbitration == ArbitrationKind::Lru;
         for t in 0..nt {
             if skip_lru {
                 // B2: the refactor lost the update call entirely.
@@ -445,7 +445,9 @@ impl DutView for BcaNode {
             if let Some((r, cell)) = tr {
                 self.init_rsp_hold[j] = *cell;
                 if *r == nt {
-                    let er = self.err_queue[j].front_mut().expect("error response in flight");
+                    let er = self.err_queue[j]
+                        .front_mut()
+                        .expect("error response in flight");
                     er.sent += 1;
                     if er.sent == er.cells.len() {
                         self.err_queue[j].pop_front();
@@ -711,7 +713,11 @@ mod tests {
         inputs.target[1].r_cell = RspCell::ok(InitiatorId(0), TransactionId(8), true);
         let out = node.step(&inputs);
         assert!(out.initiator[0].r_req);
-        assert_eq!(out.initiator[0].r_cell.tid, TransactionId(9), "low bit flipped");
+        assert_eq!(
+            out.initiator[0].r_cell.tid,
+            TransactionId(9),
+            "low bit flipped"
+        );
 
         // Target 0's (in-order) response stays intact.
         let mut inputs = DutInputs::idle(&cfg);

@@ -14,11 +14,11 @@
 //! is the point: TLM models belong in the functional phase of the flow,
 //! BCA models in the bus-accurate sign-off phase.
 
-use std::collections::VecDeque;
 use stbus_protocol::packet::{response_cells, ResponsePacket};
 use stbus_protocol::{
     DutInputs, DutOutputs, DutView, NodeConfig, ReqCell, RspCell, TargetId, ViewKind,
 };
+use std::collections::VecDeque;
 
 #[derive(Clone, Debug)]
 struct PendingRsp {
@@ -176,7 +176,8 @@ impl DutView for TlmNode {
                     node.err_queue[j].front().map(|(cells, sent)| cells[*sent])
                 }
             };
-            let mut eligible: Vec<usize> = (0..=nt).filter(|r| present(self, *r).is_some()).collect();
+            let mut eligible: Vec<usize> =
+                (0..=nt).filter(|r| present(self, *r).is_some()).collect();
             if let Some(locked) = self.rsp_route[j] {
                 eligible.retain(|r| *r == locked);
             } else if ordered {
@@ -357,6 +358,10 @@ mod tests {
         }
         // I1's packet arrived first (it wasn't stalled by the stash), then
         // the chunk's two packets back to back.
-        assert_eq!(sources, vec![1, 0, 0], "chunk cells contiguous: {sources:?}");
+        assert_eq!(
+            sources,
+            vec![1, 0, 0],
+            "chunk cells contiguous: {sources:?}"
+        );
     }
 }

@@ -30,7 +30,13 @@ impl AddressRange {
 
 impl fmt::Display for AddressRange {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:#010x}, {:#010x}) -> {}", self.base, self.end(), self.target)
+        write!(
+            f,
+            "[{:#010x}, {:#010x}) -> {}",
+            self.base,
+            self.end(),
+            self.target
+        )
     }
 }
 
@@ -76,18 +82,27 @@ impl AddressMap {
 
     /// Decodes an address to a target, if any range covers it.
     pub fn decode(&self, addr: u64) -> Option<TargetId> {
-        self.ranges.iter().find(|r| r.contains(addr)).map(|r| r.target)
+        self.ranges
+            .iter()
+            .find(|r| r.contains(addr))
+            .map(|r| r.target)
     }
 
     /// The base address of the first range served by `target`, used by
     /// traffic generators to aim at a specific target.
     pub fn base_of(&self, target: TargetId) -> Option<u64> {
-        self.ranges.iter().find(|r| r.target == target).map(|r| r.base)
+        self.ranges
+            .iter()
+            .find(|r| r.target == target)
+            .map(|r| r.base)
     }
 
     /// Size of the first range served by `target`.
     pub fn size_of(&self, target: TargetId) -> Option<u64> {
-        self.ranges.iter().find(|r| r.target == target).map(|r| r.size)
+        self.ranges
+            .iter()
+            .find(|r| r.target == target)
+            .map(|r| r.size)
     }
 
     /// Checks well-formedness against a port count.
@@ -113,7 +128,10 @@ impl AddressMap {
             for j in (i + 1)..self.ranges.len() {
                 let (a, b) = (&self.ranges[i], &self.ranges[j]);
                 if a.base < b.end() && b.base < a.end() {
-                    return Err(ConfigError::AddressOverlap { first: i, second: j });
+                    return Err(ConfigError::AddressOverlap {
+                        first: i,
+                        second: j,
+                    });
                 }
             }
         }
@@ -174,35 +192,64 @@ mod tests {
     #[test]
     fn validate_rejects_overlap() {
         let m: AddressMap = [
-            AddressRange { base: 0, size: 0x2000, target: TargetId(0) },
-            AddressRange { base: 0x1000, size: 0x1000, target: TargetId(1) },
+            AddressRange {
+                base: 0,
+                size: 0x2000,
+                target: TargetId(0),
+            },
+            AddressRange {
+                base: 0x1000,
+                size: 0x1000,
+                target: TargetId(1),
+            },
         ]
         .into_iter()
         .collect();
         assert_eq!(
             m.validate(2),
-            Err(ConfigError::AddressOverlap { first: 0, second: 1 })
+            Err(ConfigError::AddressOverlap {
+                first: 0,
+                second: 1
+            })
         );
     }
 
     #[test]
     fn validate_rejects_unknown_and_unreachable() {
-        let m: AddressMap = [AddressRange { base: 0, size: 0x1000, target: TargetId(3) }]
-            .into_iter()
-            .collect();
-        assert!(matches!(m.validate(2), Err(ConfigError::UnknownTarget { .. })));
+        let m: AddressMap = [AddressRange {
+            base: 0,
+            size: 0x1000,
+            target: TargetId(3),
+        }]
+        .into_iter()
+        .collect();
+        assert!(matches!(
+            m.validate(2),
+            Err(ConfigError::UnknownTarget { .. })
+        ));
 
-        let m: AddressMap = [AddressRange { base: 0, size: 0x1000, target: TargetId(0) }]
-            .into_iter()
-            .collect();
-        assert_eq!(m.validate(2), Err(ConfigError::UnreachableTarget { target: 1 }));
+        let m: AddressMap = [AddressRange {
+            base: 0,
+            size: 0x1000,
+            target: TargetId(0),
+        }]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            m.validate(2),
+            Err(ConfigError::UnreachableTarget { target: 1 })
+        );
     }
 
     #[test]
     fn validate_rejects_empty_range() {
-        let m: AddressMap = [AddressRange { base: 0, size: 0, target: TargetId(0) }]
-            .into_iter()
-            .collect();
+        let m: AddressMap = [AddressRange {
+            base: 0,
+            size: 0,
+            target: TargetId(0),
+        }]
+        .into_iter()
+        .collect();
         assert_eq!(m.validate(1), Err(ConfigError::EmptyRange { index: 0 }));
     }
 
@@ -215,7 +262,11 @@ mod tests {
 
     #[test]
     fn range_display() {
-        let r = AddressRange { base: 0x100, size: 0x100, target: TargetId(2) };
+        let r = AddressRange {
+            base: 0x100,
+            size: 0x100,
+            target: TargetId(2),
+        };
         assert_eq!(r.to_string(), "[0x00000100, 0x00000200) -> T2");
     }
 

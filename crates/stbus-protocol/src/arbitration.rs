@@ -124,7 +124,11 @@ pub trait Arbiter: fmt::Debug + Send {
 ///
 /// Panics if `n_ports == 0` or an explicitly provided parameter vector has
 /// the wrong length.
-pub fn make_arbiter(kind: ArbitrationKind, n_ports: usize, params: &ArbiterParams) -> Box<dyn Arbiter> {
+pub fn make_arbiter(
+    kind: ArbitrationKind,
+    n_ports: usize,
+    params: &ArbiterParams,
+) -> Box<dyn Arbiter> {
     assert!(n_ports > 0, "arbiter needs at least one port");
     let priorities = match &params.priorities {
         Some(p) => {
@@ -338,11 +342,8 @@ impl Arbiter for BandwidthArbiter {
         // Ports still inside their budget win first; the bus is
         // work-conserving, so over-budget requesters get it when nobody
         // in-budget asks.
-        self.pick_rr(
-            |i| requests[i] && self.used[i] < self.budgets[i],
-            n,
-        )
-        .or_else(|| self.pick_rr(|i| requests[i], n))
+        self.pick_rr(|i| requests[i] && self.used[i] < self.budgets[i], n)
+            .or_else(|| self.pick_rr(|i| requests[i], n))
     }
 
     fn update(&mut self, _requests: &[bool], winner: Option<usize>, cycle: u64) {
@@ -544,7 +545,8 @@ mod tests {
             priorities: Some(vec![1, 2]),
             ..ArbiterParams::default()
         };
-        let r = std::panic::catch_unwind(|| make_arbiter(ArbitrationKind::FixedPriority, 3, &params));
+        let r =
+            std::panic::catch_unwind(|| make_arbiter(ArbitrationKind::FixedPriority, 3, &params));
         assert!(r.is_err());
     }
 

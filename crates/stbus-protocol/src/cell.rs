@@ -9,16 +9,22 @@ use std::fmt;
 pub const MAX_BUS_BYTES: usize = 32;
 
 /// Identifies an initiator port of the node (0-based).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct InitiatorId(pub u8);
 
 /// Identifies a target port of the node (0-based).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct TargetId(pub u8);
 
 /// A transaction id, used by Type 3 to match out-of-order responses to
 /// their requests.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct TransactionId(pub u8);
 
 impl fmt::Display for InitiatorId {

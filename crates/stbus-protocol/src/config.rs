@@ -347,10 +347,14 @@ impl NodeConfigBuilder {
             });
         }
         if !self.bus_bytes.is_power_of_two() || !(1..=MAX_BUS_BYTES).contains(&self.bus_bytes) {
-            return Err(ConfigError::BusWidth { got: self.bus_bytes });
+            return Err(ConfigError::BusWidth {
+                got: self.bus_bytes,
+            });
         }
         if self.pipe_depth > 2 {
-            return Err(ConfigError::PipeDepth { got: self.pipe_depth });
+            return Err(ConfigError::PipeDepth {
+                got: self.pipe_depth,
+            });
         }
         if let Architecture::PartialCrossbar { lanes } = self.arch {
             if lanes == 0 {
@@ -361,12 +365,15 @@ impl NodeConfigBuilder {
             return Err(ConfigError::ZeroOutstanding);
         }
         for (what, len) in [
-            ("priorities", self.arb_params.priorities.as_ref().map(Vec::len)),
-            ("deadlines", self.arb_params.deadlines.as_ref().map(Vec::len)),
             (
-                "budgets",
-                self.arb_params.budgets.as_ref().map(Vec::len),
+                "priorities",
+                self.arb_params.priorities.as_ref().map(Vec::len),
             ),
+            (
+                "deadlines",
+                self.arb_params.deadlines.as_ref().map(Vec::len),
+            ),
+            ("budgets", self.arb_params.budgets.as_ref().map(Vec::len)),
         ] {
             if let Some(len) = len {
                 if len != self.n_initiators {
@@ -396,11 +403,13 @@ impl NodeConfigBuilder {
             endianness: self.endianness,
             address_map,
             prog_port: self.prog_port,
-            max_outstanding: self.max_outstanding.max(if self.protocol.split_transactions() {
-                1
-            } else {
-                0
-            }),
+            max_outstanding: self
+                .max_outstanding
+                .max(if self.protocol.split_transactions() {
+                    1
+                } else {
+                    0
+                }),
         })
     }
 }
@@ -423,11 +432,17 @@ mod tests {
     fn builder_rejects_bad_port_counts() {
         assert!(matches!(
             NodeConfig::builder("x").initiators(0).build(),
-            Err(ConfigError::PortCount { what: "initiators", .. })
+            Err(ConfigError::PortCount {
+                what: "initiators",
+                ..
+            })
         ));
         assert!(matches!(
             NodeConfig::builder("x").targets(33).build(),
-            Err(ConfigError::PortCount { what: "targets", .. })
+            Err(ConfigError::PortCount {
+                what: "targets",
+                ..
+            })
         ));
     }
 
@@ -490,7 +505,10 @@ mod tests {
         assert!(s.contains("3i x 2t"));
         assert!(s.contains("64b"));
         assert_eq!(ProtocolType::Type2.to_string(), "T2");
-        assert_eq!(Architecture::PartialCrossbar { lanes: 2 }.to_string(), "partial-xbar(2)");
+        assert_eq!(
+            Architecture::PartialCrossbar { lanes: 2 }.to_string(),
+            "partial-xbar(2)"
+        );
     }
 
     #[test]

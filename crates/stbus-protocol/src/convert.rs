@@ -97,7 +97,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(wide.len(), 1);
-        let narrow = convert_request(&wide, params(16, ProtocolType::Type2), params(4, ProtocolType::Type2)).unwrap();
+        let narrow = convert_request(
+            &wide,
+            params(16, ProtocolType::Type2),
+            params(4, ProtocolType::Type2),
+        )
+        .unwrap();
         assert_eq!(narrow.len(), 4);
         assert_eq!(narrow.payload(params(4, ProtocolType::Type2)), payload);
         assert_eq!(narrow.addr(), 0x400);
@@ -118,7 +123,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(narrow.len(), 4);
-        let wide = convert_request(&narrow, params(2, ProtocolType::Type2), params(8, ProtocolType::Type2)).unwrap();
+        let wide = convert_request(
+            &narrow,
+            params(2, ProtocolType::Type2),
+            params(8, ProtocolType::Type2),
+        )
+        .unwrap();
         assert_eq!(wide.len(), 1);
         assert_eq!(wide.payload(params(8, ProtocolType::Type2)), payload);
         assert!(wide.cells()[0].lock);
@@ -140,7 +150,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ld.len(), 4);
-        let t3 = convert_request(&ld, params(8, ProtocolType::Type2), params(8, ProtocolType::Type3)).unwrap();
+        let t3 = convert_request(
+            &ld,
+            params(8, ProtocolType::Type2),
+            params(8, ProtocolType::Type3),
+        )
+        .unwrap();
         assert_eq!(t3.len(), 1);
     }
 
@@ -157,7 +172,12 @@ mod tests {
             false,
         )
         .unwrap();
-        let err = convert_request(&ld, params(8, ProtocolType::Type2), params(8, ProtocolType::Type1)).unwrap_err();
+        let err = convert_request(
+            &ld,
+            params(8, ProtocolType::Type2),
+            params(8, ProtocolType::Type1),
+        )
+        .unwrap_err();
         assert!(matches!(err, BuildPacketError::IllegalOpcode { .. }));
     }
 
@@ -175,7 +195,12 @@ mod tests {
         assert_eq!(conv.payload(4, 16), payload);
 
         let e = ResponsePacket::error(InitiatorId(0), TransactionId(2), 2);
-        let conv = convert_response(&e, Opcode::load(TransferSize::B16), 8, params(4, ProtocolType::Type2));
+        let conv = convert_response(
+            &e,
+            Opcode::load(TransferSize::B16),
+            8,
+            params(4, ProtocolType::Type2),
+        );
         assert!(conv.is_error());
         assert_eq!(conv.len(), 4);
     }
@@ -183,7 +208,12 @@ mod tests {
     #[test]
     fn ack_response_conversion() {
         let r = ResponsePacket::ok_ack(InitiatorId(1), TransactionId(0), 2);
-        let conv = convert_response(&r, Opcode::store(TransferSize::B16), 8, params(8, ProtocolType::Type3));
+        let conv = convert_response(
+            &r,
+            Opcode::store(TransferSize::B16),
+            8,
+            params(8, ProtocolType::Type3),
+        );
         assert_eq!(conv.len(), 1);
         assert!(!conv.is_error());
     }

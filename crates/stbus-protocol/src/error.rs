@@ -69,7 +69,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "number of {what} must be 1..=32, got {got}")
             }
             ConfigError::BusWidth { got } => {
-                write!(f, "bus width must be a power of two in 1..=32 bytes, got {got}")
+                write!(
+                    f,
+                    "bus width must be a power of two in 1..=32 bytes, got {got}"
+                )
             }
             ConfigError::PipeDepth { got } => write!(f, "pipe depth must be 0..=2, got {got}"),
             ConfigError::ZeroLanes => f.write_str("partial crossbar needs at least one lane"),
@@ -80,13 +83,20 @@ impl fmt::Display for ConfigError {
                 write!(f, "address ranges {first} and {second} overlap")
             }
             ConfigError::UnknownTarget { target, n_targets } => {
-                write!(f, "address map names target {target} but only {n_targets} exist")
+                write!(
+                    f,
+                    "address map names target {target} but only {n_targets} exist"
+                )
             }
             ConfigError::UnreachableTarget { target } => {
                 write!(f, "target {target} has no address range")
             }
             ConfigError::EmptyRange { index } => write!(f, "address range {index} is empty"),
-            ConfigError::ArbParamLength { what, got, expected } => {
+            ConfigError::ArbParamLength {
+                what,
+                got,
+                expected,
+            } => {
                 write!(f, "arbiter {what} must have {expected} entries, got {got}")
             }
         }
@@ -144,12 +154,18 @@ mod tests {
     #[test]
     fn messages_are_informative() {
         assert!(ConfigError::BusWidth { got: 5 }.to_string().contains("5"));
-        assert!(ConfigError::AddressOverlap { first: 0, second: 2 }
-            .to_string()
-            .contains("overlap"));
-        assert!(BuildPacketError::Misaligned { addr: 0x13, align: 4 }
-            .to_string()
-            .contains("0x13"));
+        assert!(ConfigError::AddressOverlap {
+            first: 0,
+            second: 2
+        }
+        .to_string()
+        .contains("overlap"));
+        assert!(BuildPacketError::Misaligned {
+            addr: 0x13,
+            align: 4
+        }
+        .to_string()
+        .contains("0x13"));
     }
 
     #[test]

@@ -17,8 +17,8 @@ pub fn data_cells(opcode: Opcode, bus_bytes: usize) -> usize {
 /// `ceil(size / bus)` cells for data operations. Type 3 allows asymmetric
 /// packets, so the dataless phase shrinks to a single cell.
 pub fn request_cells(opcode: Opcode, protocol: ProtocolType, bus_bytes: usize) -> usize {
-    let carries_data = opcode.has_request_data()
-        || (!protocol.asymmetric_packets() && opcode.has_response_data());
+    let carries_data =
+        opcode.has_request_data() || (!protocol.asymmetric_packets() && opcode.has_response_data());
     if carries_data {
         data_cells(opcode, bus_bytes)
     } else {
@@ -29,8 +29,8 @@ pub fn request_cells(opcode: Opcode, protocol: ProtocolType, bus_bytes: usize) -
 /// Number of cells in the *response* packet of `opcode` (see
 /// [`request_cells`] for the symmetry rule).
 pub fn response_cells(opcode: Opcode, protocol: ProtocolType, bus_bytes: usize) -> usize {
-    let carries_data = opcode.has_response_data()
-        || (!protocol.asymmetric_packets() && opcode.has_request_data());
+    let carries_data =
+        opcode.has_response_data() || (!protocol.asymmetric_packets() && opcode.has_request_data());
     if carries_data {
         data_cells(opcode, bus_bytes)
     } else {
@@ -144,7 +144,10 @@ impl RequestPacket {
     /// (monitors validate this before constructing packets).
     pub fn from_cells(cells: Vec<ReqCell>) -> RequestPacket {
         assert!(!cells.is_empty(), "packet needs at least one cell");
-        assert!(cells.last().expect("nonempty").eop, "last cell must carry eop");
+        assert!(
+            cells.last().expect("nonempty").eop,
+            "last cell must carry eop"
+        );
         assert!(
             cells[..cells.len() - 1].iter().all(|c| !c.eop),
             "eop only on the last cell"
@@ -296,7 +299,10 @@ impl ResponsePacket {
     /// [`RequestPacket::from_cells`]).
     pub fn from_cells(cells: Vec<RspCell>) -> ResponsePacket {
         assert!(!cells.is_empty(), "packet needs at least one cell");
-        assert!(cells.last().expect("nonempty").eop, "last cell must carry eop");
+        assert!(
+            cells.last().expect("nonempty").eop,
+            "last cell must carry eop"
+        );
         assert!(
             cells[..cells.len() - 1].iter().all(|c| !c.eop),
             "eop only on the last cell"
@@ -472,7 +478,13 @@ mod tests {
             false,
         )
         .unwrap_err();
-        assert!(matches!(e, BuildPacketError::PayloadSize { expected: 4, got: 2 }));
+        assert!(matches!(
+            e,
+            BuildPacketError::PayloadSize {
+                expected: 4,
+                got: 2
+            }
+        ));
 
         let e = RequestPacket::build(
             Opcode::load(TransferSize::B64),

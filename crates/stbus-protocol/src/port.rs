@@ -181,6 +181,14 @@ pub trait DutView {
     /// Implementations may panic if `inputs` port counts do not match the
     /// configuration.
     fn step(&mut self, inputs: &DutInputs) -> DutOutputs;
+
+    /// Publishes this view's internal work counters into a telemetry
+    /// registry (e.g. the RTL view's `kernel.*` metrics).
+    ///
+    /// The default is a no-op: views without an instrumented engine —
+    /// like the BCA view, which deliberately bypasses the event kernel —
+    /// simply have nothing to publish.
+    fn attach_metrics(&mut self, _registry: &telemetry::MetricsRegistry) {}
 }
 
 #[cfg(test)]

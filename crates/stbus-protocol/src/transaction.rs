@@ -29,7 +29,12 @@ pub struct Transaction {
 
 impl Transaction {
     /// Creates an outstanding transaction from a completed request packet.
-    pub fn outstanding(request: RequestPacket, target: Option<TargetId>, start: u64, end: u64) -> Self {
+    pub fn outstanding(
+        request: RequestPacket,
+        target: Option<TargetId>,
+        start: u64,
+        end: u64,
+    ) -> Self {
         Transaction {
             request,
             response: None,

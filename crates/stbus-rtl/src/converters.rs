@@ -24,7 +24,12 @@ pub struct SizeConverter {
 impl SizeConverter {
     /// A converter from `from_bus` bytes (initiator side) to `to_bus`
     /// bytes (target side) on one protocol type.
-    pub fn new(protocol: ProtocolType, endianness: Endianness, from_bus: usize, to_bus: usize) -> Self {
+    pub fn new(
+        protocol: ProtocolType,
+        endianness: Endianness,
+        from_bus: usize,
+        to_bus: usize,
+    ) -> Self {
         SizeConverter {
             upstream: PacketParams {
                 bus_bytes: from_bus,
@@ -55,7 +60,10 @@ impl SizeConverter {
     ///
     /// Propagates [`BuildPacketError`] (cannot occur for pure width
     /// changes, which never alter opcode legality).
-    pub fn forward_request(&self, packet: &RequestPacket) -> Result<RequestPacket, BuildPacketError> {
+    pub fn forward_request(
+        &self,
+        packet: &RequestPacket,
+    ) -> Result<RequestPacket, BuildPacketError> {
         convert_request(packet, self.upstream, self.downstream)
     }
 
@@ -77,7 +85,10 @@ pub struct TypeConverter {
 impl TypeConverter {
     /// A converter between two full parameter sets.
     pub fn new(upstream: PacketParams, downstream: PacketParams) -> Self {
-        TypeConverter { upstream, downstream }
+        TypeConverter {
+            upstream,
+            downstream,
+        }
     }
 
     /// The initiator-side parameters.
@@ -97,7 +108,10 @@ impl TypeConverter {
     /// [`BuildPacketError::IllegalOpcode`] when the opcode does not exist
     /// on the downstream type (e.g. a 64-byte load entering a Type 1
     /// domain).
-    pub fn forward_request(&self, packet: &RequestPacket) -> Result<RequestPacket, BuildPacketError> {
+    pub fn forward_request(
+        &self,
+        packet: &RequestPacket,
+    ) -> Result<RequestPacket, BuildPacketError> {
         convert_request(packet, self.upstream, self.downstream)
     }
 

@@ -40,4 +40,7 @@ mod trace;
 pub use converters::{SizeConverter, TypeConverter};
 pub use node::RtlNode;
 pub use register_decoder::{RegisterDecoder, RegisterFile};
-pub use spec::{ErrResponse, NodeSpec, NodeState, OutstandingTx, Plan, ProbePoint, Route, ERROR_RESPONSE_LATENCY};
+pub use spec::{
+    ErrResponse, NodeSpec, NodeState, OutstandingTx, Plan, ProbePoint, Route,
+    ERROR_RESPONSE_LATENCY,
+};

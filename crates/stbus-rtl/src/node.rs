@@ -4,11 +4,9 @@
 use crate::signals::{ReqWires, RspWires, SigRead};
 use crate::spec::{NodeSpec, NodeState, Plan, ProbePoint};
 use sim_kernel::{ActivityCoverage, BranchId, Edge, Signal, SignalId, Simulator};
+use stbus_protocol::{DutInputs, DutOutputs, DutView, NodeConfig, ProgCommand, ViewKind};
 use std::cell::RefCell;
 use std::rc::Rc;
-use stbus_protocol::{
-    DutInputs, DutOutputs, DutView, NodeConfig, ProgCommand, ViewKind,
-};
 
 /// The signal-level (RTL) view of the STBus node.
 ///
@@ -254,6 +252,10 @@ impl RtlNode {
 impl DutView for RtlNode {
     fn config(&self) -> &NodeConfig {
         self.spec.config()
+    }
+
+    fn attach_metrics(&mut self, registry: &telemetry::MetricsRegistry) {
+        self.sim.attach_metrics(registry);
     }
 
     fn view_kind(&self) -> ViewKind {

@@ -127,8 +127,17 @@ mod tests {
     }
 
     fn build(op: Opcode, addr: u64, payload: &[u8]) -> RequestPacket {
-        RequestPacket::build(op, addr, payload, params(), InitiatorId(0), TransactionId(0), 0, false)
-            .expect("valid")
+        RequestPacket::build(
+            op,
+            addr,
+            payload,
+            params(),
+            InitiatorId(0),
+            TransactionId(0),
+            0,
+            false,
+        )
+        .expect("valid")
     }
 
     #[test]

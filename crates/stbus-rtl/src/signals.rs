@@ -197,7 +197,11 @@ impl RspWires {
         ];
         let cell = RspCell {
             data: words_to_data(words),
-            kind: if r.read(self.err) { RspKind::Error } else { RspKind::Ok },
+            kind: if r.read(self.err) {
+                RspKind::Error
+            } else {
+                RspKind::Ok
+            },
             eop: r.read(self.eop),
             tid: TransactionId(r.read(self.tid)),
             src: InitiatorId(r.read(self.src)),
@@ -227,7 +231,11 @@ mod tests {
     fn req_wires_round_trip() {
         let mut sim = Simulator::new();
         let wires = ReqWires::add(&mut sim, "i0");
-        let mut cell = ReqCell::new(0xDEAD_BEE0, Opcode::new(OpKind::Swap, TransferSize::B16), InitiatorId(5));
+        let mut cell = ReqCell::new(
+            0xDEAD_BEE0,
+            Opcode::new(OpKind::Swap, TransferSize::B16),
+            InitiatorId(5),
+        );
         cell.data = CellData::from_bytes(&(0..32).collect::<Vec<u8>>());
         cell.be = 0xFFFF;
         cell.eop = false;

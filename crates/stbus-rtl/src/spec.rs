@@ -6,13 +6,13 @@
 //! register. [`NodeSpec::commit`] is the clocked process that applies the
 //! plan. `node.rs` wires this pair onto real kernel signals and processes.
 
-use std::collections::VecDeque;
 use stbus_protocol::arbitration::{make_arbiter, Arbiter, ArbiterParams};
 use stbus_protocol::packet::{response_cells, ResponsePacket};
 use stbus_protocol::{
     DutInputs, DutOutputs, NodeConfig, Opcode, ProtocolType, ReqCell, RspCell, TargetId,
     TransactionId,
 };
+use std::collections::VecDeque;
 
 /// How many cycles after absorbing an unmapped request the node's internal
 /// error responder takes to present the error response.
@@ -97,7 +97,14 @@ impl std::fmt::Debug for NodeState {
             .field("cycle", &self.cycle)
             .field("route", &self.route)
             .field("open_tx", &self.open_tx)
-            .field("outstanding", &self.outstanding.iter().map(VecDeque::len).collect::<Vec<_>>())
+            .field(
+                "outstanding",
+                &self
+                    .outstanding
+                    .iter()
+                    .map(VecDeque::len)
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -328,9 +335,8 @@ impl NodeSpec {
         // First-cell gating by the outstanding limit. In pipelined mode the
         // gate applies at the input stage instead (open_tx counted there),
         // so forward-side cells are never gated.
-        let gated = |i: usize| -> bool {
-            !pipelined && st.route[i].is_none() && st.open_tx[i] >= max_open
-        };
+        let gated =
+            |i: usize| -> bool { !pipelined && st.route[i].is_none() && st.open_tx[i] >= max_open };
 
         // Per-target request vectors after chunk filtering and gating.
         let mut req_vec: Vec<Vec<bool>> = vec![vec![false; ni]; nt];
@@ -618,7 +624,14 @@ impl NodeSpec {
         st.cycle += 1;
     }
 
-    fn commit_forward(&self, st: &mut NodeState, i: usize, route: Route, cell: ReqCell, pipelined: bool) {
+    fn commit_forward(
+        &self,
+        st: &mut NodeState,
+        i: usize,
+        route: Route,
+        cell: ReqCell,
+        pipelined: bool,
+    ) {
         if pipelined {
             st.fifo[i].pop_front();
         } else if st.route[i].is_none() {
@@ -645,7 +658,8 @@ impl NodeSpec {
                 opcode: cell.opcode,
             });
             if matches!(route, Route::Internal) {
-                let n_cells = response_cells(cell.opcode, self.config.protocol, self.config.bus_bytes);
+                let n_cells =
+                    response_cells(cell.opcode, self.config.protocol, self.config.bus_bytes);
                 let rsp = ResponsePacket::error(cell.src, cell.tid, n_cells);
                 st.err_queue[i].push_back(ErrResponse {
                     ready_at: st.cycle + ERROR_RESPONSE_LATENCY,
@@ -677,7 +691,7 @@ impl NodeSpec {
 mod tests {
     use super::*;
     use stbus_protocol::packet::{request_cells, PacketParams, RequestPacket};
-    use stbus_protocol::{Architecture, ArbitrationKind, InitiatorId, TransferSize};
+    use stbus_protocol::{ArbitrationKind, Architecture, InitiatorId, TransferSize};
 
     fn no_probe() -> impl FnMut(ProbePoint) {
         |_| {}
@@ -752,13 +766,21 @@ mod tests {
         // Both initiators 0 and 1 aim at target 0.
         let p0 = simple_load(&c, 0, 0x0000_0000, 1);
         let p1 = simple_load(&c, 1, 0x0000_0008, 2);
-        let plan = one_cycle(&spec, &mut st, &[Some(p0.cells()[0]), Some(p1.cells()[0]), None]);
+        let plan = one_cycle(
+            &spec,
+            &mut st,
+            &[Some(p0.cells()[0]), Some(p1.cells()[0]), None],
+        );
         let granted: Vec<bool> = plan.outputs.initiator.iter().map(|p| p.gnt).collect();
         assert_eq!(granted.iter().filter(|g| **g).count(), 1);
         // LRU with fresh state picks the lower index.
         assert!(granted[0]);
         // Next cycle, LRU prefers initiator 1.
-        let plan = one_cycle(&spec, &mut st, &[Some(p0.cells()[0]), Some(p1.cells()[0]), None]);
+        let plan = one_cycle(
+            &spec,
+            &mut st,
+            &[Some(p0.cells()[0]), Some(p1.cells()[0]), None],
+        );
         assert!(plan.outputs.initiator[1].gnt);
         assert!(!plan.outputs.initiator[0].gnt);
     }
@@ -795,7 +817,11 @@ mod tests {
             .unwrap();
         let spec2 = NodeSpec::new(c2.clone());
         let mut st2 = spec2.initial_state();
-        let plan = one_cycle(&spec2, &mut st2, &[Some(p0.cells()[0]), Some(p1.cells()[0])]);
+        let plan = one_cycle(
+            &spec2,
+            &mut st2,
+            &[Some(p0.cells()[0]), Some(p1.cells()[0])],
+        );
         assert_eq!(plan.forwards.iter().flatten().count(), 2);
     }
 
@@ -920,7 +946,10 @@ mod tests {
         inputs.target[1].r_req = true;
         inputs.target[1].r_cell = RspCell::ok(InitiatorId(0), TransactionId(0), true);
         let plan = spec.evaluate(&st, &inputs, &mut no_probe());
-        assert!(!plan.outputs.initiator[0].r_req, "out-of-order response must wait");
+        assert!(
+            !plan.outputs.initiator[0].r_req,
+            "out-of-order response must wait"
+        );
         assert!(!plan.outputs.target[1].r_gnt);
         spec.commit(&mut st, &plan);
 
@@ -1080,7 +1109,9 @@ mod tests {
 
         // Reprogram: initiator 1 becomes the most important.
         let mut inputs = DutInputs::idle(&c);
-        inputs.prog = Some(stbus_protocol::ProgCommand { priorities: vec![0, 9] });
+        inputs.prog = Some(stbus_protocol::ProgCommand {
+            priorities: vec![0, 9],
+        });
         let plan = spec.evaluate(&st, &inputs, &mut no_probe());
         spec.commit(&mut st, &plan);
 

@@ -16,7 +16,9 @@ pub(crate) fn render_kernel_trace(sim: &Simulator, trace: &VecTrace) -> String {
     for id in sim.signal_ids() {
         let name = sim.signal_name(id);
         let (scope, var) = match name.split_once('_') {
-            Some((s, v)) if s.starts_with("init") || s.starts_with("tgt") || s.starts_with("prog") => {
+            Some((s, v))
+                if s.starts_with("init") || s.starts_with("tgt") || s.starts_with("prog") =>
+            {
                 (s.to_owned(), v.to_owned())
             }
             _ => (String::from("node"), name.to_owned()),

@@ -1,0 +1,170 @@
+//! The structured event type and its two wire formats.
+
+use crate::json::Json;
+
+/// Event severity. Ordered: `Debug < Info < Warn < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Fine-grained progress (per-cell, per-port details).
+    Debug,
+    /// Normal run milestones.
+    Info,
+    /// Suspicious but non-fatal conditions.
+    Warn,
+    /// Failures.
+    Error,
+}
+
+impl Level {
+    /// The lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses a wire name (`"debug"`, `"info"`, `"warn"`, `"error"`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured event.
+///
+/// `ts_us` is microseconds since the owning [`Telemetry`](crate::Telemetry)
+/// handle was created (a monotonic clock — wall-clock epochs are
+/// deliberately avoided so artifacts diff cleanly between runs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Microseconds since telemetry start.
+    pub ts_us: u64,
+    /// Severity.
+    pub level: Level,
+    /// Dotted scope, e.g. `regress.cell` or `kernel`.
+    pub scope: String,
+    /// Human-oriented message.
+    pub message: String,
+    /// Structured payload, in insertion order.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl Event {
+    /// The JSONL wire form:
+    /// `{"ts_us":..,"level":"..","scope":"..","msg":"..","fields":{..}}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ts_us", Json::from(self.ts_us)),
+            ("level", Json::str(self.level.as_str())),
+            ("scope", Json::str(&self.scope)),
+            ("msg", Json::str(&self.message)),
+            ("fields", Json::Obj(self.fields.clone())),
+        ])
+    }
+
+    /// Parses the JSONL wire form back into an event.
+    pub fn from_json(json: &Json) -> Option<Event> {
+        Some(Event {
+            ts_us: json.get("ts_us")?.as_u64()?,
+            level: Level::parse(json.get("level")?.as_str()?)?,
+            scope: json.get("scope")?.as_str()?.to_owned(),
+            message: json.get("msg")?.as_str()?.to_owned(),
+            fields: match json.get("fields")? {
+                Json::Obj(pairs) => pairs.clone(),
+                _ => return None,
+            },
+        })
+    }
+
+    /// The single-line human form:
+    /// `[   1.234s] INFO  scope: message  k=v k=v`.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let secs = self.ts_us as f64 / 1e6;
+        let _ = write!(
+            out,
+            "[{secs:>9.3}s] {:<5} {}: {}",
+            self.level.as_str().to_uppercase(),
+            self.scope,
+            self.message
+        );
+        for (k, v) in &self.fields {
+            match v {
+                Json::Str(s) if !s.contains(' ') && !s.contains('"') => {
+                    let _ = write!(out, "  {k}={s}");
+                }
+                other => {
+                    let _ = write!(out, "  {k}={other}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            ts_us: 1_234_567,
+            level: Level::Info,
+            scope: "regress.cell".to_owned(),
+            message: "cell finished".to_owned(),
+            fields: vec![
+                ("test".to_owned(), Json::str("basic_read_write")),
+                ("seed".to_owned(), Json::from(3u64)),
+                ("passed".to_owned(), Json::Bool(true)),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let e = sample();
+        let line = e.to_json().render();
+        let back = Event::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn text_form_is_single_line_and_greppable() {
+        let text = sample().render_text();
+        assert!(!text.contains('\n'));
+        assert!(text.contains("INFO"));
+        assert!(text.contains("regress.cell"));
+        assert!(text.contains("seed=3"));
+        assert!(text.contains("[    1.235s]"));
+    }
+
+    #[test]
+    fn level_ordering_and_names() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Warn < Level::Error);
+        for l in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("fatal"), None);
+    }
+}

@@ -1,0 +1,396 @@
+//! Telemetry for the verification flow: structured events, pluggable
+//! sinks, and a metrics registry.
+//!
+//! The paper's methodology is judged on regression evidence — reports,
+//! coverage, per-port alignment across a `{configuration × test × seed}`
+//! matrix. This crate makes that evidence *observable while it is being
+//! produced* and *machine-readable afterwards*:
+//!
+//! * [`Event`] — `{ts_us, level, scope, msg, fields}` records, emitted
+//!   through a [`Telemetry`] handle to any combination of sinks:
+//!   human-readable stderr lines ([`TextSink`]), append-only JSON Lines
+//!   ([`JsonlSink`]), or an in-memory buffer for tests ([`MemorySink`]);
+//! * [`MetricsRegistry`] — monotonic [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s, cloneable via `Arc`, updated with one
+//!   atomic op on hot paths and snapshotable to JSON;
+//! * [`Span`] — wall-clock scopes that emit a `<scope>.end` event with a
+//!   `duration_us` field;
+//! * [`Json`] — a dependency-free JSON value with renderer and parser,
+//!   shared by every machine-readable artifact in the workspace (JSONL
+//!   event streams, `manifest.json`, metric snapshots).
+//!
+//! A disabled handle ([`Telemetry::disabled`]) costs one branch per call
+//! site, so library code can thread telemetry unconditionally.
+//!
+//! ```
+//! use stbus_telemetry::{Json, Level, MemorySink, Telemetry};
+//! let (sink, handle) = MemorySink::new();
+//! let tel = Telemetry::builder().with_sink(Box::new(sink)).build();
+//! let run = tel.span("run").field("seed", Json::from(7u64));
+//! tel.metrics().counter("runs").inc();
+//! run.end([("cycles", Json::from(100u64))]);
+//! assert_eq!(handle.events().last().unwrap().scope, "run.end");
+//! assert_eq!(tel.metrics().snapshot().counters["runs"], 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod json;
+mod metrics;
+mod sink;
+
+pub use event::{Event, Level};
+pub use json::{Json, JsonParseError};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use sink::{EventSink, JsonlSink, MemorySink, MemorySinkHandle, TextSink};
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct TelemetryInner {
+    start: Instant,
+    min_level: Level,
+    sinks: Mutex<Vec<Box<dyn EventSink>>>,
+    metrics: MetricsRegistry,
+}
+
+/// The cloneable telemetry handle. See the [crate docs](crate) for an
+/// overview and example.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("min_level", &self.inner.min_level)
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+/// Configures a [`Telemetry`] handle.
+pub struct TelemetryBuilder {
+    min_level: Level,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl TelemetryBuilder {
+    /// Sets the minimum emitted level (default [`Level::Info`]).
+    pub fn min_level(mut self, level: Level) -> Self {
+        self.min_level = level;
+        self
+    }
+
+    /// Adds any sink.
+    pub fn with_sink(mut self, sink: Box<dyn EventSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Adds a human-readable stderr sink.
+    pub fn with_stderr(self) -> Self {
+        self.with_sink(Box::new(TextSink::stderr()))
+    }
+
+    /// Adds an append-only JSONL file sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open errors.
+    pub fn with_jsonl_file(self, path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(self.with_sink(Box::new(JsonlSink::append(path)?)))
+    }
+
+    /// Finishes the handle. With no sinks the handle is disabled-but-valid:
+    /// metrics still work, events go nowhere.
+    pub fn build(self) -> Telemetry {
+        Telemetry {
+            inner: Arc::new(TelemetryInner {
+                start: Instant::now(),
+                min_level: self.min_level,
+                sinks: Mutex::new(self.sinks),
+                metrics: MetricsRegistry::new(),
+            }),
+        }
+    }
+}
+
+impl Telemetry {
+    /// Starts configuring a handle.
+    pub fn builder() -> TelemetryBuilder {
+        TelemetryBuilder {
+            min_level: Level::Info,
+            sinks: Vec::new(),
+        }
+    }
+
+    /// A handle with no sinks: `emit` is a cheap no-op, the metrics
+    /// registry still records. This is the `Default`, so structs can hold
+    /// a `Telemetry` unconditionally.
+    pub fn disabled() -> Telemetry {
+        Telemetry::builder().build()
+    }
+
+    /// A handle emitting human-readable lines to stderr.
+    pub fn to_stderr(min_level: Level) -> Telemetry {
+        Telemetry::builder()
+            .min_level(min_level)
+            .with_stderr()
+            .build()
+    }
+
+    /// True when at least one sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        !self.inner.sinks.lock().expect("sink lock").is_empty()
+    }
+
+    /// Microseconds since this handle was created (monotonic).
+    pub fn elapsed_us(&self) -> u64 {
+        self.inner.start.elapsed().as_micros() as u64
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// Emits one event to every sink, if `level` clears the threshold.
+    pub fn emit(
+        &self,
+        level: Level,
+        scope: &str,
+        message: &str,
+        fields: impl IntoIterator<Item = (impl Into<String>, Json)>,
+    ) {
+        if level < self.inner.min_level {
+            return;
+        }
+        let mut sinks = self.inner.sinks.lock().expect("sink lock");
+        if sinks.is_empty() {
+            return;
+        }
+        let event = Event {
+            ts_us: self.elapsed_us(),
+            level,
+            scope: scope.to_owned(),
+            message: message.to_owned(),
+            fields: fields.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        };
+        for sink in sinks.iter_mut() {
+            sink.emit(&event);
+        }
+    }
+
+    /// [`Level::Debug`] shorthand.
+    pub fn debug(
+        &self,
+        scope: &str,
+        message: &str,
+        fields: impl IntoIterator<Item = (impl Into<String>, Json)>,
+    ) {
+        self.emit(Level::Debug, scope, message, fields);
+    }
+
+    /// [`Level::Info`] shorthand.
+    pub fn info(
+        &self,
+        scope: &str,
+        message: &str,
+        fields: impl IntoIterator<Item = (impl Into<String>, Json)>,
+    ) {
+        self.emit(Level::Info, scope, message, fields);
+    }
+
+    /// [`Level::Warn`] shorthand.
+    pub fn warn(
+        &self,
+        scope: &str,
+        message: &str,
+        fields: impl IntoIterator<Item = (impl Into<String>, Json)>,
+    ) {
+        self.emit(Level::Warn, scope, message, fields);
+    }
+
+    /// [`Level::Error`] shorthand.
+    pub fn error(
+        &self,
+        scope: &str,
+        message: &str,
+        fields: impl IntoIterator<Item = (impl Into<String>, Json)>,
+    ) {
+        self.emit(Level::Error, scope, message, fields);
+    }
+
+    /// Opens a wall-clock span. On [`Span::end`] (or drop) a
+    /// `<scope>.end` event carries `duration_us` plus any attached fields.
+    pub fn span(&self, scope: &str) -> Span {
+        Span {
+            telemetry: self.clone(),
+            scope: scope.to_owned(),
+            start: Instant::now(),
+            fields: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        for sink in self.inner.sinks.lock().expect("sink lock").iter_mut() {
+            sink.flush();
+        }
+    }
+}
+
+/// A wall-clock scope; see [`Telemetry::span`].
+pub struct Span {
+    telemetry: Telemetry,
+    scope: String,
+    start: Instant,
+    fields: Vec<(String, Json)>,
+    finished: bool,
+}
+
+impl Span {
+    /// Attaches a field to the eventual end event.
+    pub fn field(mut self, key: impl Into<String>, value: Json) -> Self {
+        self.fields.push((key.into(), value));
+        self
+    }
+
+    /// Attaches a field through a mutable reference.
+    pub fn add_field(&mut self, key: impl Into<String>, value: Json) {
+        self.fields.push((key.into(), value));
+    }
+
+    /// Elapsed wall time so far.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Ends the span, merging `extra` fields into the end event.
+    pub fn end(mut self, extra: impl IntoIterator<Item = (impl Into<String>, Json)>) {
+        self.fields
+            .extend(extra.into_iter().map(|(k, v)| (k.into(), v)));
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let mut fields = std::mem::take(&mut self.fields);
+        fields.push((
+            "duration_us".to_owned(),
+            Json::from(self.start.elapsed().as_micros() as u64),
+        ));
+        self.telemetry.emit(
+            Level::Info,
+            &format!("{}.end", self.scope),
+            "span finished",
+            fields,
+        );
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Empty field list, for call sites with nothing structured to attach.
+///
+/// `emit`'s generic parameter cannot be inferred from a bare `[]`; this
+/// constant gives it a concrete type.
+pub const NO_FIELDS: [(&str, Json); 0] = [];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_silent_but_counts() {
+        let tel = Telemetry::disabled();
+        tel.info("x", "ignored", NO_FIELDS);
+        tel.metrics().counter("c").add(2);
+        assert!(!tel.is_enabled());
+        assert_eq!(tel.metrics().snapshot().counters["c"], 2);
+    }
+
+    #[test]
+    fn min_level_filters() {
+        let (sink, handle) = MemorySink::new();
+        let tel = Telemetry::builder()
+            .min_level(Level::Warn)
+            .with_sink(Box::new(sink))
+            .build();
+        tel.info("a", "dropped", NO_FIELDS);
+        tel.warn("b", "kept", NO_FIELDS);
+        tel.error("c", "kept", NO_FIELDS);
+        let events = handle.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].scope, "b");
+        assert_eq!(events[1].level, Level::Error);
+    }
+
+    #[test]
+    fn span_emits_duration_and_fields() {
+        let (sink, handle) = MemorySink::new();
+        let tel = Telemetry::builder().with_sink(Box::new(sink)).build();
+        let span = tel.span("cell").field("seed", Json::from(5u64));
+        span.end([("passed", Json::Bool(true))]);
+        let events = handle.events();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.scope, "cell.end");
+        assert_eq!(e.field("seed").unwrap().as_u64(), Some(5));
+        assert_eq!(e.field("passed").unwrap().as_bool(), Some(true));
+        assert!(e.field("duration_us").unwrap().as_u64().is_some());
+    }
+
+    #[test]
+    fn dropped_span_still_reports() {
+        let (sink, handle) = MemorySink::new();
+        let tel = Telemetry::builder().with_sink(Box::new(sink)).build();
+        {
+            let _span = tel.span("implicit");
+        }
+        assert_eq!(handle.events().len(), 1);
+        assert_eq!(handle.events()[0].scope, "implicit.end");
+    }
+
+    #[test]
+    fn clones_share_sinks_and_metrics() {
+        let (sink, handle) = MemorySink::new();
+        let tel = Telemetry::builder().with_sink(Box::new(sink)).build();
+        let clone = tel.clone();
+        clone.info("from.clone", "hi", NO_FIELDS);
+        clone.metrics().counter("shared").inc();
+        assert_eq!(handle.events().len(), 1);
+        assert_eq!(tel.metrics().snapshot().counters["shared"], 1);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let (sink, handle) = MemorySink::new();
+        let tel = Telemetry::builder().with_sink(Box::new(sink)).build();
+        for i in 0..5 {
+            tel.info("tick", &format!("{i}"), NO_FIELDS);
+        }
+        let events = handle.events();
+        for pair in events.windows(2) {
+            assert!(pair[0].ts_us <= pair[1].ts_us);
+        }
+    }
+}

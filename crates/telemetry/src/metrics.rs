@@ -1,0 +1,378 @@
+//! A cheap, `Arc`-cloneable metrics registry: monotonic counters, gauges
+//! and fixed-bucket histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are grabbed once at
+//! attach time and updated with a single atomic op on the hot path — the
+//! registry lock is only taken at registration and snapshot time. The
+//! whole registry snapshots to [`Json`] for the regression manifest and
+//! campaign summaries.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonic counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of each bucket (exclusive of the implicit +inf last
+    /// bucket appended by the registry).
+    bounds: Vec<u64>,
+    /// One count per bound, plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: sorted,
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let i = self.inner.bounds.partition_point(|&b| b < v);
+        self.inner.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, or 0 with no data.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            buckets: self
+                .inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.inner.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time state of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds; the final bucket in `buckets` is overflow.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation (0 with no data).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// As a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bounds", Json::from(self.bounds.clone())),
+            ("buckets", Json::from(self.buckets.clone())),
+            ("count", Json::from(self.count)),
+            ("sum", Json::from(self.sum)),
+            ("max", Json::from(self.max)),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The registry. Cloning shares the underlying metric set.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or fetches) a counter by name.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.counters.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Registers (or fetches) a gauge by name.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.gauges.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Registers (or fetches) a histogram by name. Bounds are fixed by the
+    /// first registration; later callers get the existing instance.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// A point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics lock");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time state of a whole registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// As a JSON object: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {...}}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// A human-readable multi-line rendering.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name:<40} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "{name:<40} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<40} count {}  sum {}  max {}",
+                h.count, h.sum, h.max
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("runs");
+        let b = reg.clone().counter("runs");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.counter("runs").get(), 5);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.set(3);
+        g.set(-7);
+        assert_eq!(reg.gauge("depth").get(), -7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[10, 100, 1000]);
+        for v in [1, 5, 10, 50, 1000, 5000] {
+            h.observe(v);
+        }
+        let snap = reg.snapshot().histograms["lat"].clone();
+        assert_eq!(snap.bounds, vec![10, 100, 1000]);
+        // <=10: 1,5,10 -> 3; <=100: 50 -> 1; <=1000: 1000 -> 1; over: 5000.
+        assert_eq!(snap.buckets, vec![3, 1, 1, 1]);
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 6066);
+        assert_eq!(snap.max, 5000);
+        assert!((h.mean() - 1011.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("kernel.delta_cycles").add(123);
+        reg.gauge("queue.depth").set(4);
+        reg.histogram("wall_ms", &[1, 10]).observe(3);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let parsed = crate::json::Json::parse(&json.render()).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .unwrap()
+                .get("kernel.delta_cycles")
+                .unwrap()
+                .as_u64(),
+            Some(123)
+        );
+        assert_eq!(
+            parsed
+                .get("histograms")
+                .unwrap()
+                .get("wall_ms")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn histogram_bounds_are_fixed_by_first_registration() {
+        let reg = MetricsRegistry::new();
+        let a = reg.histogram("h", &[5, 1]);
+        let b = reg.histogram("h", &[99]);
+        a.observe(2);
+        b.observe(2);
+        let snap = reg.snapshot().histograms["h"].clone();
+        assert_eq!(snap.bounds, vec![1, 5]);
+        assert_eq!(snap.count, 2);
+    }
+}

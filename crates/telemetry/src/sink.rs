@@ -1,0 +1,171 @@
+//! Pluggable event sinks: human-readable text, append-only JSONL, and an
+//! in-memory buffer for tests.
+
+use crate::event::Event;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Receives every emitted event at or above the telemetry level.
+pub trait EventSink: Send {
+    /// Handles one event.
+    fn emit(&mut self, event: &Event);
+
+    /// Flushes buffered output (called on [`Telemetry::flush`] and drop).
+    ///
+    /// [`Telemetry::flush`]: crate::Telemetry::flush
+    fn flush(&mut self) {}
+}
+
+/// Renders events as single text lines to any writer (stderr by default).
+pub struct TextSink<W: Write + Send> {
+    out: W,
+}
+
+impl TextSink<io::Stderr> {
+    /// A text sink on standard error.
+    pub fn stderr() -> Self {
+        TextSink { out: io::stderr() }
+    }
+}
+
+impl<W: Write + Send> TextSink<W> {
+    /// A text sink on an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        TextSink { out }
+    }
+}
+
+impl<W: Write + Send> EventSink for TextSink<W> {
+    fn emit(&mut self, event: &Event) {
+        let _ = writeln!(self.out, "{}", event.render_text());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Writes one JSON object per line (JSON Lines).
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+}
+
+impl JsonlSink<BufWriter<std::fs::File>> {
+    /// Appends to (or creates) a JSONL file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open errors.
+    pub fn append(path: &Path) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlSink {
+            out: BufWriter::new(file),
+        })
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// A JSONL sink on an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out }
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&mut self, event: &Event) {
+        let _ = writeln!(self.out, "{}", event.to_json().render());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Captures events in memory; the [`MemorySinkHandle`] stays readable
+/// after the sink moved into a `Telemetry`.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+/// Shared read handle of a [`MemorySink`].
+#[derive(Clone, Default)]
+pub struct MemorySinkHandle {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// A fresh sink plus its read handle.
+    pub fn new() -> (Self, MemorySinkHandle) {
+        let events: Arc<Mutex<Vec<Event>>> = Arc::default();
+        (
+            MemorySink {
+                events: events.clone(),
+            },
+            MemorySinkHandle { events },
+        )
+    }
+}
+
+impl MemorySinkHandle {
+    /// A copy of everything captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink lock").clone()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&mut self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink lock")
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Level;
+    use crate::json::Json;
+
+    fn event(msg: &str) -> Event {
+        Event {
+            ts_us: 10,
+            level: Level::Info,
+            scope: "t".to_owned(),
+            message: msg.to_owned(),
+            fields: vec![("k".to_owned(), Json::from(1u64))],
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_valid_line_per_event() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut buf);
+            sink.emit(&event("a"));
+            sink.emit(&event("b"));
+            sink.flush();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let parsed = Json::parse(line).expect("valid JSON per line");
+            assert!(Event::from_json(&parsed).is_some());
+        }
+    }
+
+    #[test]
+    fn memory_sink_handle_reads_back() {
+        let (mut sink, handle) = MemorySink::new();
+        sink.emit(&event("x"));
+        assert_eq!(handle.events().len(), 1);
+        assert_eq!(handle.events()[0].message, "x");
+    }
+}

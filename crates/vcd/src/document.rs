@@ -183,9 +183,9 @@ impl<'a> Parser<'a> {
                     let value = VcdValue::from_binary_str(&tok[1..]).ok_or_else(|| {
                         ParseVcdError::new(line, format!("bad vector value `{tok}`"))
                     })?;
-                    let (_, code) = *tokens.get(i + 1).ok_or_else(|| {
-                        ParseVcdError::new(line, "vector change missing id code")
-                    })?;
+                    let (_, code) = *tokens
+                        .get(i + 1)
+                        .ok_or_else(|| ParseVcdError::new(line, "vector change missing id code"))?;
                     self.record_change(line, code, value)?;
                     i += 2;
                 }
@@ -202,7 +202,10 @@ impl<'a> Parser<'a> {
                     i += 1;
                 }
                 _ => {
-                    return Err(ParseVcdError::new(line, format!("unexpected token `{tok}`")));
+                    return Err(ParseVcdError::new(
+                        line,
+                        format!("unexpected token `{tok}`"),
+                    ));
                 }
             }
         }
@@ -215,7 +218,12 @@ impl<'a> Parser<'a> {
         })
     }
 
-    fn record_change(&mut self, line: usize, code: &str, value: VcdValue) -> Result<(), ParseVcdError> {
+    fn record_change(
+        &mut self,
+        line: usize,
+        code: &str,
+        value: VcdValue,
+    ) -> Result<(), ParseVcdError> {
         let id = self
             .by_code
             .get(code)
@@ -225,7 +233,11 @@ impl<'a> Parser<'a> {
         Ok(())
     }
 
-    fn definition_token(&mut self, tokens: &[(usize, &str)], i: usize) -> Result<usize, ParseVcdError> {
+    fn definition_token(
+        &mut self,
+        tokens: &[(usize, &str)],
+        i: usize,
+    ) -> Result<usize, ParseVcdError> {
         let (line, tok) = tokens[i];
         match tok {
             "$date" | "$version" | "$comment" => skip_until_end(tokens, i + 1, line),
@@ -265,9 +277,9 @@ impl<'a> Parser<'a> {
                     .get(i + 2)
                     .ok_or_else(|| ParseVcdError::new(line, "$var missing width"))?
                     .1;
-                let width: usize = width_tok
-                    .parse()
-                    .map_err(|_| ParseVcdError::new(line, format!("bad var width `{width_tok}`")))?;
+                let width: usize = width_tok.parse().map_err(|_| {
+                    ParseVcdError::new(line, format!("bad var width `{width_tok}`"))
+                })?;
                 let code = tokens
                     .get(i + 3)
                     .ok_or_else(|| ParseVcdError::new(line, "$var missing id code"))?
@@ -312,7 +324,11 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn skip_until_end(tokens: &[(usize, &str)], mut i: usize, line: usize) -> Result<usize, ParseVcdError> {
+fn skip_until_end(
+    tokens: &[(usize, &str)],
+    mut i: usize,
+    line: usize,
+) -> Result<usize, ParseVcdError> {
     while i < tokens.len() {
         if tokens[i].1 == "$end" {
             return Ok(i + 1);
@@ -429,7 +445,8 @@ b10100101 \"
         w.pop_scope();
         w.begin().unwrap();
         for t in 0..20u64 {
-            w.change_scalar(t, a, Scalar::from_bool(t % 2 == 0)).unwrap();
+            w.change_scalar(t, a, Scalar::from_bool(t % 2 == 0))
+                .unwrap();
             w.change_vector(t, d, 12, t * 100).unwrap();
         }
         w.finish(20).unwrap();

@@ -81,7 +81,10 @@ impl<W: Write> VcdWriter<W> {
     /// Panics if no scope is open or after [`VcdWriter::begin`].
     pub fn pop_scope(&mut self) {
         assert!(!self.began, "scopes must be declared before begin()");
-        assert!(self.scopes.pop().is_some(), "pop_scope without matching push");
+        assert!(
+            self.scopes.pop().is_some(),
+            "pop_scope without matching push"
+        );
         self.header_ops.push(HeaderOp::Pop);
     }
 
@@ -182,7 +185,13 @@ impl<W: Write> VcdWriter<W> {
     /// # Errors
     ///
     /// Propagates I/O errors.
-    pub fn change_vector(&mut self, time: u64, var: VarId, width: usize, value: u64) -> io::Result<()> {
+    pub fn change_vector(
+        &mut self,
+        time: u64,
+        var: VarId,
+        width: usize,
+        value: u64,
+    ) -> io::Result<()> {
         self.change_value(time, var, &VcdValue::from_u64(value, width))
     }
 

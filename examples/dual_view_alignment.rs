@@ -59,6 +59,10 @@ fn main() {
     );
     println!(
         "sign-off (>=99%): {}",
-        if worst >= 0.99 { "YES — BCA model can ship" } else { "NO" }
+        if worst >= 0.99 {
+            "YES — BCA model can ship"
+        } else {
+            "NO"
+        }
     );
 }

@@ -66,7 +66,9 @@ fn main() {
 
     let narrowed = size_conv.forward_request(&store).expect("width conversion");
     println!("after 64/32 size conv  : {} cell(s)", narrowed.len());
-    let converted = type_conv.forward_request(&narrowed).expect("type conversion");
+    let converted = type_conv
+        .forward_request(&narrowed)
+        .expect("type conversion");
     println!("after t3/t2 type conv  : {} cell(s)", converted.len());
 
     let response = decoder.execute(&converted);
@@ -89,7 +91,9 @@ fn main() {
     )
     .expect("legal packet");
     let narrowed = size_conv.forward_request(&load).expect("width conversion");
-    let converted = type_conv.forward_request(&narrowed).expect("type conversion");
+    let converted = type_conv
+        .forward_request(&narrowed)
+        .expect("type conversion");
     let response_b = decoder.execute(&converted);
     // The response crosses back: type up-convert, then width up-convert.
     let response_mid = type_conv.backward_response(&response_b, load.opcode());

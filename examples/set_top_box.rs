@@ -14,7 +14,7 @@
 //! The same workload runs under each of the six arbitration policies and
 //! the table shows how mean latency and completed bandwidth shift.
 
-use catg::{OpMix, TargetProfile, Testbench, TestbenchOptions, TestSpec, TrafficProfile};
+use catg::{OpMix, TargetProfile, TestSpec, Testbench, TestbenchOptions, TrafficProfile};
 use stbus_protocol::{ArbitrationKind, NodeConfig, TargetId, TransferSize, ViewKind};
 
 fn workload() -> TestSpec {

@@ -27,8 +27,14 @@ fn main() {
 
     let mut views: Vec<(&str, Box<dyn DutView>)> = vec![
         ("TLM (untimed)", Box::new(TlmNode::new(config.clone()))),
-        ("BCA (relaxed)", Box::new(BcaNode::new(config.clone(), Fidelity::Relaxed))),
-        ("BCA (exact)", Box::new(BcaNode::new(config.clone(), Fidelity::Exact))),
+        (
+            "BCA (relaxed)",
+            Box::new(BcaNode::new(config.clone(), Fidelity::Relaxed)),
+        ),
+        (
+            "BCA (exact)",
+            Box::new(BcaNode::new(config.clone(), Fidelity::Exact)),
+        ),
     ];
 
     println!("one environment, three model abstraction levels (vs RTL):\n");

@@ -63,7 +63,10 @@ fn every_request_eventually_gets_a_response() {
             .iter()
             .filter(|t| t.phase == TransferPhase::Response && t.eop)
             .count();
-        assert_eq!(req_packets, rsp_packets, "init{i}: split transactions drained");
+        assert_eq!(
+            req_packets, rsp_packets,
+            "init{i}: split transactions drained"
+        );
         assert!(req_packets > 0);
     }
 }
@@ -93,5 +96,8 @@ fn request_conservation_between_port_sides() {
                 .count()
         })
         .sum();
-    assert_eq!(init_reqs, tgt_reqs, "no packet lost or duplicated in the node");
+    assert_eq!(
+        init_reqs, tgt_reqs,
+        "no packet lost or duplicated in the node"
+    );
 }

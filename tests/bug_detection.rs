@@ -4,7 +4,7 @@
 
 use catg::{tests_lib, LegacyTestbench, Testbench, TestbenchOptions};
 use stbus_bca::{BcaBug, BcaNode, Fidelity};
-use stbus_protocol::{Architecture, ArbitrationKind, NodeConfig, ProtocolType};
+use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType};
 use stbus_rtl::RtlNode;
 
 fn t2_config() -> NodeConfig {

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use stbus_bca::{BcaNode, Fidelity};
 use stbus_protocol::packet::{PacketParams, RequestPacket};
 use stbus_protocol::{
-    Architecture, ArbitrationKind, DutInputs, DutView, InitiatorId, NodeConfig, Opcode,
+    ArbitrationKind, Architecture, DutInputs, DutView, InitiatorId, NodeConfig, Opcode,
     ProtocolType, RspCell, TransactionId, TransferSize,
 };
 use stbus_rtl::RtlNode;
@@ -38,19 +38,25 @@ fn recipe_strategy() -> impl Strategy<Value = ConfigRecipe> {
         0usize..=5,
         0usize..=1,
     )
-        .prop_map(|(ni, nt, bus_log2, protocol, arch, arbitration, pipe)| ConfigRecipe {
-            ni,
-            nt,
-            bus_log2,
-            protocol,
-            arch,
-            arbitration,
-            pipe,
-        })
+        .prop_map(
+            |(ni, nt, bus_log2, protocol, arch, arbitration, pipe)| ConfigRecipe {
+                ni,
+                nt,
+                bus_log2,
+                protocol,
+                arch,
+                arbitration,
+                pipe,
+            },
+        )
 }
 
 fn build_config(r: &ConfigRecipe) -> NodeConfig {
-    let protocol = [ProtocolType::Type1, ProtocolType::Type2, ProtocolType::Type3][r.protocol];
+    let protocol = [
+        ProtocolType::Type1,
+        ProtocolType::Type2,
+        ProtocolType::Type3,
+    ][r.protocol];
     let arch = [
         Architecture::SharedBus,
         Architecture::PartialCrossbar { lanes: 2 },
@@ -73,7 +79,12 @@ fn build_config(r: &ConfigRecipe) -> NodeConfig {
 /// pseudo-random single-cell loads; targets accept and respond with a
 /// fixed pattern. This is *not* the full BFM — the point is raw port-level
 /// equality, including under rude (always-on) stimulus.
-fn stimulus(cfg: &NodeConfig, cycle: u64, seed: u64, last_out: &stbus_protocol::DutOutputs) -> DutInputs {
+fn stimulus(
+    cfg: &NodeConfig,
+    cycle: u64,
+    seed: u64,
+    last_out: &stbus_protocol::DutOutputs,
+) -> DutInputs {
     let params = PacketParams {
         bus_bytes: cfg.bus_bytes,
         protocol: cfg.protocol,

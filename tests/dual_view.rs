@@ -26,8 +26,18 @@ fn exact_bca_aligns_100_percent_with_rtl() {
         let mut bca = BcaNode::new(cfg.clone(), Fidelity::Exact);
         let ra = bench.run(&mut rtl, &spec, 11);
         let rb = bench.run(&mut bca, &spec, 11);
-        assert!(ra.passed(), "RTL {}: {:?}", spec.name, ra.checker.violations);
-        assert!(rb.passed(), "BCA {}: {:?}", spec.name, rb.checker.violations);
+        assert!(
+            ra.passed(),
+            "RTL {}: {:?}",
+            spec.name,
+            ra.checker.violations
+        );
+        assert!(
+            rb.passed(),
+            "BCA {}: {:?}",
+            spec.name,
+            rb.checker.violations
+        );
         let report = stba::compare_vcd(
             ra.vcd.as_ref().expect("captured"),
             rb.vcd.as_ref().expect("captured"),
@@ -74,8 +84,20 @@ fn both_views_complete_identical_transaction_counts() {
         let mut bca: Box<dyn DutView> = catg::build_view(&cfg, ViewKind::Bca);
         let ra = bench.run(rtl.as_mut(), &spec, 3);
         let rb = bench.run(bca.as_mut(), &spec, 3);
-        assert!(ra.passed(), "RTL {}: {:?} {:?}", spec.name, ra.checker.violations, ra.scoreboard_errors);
-        assert!(rb.passed(), "BCA {}: {:?} {:?}", spec.name, rb.checker.violations, rb.scoreboard_errors);
+        assert!(
+            ra.passed(),
+            "RTL {}: {:?} {:?}",
+            spec.name,
+            ra.checker.violations,
+            ra.scoreboard_errors
+        );
+        assert!(
+            rb.passed(),
+            "BCA {}: {:?} {:?}",
+            spec.name,
+            rb.checker.violations,
+            rb.scoreboard_errors
+        );
         assert_eq!(ra.transactions, rb.transactions, "{}", spec.name);
     }
 }

@@ -10,7 +10,9 @@ fn four_bit_counter_with_carry_chain() {
     // A ripple counter: bit k toggles on the falling edge of bit k-1.
     let mut sim = Simulator::new();
     let clk = sim.add_signal("clk", false);
-    let bits: Vec<_> = (0..4).map(|k| sim.add_signal(&format!("q{k}"), false)).collect();
+    let bits: Vec<_> = (0..4)
+        .map(|k| sim.add_signal(&format!("q{k}"), false))
+        .collect();
     let mut prev = clk;
     for &bit in &bits {
         sim.add_clocked_process("toggle", prev, Edge::Falling, move |ctx| {

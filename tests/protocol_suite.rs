@@ -3,9 +3,7 @@
 //! regression campaign, kept small enough to run in CI.
 
 use catg::{tests_lib, Testbench, TestbenchOptions};
-use stbus_protocol::{
-    Architecture, ArbitrationKind, NodeConfig, ProtocolType, ViewKind,
-};
+use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType, ViewKind};
 
 fn configs() -> Vec<NodeConfig> {
     vec![

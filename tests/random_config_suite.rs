@@ -6,7 +6,7 @@
 
 use catg::{tests_lib, Testbench, TestbenchOptions};
 use proptest::prelude::*;
-use stbus_protocol::{Architecture, ArbitrationKind, NodeConfig, ProtocolType, ViewKind};
+use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType, ViewKind};
 
 fn config_strategy() -> impl Strategy<Value = NodeConfig> {
     (
@@ -26,7 +26,13 @@ fn config_strategy() -> impl Strategy<Value = NodeConfig> {
                     .initiators(ni)
                     .targets(nt)
                     .bus_bytes(1 << bus_log2)
-                    .protocol([ProtocolType::Type1, ProtocolType::Type2, ProtocolType::Type3][protocol])
+                    .protocol(
+                        [
+                            ProtocolType::Type1,
+                            ProtocolType::Type2,
+                            ProtocolType::Type3,
+                        ][protocol],
+                    )
                     .architecture(
                         [
                             Architecture::SharedBus,
