@@ -1,0 +1,136 @@
+//! Regression-campaign throughput: serial vs parallel wall-clock.
+//!
+//! Runs the same `{config × test × seed}` campaign twice — once with
+//! `jobs = 1` (the serial baseline) and once with `jobs = N` (default:
+//! one worker per hardware thread) — verifies the two reports are
+//! identical modulo timings, and writes `BENCH_regression.json`:
+//!
+//! ```text
+//! regression_throughput [--configs N] [--seeds N] [--intensity N]
+//!                       [--jobs N] [--out PATH]
+//! ```
+//!
+//! The JSON records the campaign shape, both wall-clocks and the speedup
+//! ratio, so the performance trajectory of the regression engine is
+//! machine-readable across revisions. On an M-core host the expected
+//! speedup of the default 8-configuration campaign is close to
+//! `min(M, cells)×`; a 1-core container reads ~1×.
+
+use regression::{run_regression, standard_configs, RegressionOptions};
+use telemetry::Json;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut n_configs = 8usize;
+    let mut n_seeds = 2u64;
+    let mut intensity = 10usize;
+    let mut jobs = 0usize;
+    let mut out = "BENCH_regression.json".to_owned();
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{what} takes a number");
+                    std::process::exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--configs" => n_configs = take("--configs") as usize,
+            "--seeds" => n_seeds = take("--seeds"),
+            "--intensity" => intensity = take("--intensity") as usize,
+            "--jobs" => jobs = take("--jobs") as usize,
+            "--out" => out = args.next().unwrap_or(out),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: regression_throughput [--configs N] [--seeds N] [--intensity N] [--jobs N] [--out PATH]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sweep = standard_configs();
+    let n_configs = n_configs.clamp(1, sweep.len());
+    let configs = &sweep[..n_configs];
+    let tests = vec![
+        catg::tests_lib::basic_read_write(intensity),
+        catg::tests_lib::random_mixed(intensity),
+    ];
+    // Each campaign gets its own options — and with them a fresh default
+    // telemetry/metrics registry, so the second run's manifest does not
+    // accumulate the first run's counters.
+    let mk_opts = |jobs: usize| RegressionOptions {
+        seeds: (1..=n_seeds).collect(),
+        intensity,
+        jobs,
+        ..RegressionOptions::default()
+    };
+    let n_cell_seeds = n_seeds as usize;
+    let cells = configs.len() * tests.len() * n_cell_seeds;
+    let parallel_jobs = exec::resolve_jobs(jobs);
+    eprintln!(
+        "regression_throughput: {} configs x {} tests x {} seeds = {cells} cells, {} hardware threads",
+        configs.len(),
+        tests.len(),
+        n_cell_seeds,
+        exec::available_parallelism(),
+    );
+
+    let mut serial = run_regression(configs, &tests, &mk_opts(1));
+    let serial_us = serial.wall_us;
+    eprintln!("  serial   (jobs=1)  {:>9} us", serial_us);
+
+    let mut parallel = run_regression(configs, &tests, &mk_opts(parallel_jobs));
+    let parallel_us = parallel.wall_us;
+    eprintln!("  parallel (jobs={parallel_jobs}) {:>9} us", parallel_us);
+
+    // A throughput number is only meaningful if both runs did the same
+    // work and reached the same verdicts.
+    serial.strip_timings();
+    parallel.strip_timings();
+    assert_eq!(
+        serial.manifest_json().render_pretty(),
+        parallel.manifest_json().render_pretty(),
+        "serial and parallel campaigns diverged"
+    );
+
+    let speedup = if parallel_us == 0 {
+        1.0
+    } else {
+        serial_us as f64 / parallel_us as f64
+    };
+    eprintln!("  speedup  {speedup:.2}x");
+
+    let json = Json::obj([
+        ("schema", Json::from("stbus-bench-regression/1")),
+        ("benchmark", Json::from("regression_throughput")),
+        ("configs", Json::from(configs.len())),
+        ("tests", Json::from(tests.len())),
+        ("seeds", Json::from(n_cell_seeds)),
+        ("intensity", Json::from(intensity)),
+        ("cells", Json::from(cells)),
+        (
+            "hardware_threads",
+            Json::from(exec::available_parallelism()),
+        ),
+        ("serial_wall_us", Json::from(serial_us)),
+        ("parallel_jobs", Json::from(parallel_jobs)),
+        ("parallel_wall_us", Json::from(parallel_us)),
+        ("speedup", Json::from(speedup)),
+        (
+            "signed_off_configs",
+            Json::from(parallel.signed_off_count()),
+        ),
+        ("reports_identical", Json::from(true)),
+    ]);
+    if let Err(e) = std::fs::write(&out, json.render_pretty()) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("{out}: {:.2}x speedup over {cells} cells", speedup);
+}

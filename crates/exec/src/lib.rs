@@ -1,0 +1,283 @@
+//! A dependency-free job pool for embarrassingly parallel verification
+//! work.
+//!
+//! The regression campaign is a `{configuration × test × seed}` matrix of
+//! independent cells; the paper's tool "launches parallel regression
+//! tests on BCA and RTL models". The build container has no crates.io
+//! access, so instead of `rayon` this crate provides the minimal pieces
+//! the runner needs:
+//!
+//! * [`ThreadPool`] — fixed worker threads pulling boxed jobs from one
+//!   channel-backed queue;
+//! * [`ThreadPool::map_ordered`] / [`map_ordered`] — fan a `Vec` of
+//!   work items out across the pool and collect the results **in input
+//!   order**, so downstream reports are byte-identical for any worker
+//!   count;
+//! * [`available_parallelism`] — the default worker count.
+//!
+//! Worker panics are caught per job and re-raised on the caller's thread
+//! (lowest job index first, for determinism), so a failing cell behaves
+//! exactly as it would have serially.
+//!
+//! ```
+//! let squares = stbus_exec::map_ordered(4, (0u64..100).collect(), |x| x * x);
+//! assert_eq!(squares[7], 49);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// The number of hardware threads available, with a floor of 1.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing `--jobs` value: `0` means "auto" (one worker
+/// per hardware thread), anything else is taken literally.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        available_parallelism()
+    } else {
+        jobs
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of `std::thread` workers sharing one work queue.
+///
+/// Jobs are `FnOnce` closures submitted through [`ThreadPool::execute`];
+/// each worker loops on the queue until the pool drops, at which point
+/// the queue closes and every worker joins. A panicking job does not
+/// kill its worker — the payload is swallowed at this level (use
+/// [`ThreadPool::map_ordered`] to have job panics re-raised on the
+/// caller).
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|k| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("exec-worker-{k}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one job. Jobs run in submission order *per worker pickup*,
+    /// i.e. the queue is FIFO but completion order is unspecified.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool is live until drop")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+
+    /// Runs `f` over every item on the pool and returns the results in
+    /// the items' original order.
+    ///
+    /// With a single worker the items still flow through the queue, so
+    /// `jobs = 1` exercises the same code path as `jobs = N` — only the
+    /// interleaving differs.
+    ///
+    /// # Panics
+    ///
+    /// If any job panicked, the panic payload with the lowest item index
+    /// is re-raised here after all jobs finished.
+    pub fn map_ordered<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        let f = Arc::new(f);
+        let (tx, rx) = channel::<(usize, std::thread::Result<R>)>();
+        for (index, item) in items.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            self.execute(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(item)));
+                // The receiver only disappears if the caller itself
+                // panicked; nothing useful to do with the result then.
+                let _ = tx.send((index, outcome));
+            });
+        }
+        drop(tx);
+        collect_ordered(&rx, n)
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Holding the lock only for the receive keeps the queue fair.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => {
+                // A panicking job must not take the worker down with it;
+                // map_ordered re-raises panics on the caller instead.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(_) => return, // queue closed: pool is dropping
+        }
+    }
+}
+
+fn collect_ordered<R>(rx: &Receiver<(usize, std::thread::Result<R>)>, n: usize) -> Vec<R> {
+    let mut slots: Vec<Option<std::thread::Result<R>>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        let (index, outcome) = rx.recv().expect("one result per submitted job");
+        slots[index] = Some(outcome);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut first_panic = None;
+    for slot in slots {
+        match slot.expect("every slot filled") {
+            Ok(value) => out.push(value),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
+    out
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One-shot [`ThreadPool::map_ordered`]: builds a pool of `jobs` workers
+/// (`0` = auto), maps, and tears the pool down. `jobs = 1` short-circuits
+/// to a plain in-place loop — byte-identical results, no threads.
+pub fn map_ordered<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    let jobs = resolve_jobs(jobs);
+    if jobs <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    ThreadPool::new(jobs.min(items.len())).map_ordered(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let pool = ThreadPool::new(4);
+        // Reverse sleep times so completion order opposes input order.
+        let items: Vec<u64> = (0..32).collect();
+        let out = pool.map_ordered(items, |x| {
+            std::thread::sleep(std::time::Duration::from_micros((32 - x) * 50));
+            x * 2
+        });
+        assert_eq!(out, (0..32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_matches_many_workers() {
+        let items: Vec<u64> = (0..50).collect();
+        let serial = map_ordered(1, items.clone(), |x| x * x + 1);
+        let parallel = map_ordered(4, items, |x| x * x + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn executes_every_job_exactly_once() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(3);
+            for _ in 0..100 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Drop joins the workers, draining the queue first.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn job_panic_is_reraised_lowest_index_first() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_ordered(vec![0u64, 1, 2, 3], |x| {
+                if x % 2 == 1 {
+                    panic!("boom {x}");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("a job panicked");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(message, "boom 1");
+        // The pool survives a panicking batch.
+        assert_eq!(pool.map_ordered(vec![5u64], |x| x), vec![5]);
+    }
+
+    #[test]
+    fn zero_jobs_means_auto() {
+        assert_eq!(resolve_jobs(0), available_parallelism());
+        assert_eq!(resolve_jobs(3), 3);
+        assert!(available_parallelism() >= 1);
+        // map_ordered accepts 0 and still produces ordered output.
+        let out = map_ordered(0, vec![1u64, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u64> = map_ordered(4, Vec::<u64>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

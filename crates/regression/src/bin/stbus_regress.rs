@@ -2,13 +2,20 @@
 //!
 //! ```text
 //! stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N]
-//!               [--no-compare] [--exact]
+//!               [--jobs N] [--deterministic] [--no-compare] [--exact]
 //!               [--log-format text|json] [--log-file PATH] [--quiet]
 //! ```
 //!
 //! With `--configs <dir>`, every `*.cfg` text file in the directory is
 //! loaded ("It's sufficient to indicate the directory to which the tool
 //! has to point"); otherwise the built-in >36-configuration sweep runs.
+//!
+//! `--jobs N` fans the `{config × test × seed}` cells out across N worker
+//! threads (default: one per hardware thread; `--jobs 1` is fully
+//! serial). Results are reassembled in matrix order, so the table and
+//! `manifest.json` do not depend on N. `--deterministic` additionally
+//! zeroes the wall-clock fields, making every written artifact
+//! byte-identical across repeat runs and worker counts.
 //!
 //! Progress goes to stderr through the telemetry layer: `--log-format`
 //! selects human-readable lines (default) or JSONL, `--log-file` appends
@@ -32,10 +39,21 @@ fn main() {
     let mut log_format = "text".to_owned();
     let mut log_file: Option<String> = None;
     let mut quiet = false;
+    let mut deterministic = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--configs" => config_dir = args.next(),
             "--out" => out_dir = args.next(),
+            "--jobs" => {
+                options.jobs = match args.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--jobs takes a worker count (0 = auto)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--deterministic" => deterministic = true,
             "--seeds" => {
                 let n: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
                 options.seeds = (1..=n).collect();
@@ -59,7 +77,7 @@ fn main() {
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet]"
+                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--deterministic] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet]"
                 );
                 return;
             }
@@ -137,9 +155,13 @@ fn main() {
             ("seeds", Json::from(options.seeds.len())),
             ("intensity", Json::from(options.intensity)),
             ("compare", Json::from(options.compare_waveforms)),
+            ("jobs", Json::from(exec::resolve_jobs(options.jobs))),
         ],
     );
-    let report = run_regression(&configs, &tests, &options);
+    let mut report = run_regression(&configs, &tests, &options);
+    if deterministic {
+        report.strip_timings();
+    }
     println!("{}", report.table());
     if let Some(out) = out_dir {
         let path = std::path::Path::new(&out);

@@ -4,6 +4,18 @@
 //! views; merge functional coverage; and — once everything passed — run
 //! the bus-accurate comparison on the VCD pairs ("Compare VCD results if
 //! full functional coverage").
+//!
+//! The `{config × test × seed}` matrix is embarrassingly parallel: each
+//! cell owns its testbench, its RTL and BCA nodes, both runs and the
+//! waveform comparison, and nothing else. The runner therefore describes
+//! every cell as plain `Send` data, fans the descriptors out across an
+//! [`exec`] worker pool ([`RegressionOptions::jobs`]), and reassembles
+//! the results in matrix order — the table, the manifest and the
+//! [`RegressionReport`] are byte-identical for any worker count (modulo
+//! the wall-clock fields, which [`RegressionReport::strip_timings`]
+//! zeroes). The RTL view is built *on* the worker because its simulator
+//! is intentionally single-threaded (`Rc`/`RefCell` process closures);
+//! only the descriptor crosses threads.
 
 use catg::{CoverageReport, RunResult, TestSpec, Testbench, TestbenchOptions};
 use stba::compare_vcd_with;
@@ -27,10 +39,16 @@ pub struct RegressionOptions {
     pub bca_bugs: Vec<BcaBug>,
     /// Capture VCDs and run the alignment comparison.
     pub compare_waveforms: bool,
+    /// Worker threads running `{config, test, seed}` cells; `0` (the
+    /// default) means one per available hardware thread, `1` runs the
+    /// matrix serially. Results are identical for any value.
+    pub jobs: usize,
     /// Telemetry handle; the campaign emits one `regress.cell` span per
     /// `{config, test, seed, view}` cell, wires the testbench and kernel
-    /// metrics, and snapshots everything into the final report. Disabled
-    /// by default.
+    /// metrics, and snapshots everything into the final report. Workers
+    /// emit through [`Telemetry::buffered`] handles, so events batch into
+    /// the shared sinks instead of contending per event. Disabled by
+    /// default.
     pub telemetry: Telemetry,
 }
 
@@ -42,6 +60,7 @@ impl Default for RegressionOptions {
             fidelity: Fidelity::Relaxed,
             bca_bugs: Vec::new(),
             compare_waveforms: true,
+            jobs: 0,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -69,16 +88,22 @@ pub struct RunRecord {
     pub compare_wall_us: Option<u64>,
 }
 
+/// Minimum over `(matching, total)` port figures of `matching / total`
+/// (an empty `total` reads as fully aligned, mirroring
+/// [`stba::PortAlignment::rate`]); `None` when there are no ports.
+fn min_port_rate(pairs: impl IntoIterator<Item = (u64, u64)>) -> Option<f64> {
+    pairs
+        .into_iter()
+        .map(|(m, t)| if t == 0 { 1.0 } else { m as f64 / t as f64 })
+        .fold(None, |acc: Option<f64>, x| {
+            Some(acc.map_or(x, |a| a.min(x)))
+        })
+}
+
 impl RunRecord {
     /// Minimum per-port alignment rate of this single pair.
     pub fn min_alignment(&self) -> Option<f64> {
-        let ports = self.alignment.as_ref()?;
-        ports
-            .iter()
-            .map(|(_, m, t)| if *t == 0 { 1.0 } else { *m as f64 / *t as f64 })
-            .fold(None, |acc: Option<f64>, x| {
-                Some(acc.map_or(x, |a| a.min(x)))
-            })
+        min_port_rate(self.alignment.as_ref()?.iter().map(|(_, m, t)| (*m, *t)))
     }
 }
 
@@ -140,15 +165,7 @@ impl ConfigOutcome {
                 e.1 += t;
             }
         }
-        if per_port.is_empty() {
-            return None;
-        }
-        per_port
-            .values()
-            .map(|(m, t)| if *t == 0 { 1.0 } else { *m as f64 / *t as f64 })
-            .fold(None, |acc: Option<f64>, x| {
-                Some(acc.map_or(x, |a| a.min(x)))
-            })
+        min_port_rate(per_port.into_values())
     }
 
     /// The paper's sign-off: everything passed, full functional coverage,
@@ -211,6 +228,123 @@ impl RegressionReport {
     pub fn signed_off_count(&self) -> usize {
         self.configs.iter().filter(|c| c.signed_off()).count()
     }
+
+    /// Zeroes every wall-clock field (the campaign total and the per-run
+    /// RTL/BCA/compare timings). Everything else a campaign reports —
+    /// pass/fail, coverage, alignment, the metrics snapshot — is a pure
+    /// function of the inputs, so a stripped report renders byte-identical
+    /// tables, manifests and report trees across repeat runs and across
+    /// any [`RegressionOptions::jobs`] value.
+    pub fn strip_timings(&mut self) {
+        self.wall_us = 0;
+        for config in &mut self.configs {
+            for run in &mut config.runs {
+                run.rtl_wall_us = 0;
+                run.bca_wall_us = 0;
+                run.compare_wall_us = run.compare_wall_us.map(|_| 0);
+            }
+        }
+    }
+}
+
+/// Everything a worker needs to run one `{config, test, seed}` cell:
+/// plain owned data (the `Send` audit of the construction path happens
+/// right here — the non-`Send` simulator is built on the worker).
+struct CellJob {
+    config_idx: usize,
+    config: NodeConfig,
+    spec: TestSpec,
+    seed: u64,
+    fidelity: Fidelity,
+    bca_bugs: Vec<BcaBug>,
+    compare_waveforms: bool,
+    telemetry: Telemetry,
+}
+
+/// What one cell hands back for matrix-order reassembly.
+struct CellResult {
+    config_idx: usize,
+    record: RunRecord,
+    /// Structural coverage of this cell's (fresh) RTL node; merged
+    /// per-configuration by the assembler.
+    rtl_activity: sim_kernel_coverage::ActivityCoverage,
+}
+
+/// Runs one cell: build both views, run the test on each with the same
+/// seed, compare the waveforms if both passed. Executes entirely on one
+/// worker thread.
+fn run_cell(job: &CellJob) -> CellResult {
+    let tel = job.telemetry.buffered();
+    let bench = Testbench::new(
+        job.config.clone(),
+        TestbenchOptions {
+            capture_vcd: job.compare_waveforms,
+            telemetry: tel.clone(),
+            ..TestbenchOptions::default()
+        },
+    );
+    let mut rtl = RtlNode::new(job.config.clone());
+    rtl.attach_metrics(tel.metrics());
+    let mut bca = BcaNode::new(job.config.clone(), job.fidelity);
+    for bug in &job.bca_bugs {
+        bca.inject_bug(*bug);
+    }
+
+    let timed_run = |dut: &mut dyn DutView, view: ViewKind| {
+        let span = tel
+            .span("regress.cell")
+            .field("config", Json::from(job.config.name.as_str()))
+            .field("test", Json::from(job.spec.name.as_str()))
+            .field("seed", Json::from(job.seed))
+            .field("view", Json::from(view.to_string()));
+        let started = Instant::now();
+        let result = bench.run(dut, &job.spec, job.seed);
+        let wall_us = started.elapsed().as_micros() as u64;
+        span.end([
+            ("cycles", Json::from(result.cycles)),
+            ("passed", Json::from(result.passed())),
+        ]);
+        (result, wall_us)
+    };
+    let (rtl_result, rtl_wall_us) = timed_run(&mut rtl, ViewKind::Rtl);
+    let (bca_result, bca_wall_us) = timed_run(&mut bca, ViewKind::Bca);
+
+    // Figure 4: the alignment comparison only happens once both
+    // verification runs passed.
+    let mut compare_wall_us = None;
+    let alignment = if job.compare_waveforms && rtl_result.passed() && bca_result.passed() {
+        match (&rtl_result.vcd, &bca_result.vcd) {
+            (Some(a), Some(b)) => {
+                let started = Instant::now();
+                let outcome = compare_vcd_with(a, b, catg::vcd_cycle_time(), &tel);
+                compare_wall_us = Some(started.elapsed().as_micros() as u64);
+                outcome.ok().map(|r| {
+                    r.ports
+                        .into_iter()
+                        .map(|p| (p.port, p.matching_cycles, p.total_cycles))
+                        .collect()
+                })
+            }
+            _ => None,
+        }
+    } else {
+        None
+    };
+
+    CellResult {
+        config_idx: job.config_idx,
+        record: RunRecord {
+            test: job.spec.name.clone(),
+            seed: job.seed,
+            rtl: strip_vcd(rtl_result),
+            bca: strip_vcd(bca_result),
+            alignment,
+            rtl_wall_us,
+            bca_wall_us,
+            compare_wall_us,
+        },
+        rtl_activity: rtl.activity_coverage(),
+    }
 }
 
 /// Runs the campaign: `configs × tests × seeds × {RTL, BCA}`.
@@ -218,7 +352,9 @@ impl RegressionReport {
 /// This is the batch mode of the paper's regression tool: it "launches
 /// parallel regression tests on BCA and RTL models. It applies same test
 /// cases on both with same seeds. So that it can later, proceed to
-/// alignment comparison activity, if all checkers passed."
+/// alignment comparison activity, if all checkers passed." Cells fan out
+/// across [`RegressionOptions::jobs`] worker threads and reassemble in
+/// matrix order, so the report does not depend on the worker count.
 pub fn run_regression(
     configs: &[NodeConfig],
     tests: &[TestSpec],
@@ -230,107 +366,76 @@ pub fn run_regression(
         .span("regress.campaign")
         .field("configs", Json::from(configs.len()))
         .field("tests", Json::from(tests.len()))
-        .field("seeds", Json::from(options.seeds.len()));
-    let mut report = RegressionReport::default();
-    for config in configs {
-        let config_span = tel
-            .span("regress.config")
-            .field("config", Json::from(config.name.as_str()));
-        let bench = Testbench::new(
-            config.clone(),
-            TestbenchOptions {
-                capture_vcd: options.compare_waveforms,
-                telemetry: tel.clone(),
-                ..TestbenchOptions::default()
-            },
-        );
-        let mut rtl = RtlNode::new(config.clone());
-        rtl.attach_metrics(tel.metrics());
-        let mut bca = BcaNode::new(config.clone(), options.fidelity);
-        for bug in &options.bca_bugs {
-            bca.inject_bug(*bug);
-        }
-        let mut runs = Vec::new();
-        let mut coverage_rtl: Option<CoverageReport> = None;
-        let mut coverage_bca: Option<CoverageReport> = None;
+        .field("seeds", Json::from(options.seeds.len()))
+        .field("jobs", Json::from(exec::resolve_jobs(options.jobs)));
+
+    // The work list, in matrix order: config-major, then test, then seed.
+    let mut cells = Vec::with_capacity(configs.len() * tests.len() * options.seeds.len());
+    for (config_idx, config) in configs.iter().enumerate() {
         for spec in tests {
             for &seed in &options.seeds {
-                let timed_run = |dut: &mut dyn DutView, view: ViewKind| {
-                    let span = tel
-                        .span("regress.cell")
-                        .field("config", Json::from(config.name.as_str()))
-                        .field("test", Json::from(spec.name.as_str()))
-                        .field("seed", Json::from(seed))
-                        .field("view", Json::from(view.to_string()));
-                    let started = Instant::now();
-                    let result = bench.run(dut, spec, seed);
-                    let wall_us = started.elapsed().as_micros() as u64;
-                    span.end([
-                        ("cycles", Json::from(result.cycles)),
-                        ("passed", Json::from(result.passed())),
-                    ]);
-                    (result, wall_us)
-                };
-                let (rtl_result, rtl_wall_us) = timed_run(&mut rtl, ViewKind::Rtl);
-                let (bca_result, bca_wall_us) = timed_run(&mut bca, ViewKind::Bca);
-                merge_cov(&mut coverage_rtl, &rtl_result.coverage);
-                merge_cov(&mut coverage_bca, &bca_result.coverage);
-                // Figure 4: the alignment comparison only happens once both
-                // verification runs passed.
-                let mut compare_wall_us = None;
-                let alignment = if options.compare_waveforms
-                    && rtl_result.passed()
-                    && bca_result.passed()
-                {
-                    match (&rtl_result.vcd, &bca_result.vcd) {
-                        (Some(a), Some(b)) => {
-                            let started = Instant::now();
-                            let outcome = compare_vcd_with(a, b, catg::vcd_cycle_time(), tel);
-                            compare_wall_us = Some(started.elapsed().as_micros() as u64);
-                            outcome.ok().map(|r| {
-                                r.ports
-                                    .iter()
-                                    .map(|p| (p.port.clone(), p.matching_cycles, p.total_cycles))
-                                    .collect()
-                            })
-                        }
-                        _ => None,
-                    }
-                } else {
-                    None
-                };
-                runs.push(RunRecord {
-                    test: spec.name.clone(),
+                cells.push(CellJob {
+                    config_idx,
+                    config: config.clone(),
+                    spec: spec.clone(),
                     seed,
-                    rtl: strip_vcd(rtl_result),
-                    bca: strip_vcd(bca_result),
-                    alignment,
-                    rtl_wall_us,
-                    bca_wall_us,
-                    compare_wall_us,
+                    fidelity: options.fidelity,
+                    bca_bugs: options.bca_bugs.clone(),
+                    compare_waveforms: options.compare_waveforms,
+                    telemetry: tel.clone(),
                 });
             }
+        }
+    }
+    let results = exec::map_ordered(options.jobs, cells, |job| run_cell(&job));
+
+    // Reassemble per configuration, in matrix order: merging functional
+    // and structural coverage in the same (test, seed) order the serial
+    // runner used keeps every aggregate bit-identical.
+    let per_config = tests.len() * options.seeds.len();
+    let mut report = RegressionReport::default();
+    let mut results = results.into_iter();
+    for (config_idx, config) in configs.iter().enumerate() {
+        let mut runs = Vec::with_capacity(per_config);
+        let mut coverage_rtl: Option<CoverageReport> = None;
+        let mut coverage_bca: Option<CoverageReport> = None;
+        let mut code_coverage_rtl: Option<sim_kernel_coverage::ActivityCoverage> = None;
+        for _ in 0..per_config {
+            let cell = results.next().expect("one result per cell");
+            debug_assert_eq!(cell.config_idx, config_idx);
+            merge_cov(&mut coverage_rtl, &cell.record.rtl.coverage);
+            merge_cov(&mut coverage_bca, &cell.record.bca.coverage);
+            match &mut code_coverage_rtl {
+                Some(acc) => acc.merge(&cell.rtl_activity),
+                None => code_coverage_rtl = Some(cell.rtl_activity),
+            }
+            runs.push(cell.record);
         }
         let outcome = ConfigOutcome {
             config: config.clone(),
             runs,
             coverage_rtl,
             coverage_bca,
-            code_coverage_rtl: Some(rtl.activity_coverage()),
+            code_coverage_rtl,
         };
-        config_span.end([
-            ("runs", Json::from(outcome.runs.len() * 2)),
-            ("all_passed", Json::from(outcome.all_passed())),
-            (
-                "functional_coverage_pct",
-                Json::from(outcome.functional_coverage() * 100.0),
-            ),
-            (
-                "min_alignment_pct",
-                Json::from(outcome.min_alignment().map(|a| a * 100.0)),
-            ),
-            ("signed_off", Json::from(outcome.signed_off())),
-        ]);
+        tel.info(
+            "regress.config",
+            "configuration assembled",
+            [
+                ("config", Json::from(config.name.as_str())),
+                ("runs", Json::from(outcome.runs.len() * 2)),
+                ("all_passed", Json::from(outcome.all_passed())),
+                (
+                    "functional_coverage_pct",
+                    Json::from(outcome.functional_coverage() * 100.0),
+                ),
+                (
+                    "min_alignment_pct",
+                    Json::from(outcome.min_alignment().map(|a| a * 100.0)),
+                ),
+                ("signed_off", Json::from(outcome.signed_off())),
+            ],
+        );
         report.configs.push(outcome);
     }
     report.wall_us = campaign_started.elapsed().as_micros() as u64;
@@ -402,5 +507,56 @@ mod tests {
         let run = &report.configs[0].runs[0];
         assert!(run.rtl.passed());
         assert!(!run.bca.passed(), "B1 must be caught by the common env");
+    }
+
+    #[test]
+    fn min_port_rate_folds_like_the_paper() {
+        assert_eq!(min_port_rate([]), None);
+        assert_eq!(min_port_rate([(0, 0)]), Some(1.0));
+        assert_eq!(min_port_rate([(3, 4), (1, 1)]), Some(0.75));
+        // RunRecord and ConfigOutcome share the fold.
+        let record = RunRecord {
+            test: "t".into(),
+            seed: 1,
+            rtl: dummy_result(),
+            bca: dummy_result(),
+            alignment: Some(vec![("p0".into(), 9, 10), ("p1".into(), 10, 10)]),
+            rtl_wall_us: 0,
+            bca_wall_us: 0,
+            compare_wall_us: None,
+        };
+        assert_eq!(record.min_alignment(), Some(0.9));
+    }
+
+    fn dummy_result() -> RunResult {
+        let configs = vec![NodeConfig::reference()];
+        let tests = vec![tests_lib::basic_read_write(2)];
+        let options = RegressionOptions {
+            seeds: vec![1],
+            compare_waveforms: false,
+            jobs: 1,
+            ..RegressionOptions::default()
+        };
+        run_regression(&configs, &tests, &options).configs[0].runs[0]
+            .rtl
+            .clone()
+    }
+
+    #[test]
+    fn strip_timings_zeroes_every_wall_clock_field() {
+        let configs = vec![NodeConfig::reference()];
+        let tests = vec![tests_lib::basic_read_write(5)];
+        let options = RegressionOptions {
+            seeds: vec![1],
+            ..RegressionOptions::default()
+        };
+        let mut report = run_regression(&configs, &tests, &options);
+        assert!(report.wall_us > 0);
+        report.strip_timings();
+        assert_eq!(report.wall_us, 0);
+        let run = &report.configs[0].runs[0];
+        assert_eq!(run.rtl_wall_us, 0);
+        assert_eq!(run.bca_wall_us, 0);
+        assert_eq!(run.compare_wall_us, Some(0));
     }
 }

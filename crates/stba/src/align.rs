@@ -242,27 +242,37 @@ fn compare_docs(
 
     let cycle_time = cycle_time.max(1);
     let cycles = (doc_a.end_time().max(doc_b.end_time()) / cycle_time).max(1);
-    let mut ports = Vec::new();
-    for (port, vars_a) in &ports_a {
-        let vars_b = &ports_b[port];
-        let names_a: Vec<&String> = vars_a.iter().map(|(n, _)| n).collect();
-        let names_b: Vec<&String> = vars_b.iter().map(|(n, _)| n).collect();
-        if names_a != names_b {
+    let mut ports = Vec::with_capacity(ports_a.len());
+    // One mismatch mask reused across ports; port names move out of the
+    // grouping map instead of being cloned.
+    let mut mismatch_at = vec![false; cycles as usize];
+    for (port, vars_a) in ports_a {
+        let vars_b = &ports_b[&port];
+        if vars_a
+            .iter()
+            .map(|(n, _)| n)
+            .ne(vars_b.iter().map(|(n, _)| n))
+        {
+            let names_a: Vec<&String> = vars_a.iter().map(|(n, _)| n).collect();
+            let names_b: Vec<&String> = vars_b.iter().map(|(n, _)| n).collect();
             return Err(CompareVcdError::StructureMismatch {
                 detail: format!("port {port}: vars {names_a:?} vs {names_b:?}"),
             });
         }
-        // Sample every variable on the common grid once, then walk cycles.
-        let mut mismatch_at = vec![false; cycles as usize];
+        // Walk every variable pair over the cycle grid with forward
+        // cursors: O(changes + cycles) per variable, no value clones.
+        mismatch_at.fill(false);
         let mut diverging_vars = Vec::new();
         for ((name, ia), (_, ib)) in vars_a.iter().zip(vars_b) {
             let width = doc_a.var(*ia).width.max(doc_b.var(*ib).width);
-            let series_a = doc_a.sample_series(*ia, 0, cycle_time, cycles as usize);
-            let series_b = doc_b.sample_series(*ib, 0, cycle_time, cycles as usize);
+            let mut cursor_a = doc_a.cursor(*ia);
+            let mut cursor_b = doc_b.cursor(*ib);
             let mut var_diverged = false;
-            for (k, (va, vb)) in series_a.iter().zip(&series_b).enumerate() {
-                if !va.equals_at_width(vb, width) {
-                    mismatch_at[k] = true;
+            for (k, slot) in mismatch_at.iter_mut().enumerate() {
+                let t = k as u64 * cycle_time;
+                let va = cursor_a.advance_to(t);
+                if !va.equals_at_width(cursor_b.advance_to(t), width) {
+                    *slot = true;
                     var_diverged = true;
                 }
             }
@@ -273,7 +283,7 @@ fn compare_docs(
         let matching = mismatch_at.iter().filter(|m| !**m).count() as u64;
         let first_divergence = mismatch_at.iter().position(|m| *m).map(|c| c as u64);
         ports.push(PortAlignment {
-            port: port.clone(),
+            port,
             matching_cycles: matching,
             total_cycles: cycles,
             first_divergence,

@@ -22,6 +22,12 @@
 //! A disabled handle ([`Telemetry::disabled`]) costs one branch per call
 //! site, so library code can thread telemetry unconditionally.
 //!
+//! Every handle is `Send + Sync`. For fan-out work (the parallel
+//! regression engine), [`Telemetry::buffered`] derives a worker-local
+//! handle whose events accumulate in a private buffer and flow into the
+//! shared sinks in batches — spans and counters from many workers fan in
+//! without serializing on the sink lock per event.
+//!
 //! ```
 //! use stbus_telemetry::{Json, Level, MemorySink, Telemetry};
 //! let (sink, handle) = MemorySink::new();
@@ -49,11 +55,47 @@ pub use sink::{EventSink, JsonlSink, MemorySink, MemorySinkHandle, TextSink};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// Events a worker handle buffers locally before taking the shared sink
+/// lock once to flush them all (see [`Telemetry::buffered`]).
+const WORKER_BUFFER_BATCH: usize = 64;
+
 struct TelemetryInner {
     start: Instant,
     min_level: Level,
+    /// Cached at build time — sinks never change afterwards, so the
+    /// disabled fast path costs one branch, no lock.
+    enabled: bool,
     sinks: Mutex<Vec<Box<dyn EventSink>>>,
     metrics: MetricsRegistry,
+    /// `Some` on worker handles created by [`Telemetry::buffered`]: events
+    /// accumulate in `buffer` and fan into the parent's sinks in batches.
+    parent: Option<Telemetry>,
+    buffer: Mutex<Vec<Event>>,
+}
+
+impl TelemetryInner {
+    /// Moves every buffered event into the parent's sinks under a single
+    /// lock acquisition.
+    fn drain_buffer(&self) {
+        let Some(parent) = &self.parent else { return };
+        let events = std::mem::take(&mut *self.buffer.lock().expect("buffer lock"));
+        if events.is_empty() {
+            return;
+        }
+        let mut sinks = parent.inner.sinks.lock().expect("sink lock");
+        for event in &events {
+            for sink in sinks.iter_mut() {
+                sink.emit(event);
+            }
+        }
+    }
+}
+
+impl Drop for TelemetryInner {
+    fn drop(&mut self) {
+        // A worker handle going away must not lose its tail of events.
+        self.drain_buffer();
+    }
 }
 
 /// The cloneable telemetry handle. See the [crate docs](crate) for an
@@ -118,8 +160,11 @@ impl TelemetryBuilder {
             inner: Arc::new(TelemetryInner {
                 start: Instant::now(),
                 min_level: self.min_level,
+                enabled: !self.sinks.is_empty(),
                 sinks: Mutex::new(self.sinks),
                 metrics: MetricsRegistry::new(),
+                parent: None,
+                buffer: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -149,9 +194,41 @@ impl Telemetry {
             .build()
     }
 
-    /// True when at least one sink is attached.
+    /// True when at least one sink is attached (directly or through the
+    /// parent of a [buffered](Telemetry::buffered) worker handle).
     pub fn is_enabled(&self) -> bool {
-        !self.inner.sinks.lock().expect("sink lock").is_empty()
+        self.inner.enabled
+    }
+
+    /// A worker-local handle for fan-out work: events buffer in the
+    /// handle and flow into this handle's sinks in batches of
+    /// [`WORKER_BUFFER_BATCH`], so concurrent workers emitting spans do
+    /// not serialize on the sink lock per event. Metrics are shared with
+    /// the parent (they are lock-free atomics already). The buffer drains
+    /// on [`flush`](Telemetry::flush) and when the last clone of the
+    /// worker handle drops; event timestamps stay on the parent's clock.
+    ///
+    /// Buffering a disabled handle returns a plain clone (nothing to
+    /// buffer); buffering a buffered handle attaches to the same parent.
+    pub fn buffered(&self) -> Telemetry {
+        if !self.inner.enabled {
+            return self.clone();
+        }
+        let parent = match &self.inner.parent {
+            Some(p) => p.clone(),
+            None => self.clone(),
+        };
+        Telemetry {
+            inner: Arc::new(TelemetryInner {
+                start: parent.inner.start,
+                min_level: parent.inner.min_level,
+                enabled: true,
+                sinks: Mutex::new(Vec::new()),
+                metrics: parent.inner.metrics.clone(),
+                parent: Some(parent),
+                buffer: Mutex::new(Vec::with_capacity(WORKER_BUFFER_BATCH)),
+            }),
+        }
     }
 
     /// Microseconds since this handle was created (monotonic).
@@ -172,11 +249,7 @@ impl Telemetry {
         message: &str,
         fields: impl IntoIterator<Item = (impl Into<String>, Json)>,
     ) {
-        if level < self.inner.min_level {
-            return;
-        }
-        let mut sinks = self.inner.sinks.lock().expect("sink lock");
-        if sinks.is_empty() {
+        if level < self.inner.min_level || !self.inner.enabled {
             return;
         }
         let event = Event {
@@ -186,6 +259,20 @@ impl Telemetry {
             message: message.to_owned(),
             fields: fields.into_iter().map(|(k, v)| (k.into(), v)).collect(),
         };
+        if self.inner.parent.is_some() {
+            // Worker path: append locally (uncontended lock), flush a full
+            // batch into the parent's sinks in one go.
+            let full = {
+                let mut buffer = self.inner.buffer.lock().expect("buffer lock");
+                buffer.push(event);
+                buffer.len() >= WORKER_BUFFER_BATCH
+            };
+            if full {
+                self.inner.drain_buffer();
+            }
+            return;
+        }
+        let mut sinks = self.inner.sinks.lock().expect("sink lock");
         for sink in sinks.iter_mut() {
             sink.emit(&event);
         }
@@ -243,8 +330,14 @@ impl Telemetry {
         }
     }
 
-    /// Flushes every sink.
+    /// Flushes every sink (draining the local buffer first on a
+    /// [buffered](Telemetry::buffered) worker handle).
     pub fn flush(&self) {
+        if let Some(parent) = &self.inner.parent {
+            self.inner.drain_buffer();
+            parent.flush();
+            return;
+        }
         for sink in self.inner.sinks.lock().expect("sink lock").iter_mut() {
             sink.flush();
         }
@@ -379,6 +472,81 @@ mod tests {
         clone.metrics().counter("shared").inc();
         assert_eq!(handle.events().len(), 1);
         assert_eq!(tel.metrics().snapshot().counters["shared"], 1);
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Telemetry>();
+        assert_send_sync::<MetricsRegistry>();
+        assert_send_sync::<Counter>();
+        assert_send_sync::<Histogram>();
+    }
+
+    #[test]
+    fn buffered_handle_delivers_events_and_shares_metrics() {
+        let (sink, handle) = MemorySink::new();
+        let tel = Telemetry::builder().with_sink(Box::new(sink)).build();
+        {
+            let worker = tel.buffered();
+            worker.info("w.a", "first", NO_FIELDS);
+            worker.info("w.b", "second", NO_FIELDS);
+            worker.metrics().counter("w.count").add(2);
+            // Below the batch size: nothing delivered until flush/drop.
+            assert!(handle.events().is_empty());
+            worker.flush();
+            assert_eq!(handle.events().len(), 2);
+            worker.warn("w.c", "third", NO_FIELDS);
+        } // drop drains the tail
+        let events = handle.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].scope, "w.a");
+        assert_eq!(events[2].scope, "w.c");
+        assert_eq!(tel.metrics().snapshot().counters["w.count"], 2);
+    }
+
+    #[test]
+    fn buffered_handle_flushes_full_batches_automatically() {
+        let (sink, handle) = MemorySink::new();
+        let tel = Telemetry::builder().with_sink(Box::new(sink)).build();
+        let worker = tel.buffered();
+        for i in 0..WORKER_BUFFER_BATCH {
+            worker.info("tick", &format!("{i}"), NO_FIELDS);
+        }
+        assert_eq!(handle.events().len(), WORKER_BUFFER_BATCH);
+    }
+
+    #[test]
+    fn buffering_a_buffered_handle_reattaches_to_the_root() {
+        let (sink, handle) = MemorySink::new();
+        let tel = Telemetry::builder().with_sink(Box::new(sink)).build();
+        let worker = tel.buffered().buffered();
+        worker.info("deep", "hello", NO_FIELDS);
+        worker.flush();
+        assert_eq!(handle.events().len(), 1);
+        // Disabled handles skip buffering entirely.
+        let disabled = Telemetry::disabled().buffered();
+        assert!(!disabled.is_enabled());
+    }
+
+    #[test]
+    fn concurrent_workers_fan_in_without_losing_events() {
+        let (sink, handle) = MemorySink::new();
+        let tel = Telemetry::builder().with_sink(Box::new(sink)).build();
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let tel = tel.clone();
+                scope.spawn(move || {
+                    let worker = tel.buffered();
+                    for i in 0..100 {
+                        worker.info("w", &format!("{w}/{i}"), NO_FIELDS);
+                        worker.metrics().counter("events").inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(handle.events().len(), 400);
+        assert_eq!(tel.metrics().snapshot().counters["events"], 400);
     }
 
     #[test]
