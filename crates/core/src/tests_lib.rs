@@ -242,6 +242,220 @@ pub fn all(intensity: usize) -> Vec<TestSpec> {
     ]
 }
 
+pub mod qualification {
+    //! The shared qualification campaign shape.
+    //!
+    //! One place defines *how hard the environment hunts* — which
+    //! configurations, which tests, which seeds, which alignment spec and
+    //! sign-off threshold. Both the `bug_detection` integration test and
+    //! the mutation-qualification engine (`crates/mutation`, surfaced as
+    //! `stbus_regress --qualify`) build on these helpers, so the two can
+    //! never drift apart: a mutation that survives here survives there.
+
+    use super::{all, lru_fairness};
+    use crate::testbench::{RunResult, TestSpec, Testbench, TestbenchOptions};
+    use stbus_protocol::{ArbitrationKind, Architecture, DutView, NodeConfig, ProtocolType};
+
+    /// Per-initiator transaction count for the functional hunt.
+    pub const INTENSITY: usize = 20;
+    /// Seeds each {config, test} functional cell is run with.
+    pub const SEEDS: [u64; 2] = [1, 2];
+    /// Per-initiator transaction count for the alignment run.
+    pub const ALIGNMENT_INTENSITY: usize = 25;
+    /// The seed the alignment comparison uses.
+    pub const ALIGNMENT_SEED: u64 = 1;
+    /// STBA sign-off threshold: alignment below this rate is a detection.
+    pub const SIGNOFF: f64 = 0.99;
+
+    /// The Type 2 (ordered-response) hunt configuration: ordered-response
+    /// rules are invisible on the Type 3 reference node.
+    pub fn t2_hunt() -> NodeConfig {
+        NodeConfig::builder("t2_hunt")
+            .initiators(3)
+            .targets(2)
+            .bus_bytes(8)
+            .protocol(ProtocolType::Type2)
+            .architecture(Architecture::FullCrossbar)
+            .arbitration(ArbitrationKind::Lru)
+            .build()
+            .expect("valid")
+    }
+
+    /// The programmable-priority hunt configuration: only the
+    /// variable-priority policy consumes programming-port writes, so a
+    /// defect in the priority register needs this shape to matter.
+    pub fn prog_hunt() -> NodeConfig {
+        NodeConfig::builder("prog_hunt")
+            .initiators(3)
+            .targets(2)
+            .bus_bytes(8)
+            .protocol(ProtocolType::Type3)
+            .architecture(Architecture::FullCrossbar)
+            .arbitration(ArbitrationKind::VariablePriority)
+            .prog_port(true)
+            .build()
+            .expect("valid")
+    }
+
+    /// The partial-crossbar hunt configuration: lane-mask defects only
+    /// bite when the lane count is both limiting and greater than one.
+    pub fn partial_hunt() -> NodeConfig {
+        NodeConfig::builder("partial_hunt")
+            .initiators(3)
+            .targets(3)
+            .bus_bytes(8)
+            .protocol(ProtocolType::Type3)
+            .architecture(Architecture::PartialCrossbar { lanes: 2 })
+            .arbitration(ArbitrationKind::Lru)
+            .build()
+            .expect("valid")
+    }
+
+    /// The two canonical hunt configurations of experiment E2.
+    pub fn hunt_configs() -> Vec<NodeConfig> {
+        vec![NodeConfig::reference(), t2_hunt()]
+    }
+
+    /// The full qualification configuration set: the E2 pair plus the
+    /// shapes that make priority-port and lane-mask defects observable.
+    pub fn qualification_configs() -> Vec<NodeConfig> {
+        vec![
+            NodeConfig::reference(),
+            t2_hunt(),
+            prog_hunt(),
+            partial_hunt(),
+        ]
+    }
+
+    /// The functional hunt suite (all twelve tests at hunt intensity).
+    pub fn suite() -> Vec<TestSpec> {
+        all(INTENSITY)
+    }
+
+    /// The test the alignment comparison replays on both views.
+    pub fn alignment_spec() -> TestSpec {
+        lru_fairness(ALIGNMENT_INTENSITY)
+    }
+
+    /// The alignment specs a qualification campaign replays: the fairness
+    /// spec plus the programming-port spec — the only test that writes
+    /// the priority register, without which a dead priority port can
+    /// never show up as an alignment drop.
+    pub fn alignment_specs() -> Vec<TestSpec> {
+        vec![alignment_spec(), super::priority_prog(ALIGNMENT_INTENSITY)]
+    }
+
+    /// Testbench options for the functional stage.
+    pub fn functional_options() -> TestbenchOptions {
+        TestbenchOptions::default()
+    }
+
+    /// Testbench options for the alignment stage (waveforms captured).
+    pub fn alignment_options() -> TestbenchOptions {
+        TestbenchOptions {
+            capture_vcd: true,
+            ..TestbenchOptions::default()
+        }
+    }
+
+    /// Runs one functional cell and reports whether it failed.
+    pub fn functional_cell_fails(
+        config: &NodeConfig,
+        dut: &mut dyn DutView,
+        spec: &TestSpec,
+        seed: u64,
+    ) -> bool {
+        let bench = Testbench::new(config.clone(), functional_options());
+        !bench.run(dut, spec, seed).passed()
+    }
+
+    /// Runs the functional hunt — every {config, test, seed} cell over
+    /// the given configurations against a freshly built view — and
+    /// returns true as soon as any cell fails.
+    pub fn functional_detects(
+        configs: &[NodeConfig],
+        mut build: impl FnMut(&NodeConfig) -> Box<dyn DutView>,
+    ) -> bool {
+        for config in configs {
+            let mut dut = build(config);
+            for spec in suite() {
+                for seed in SEEDS {
+                    if functional_cell_fails(config, dut.as_mut(), &spec, seed) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Replays the alignment spec on both views and returns the STBA
+    /// alignment rate, if both runs produced waveforms.
+    pub fn alignment_rate(
+        config: &NodeConfig,
+        a: &mut dyn DutView,
+        b: &mut dyn DutView,
+    ) -> Option<f64> {
+        let bench = Testbench::new(config.clone(), alignment_options());
+        let spec = alignment_spec();
+        let ra = bench.run(a, &spec, ALIGNMENT_SEED);
+        let rb = bench.run(b, &spec, ALIGNMENT_SEED);
+        match (&ra.vcd, &rb.vcd) {
+            (Some(va), Some(vb)) => stba::compare_vcd(va, vb, crate::vcd_cycle_time())
+                .ok()
+                .map(|report| report.min_rate()),
+            _ => None,
+        }
+    }
+
+    /// Runs the alignment stage and reports whether the pair of views
+    /// falls below the sign-off threshold.
+    pub fn alignment_detects(
+        config: &NodeConfig,
+        clean: &mut dyn DutView,
+        mutated: &mut dyn DutView,
+    ) -> bool {
+        matches!(alignment_rate(config, clean, mutated), Some(rate) if rate < SIGNOFF)
+    }
+
+    /// The number of functional cells a campaign runs per mutation, for
+    /// sizing reports: `configs × tests × seeds`.
+    pub fn functional_cell_count(configs: &[NodeConfig]) -> usize {
+        configs.len() * suite().len() * SEEDS.len()
+    }
+
+    /// Classifies one functional run for qualification attribution.
+    ///
+    /// Precedence mirrors how an engineer would triage the failure: a
+    /// protocol-rule violation names the defect most precisely, then the
+    /// starvation watchdog, then scoreboard/anomaly evidence (which
+    /// includes traffic that never completed).
+    pub fn classify_functional_failure(result: &RunResult) -> Option<FunctionalDetection> {
+        if let Some(v) = result.checker.violations.first() {
+            return Some(match v.kind {
+                crate::checker::ViolationKind::Rule(rule) => FunctionalDetection::Checker(rule),
+                crate::checker::ViolationKind::Starvation => FunctionalDetection::Starvation,
+            });
+        }
+        if !result.scoreboard_errors.is_empty() || !result.anomalies.is_empty() || !result.completed
+        {
+            return Some(FunctionalDetection::Scoreboard);
+        }
+        None
+    }
+
+    /// What a failing functional cell was attributed to.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum FunctionalDetection {
+        /// A protocol-checker rule fired.
+        Checker(stbus_protocol::rules::RuleId),
+        /// The starvation watchdog fired.
+        Starvation,
+        /// The scoreboard (or an end-of-test anomaly) flagged the run.
+        Scoreboard,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -280,4 +280,55 @@ mod tests {
         let out: Vec<u64> = map_ordered(4, Vec::<u64>::new(), |x| x);
         assert!(out.is_empty());
     }
+
+    #[test]
+    fn free_map_ordered_reraises_the_lowest_index_panic() {
+        // The free function must behave exactly like the pool method:
+        // every job finishes, then the panic with the lowest item index
+        // is re-raised on the caller — independent of completion order.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            map_ordered(4, (0u64..16).collect(), |x| {
+                if x == 11 || x == 3 {
+                    // The higher index panics first.
+                    std::thread::sleep(std::time::Duration::from_micros(if x == 3 {
+                        2000
+                    } else {
+                        0
+                    }));
+                    panic!("cell {x} failed");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("two jobs panicked");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(message, "cell 3 failed");
+    }
+
+    #[test]
+    fn single_job_runs_inline_on_the_caller_thread() {
+        // `jobs = 1` must short-circuit to a plain loop: same thread, no
+        // pool. The campaign runners rely on this for `--jobs 1` being a
+        // true serial baseline.
+        let caller = std::thread::current().id();
+        let threads = map_ordered(1, vec![0u64, 1, 2], move |_| std::thread::current().id());
+        assert!(threads.iter().all(|&id| id == caller));
+        // A single item short-circuits too, regardless of the job count.
+        let one = map_ordered(8, vec![7u64], move |_| std::thread::current().id());
+        assert_eq!(one, vec![caller]);
+    }
+
+    #[test]
+    fn zero_jobs_auto_detect_matches_serial_results() {
+        // `0` resolves to one worker per hardware thread; whatever that
+        // number is on the host, the ordered results must equal the
+        // serial run's.
+        let items: Vec<u64> = (0..64).collect();
+        let serial = map_ordered(1, items.clone(), |x| x.wrapping_mul(x) ^ 0x5a);
+        let auto = map_ordered(0, items, |x| x.wrapping_mul(x) ^ 0x5a);
+        assert_eq!(serial, auto);
+    }
 }

@@ -1,0 +1,309 @@
+//! Mutation qualification of the common verification environment.
+//!
+//! The paper's environment claims to be a *common reusable* bench: the same
+//! checkers, scoreboard, coverage and alignment comparison catch defects in
+//! either design view. This crate turns that claim into a measured score.
+//! It carries a unified [`Mutation`] interface over the two defect
+//! catalogues — the five historical BCA bugs ([`stbus_bca::BcaBug`]) and
+//! the six injectable RTL defects ([`stbus_rtl::RtlBug`]) — and runs each
+//! one through the full `{configuration × test × seed}` hunt, recording
+//! *which* environment component fired ([`Detector`]).
+//!
+//! The campaign ([`run_qualification`]) fans out on the [`exec`] worker
+//! pool exactly like the regression runner: every cell is plain `Send`
+//! data, the simulators are built on the workers, and results reassemble
+//! in matrix order, so the report — and its `qualification.json` — is
+//! byte-identical for any `--jobs` value.
+//!
+//! A qualification passes only when the mutation score is 100% *and*
+//! every mutation is attributed to the detector its catalogue entry
+//! declares; a mutation caught "by accident" (a different detector than
+//! documented) is a documentation bug worth failing on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod report;
+
+pub use campaign::{run_qualification, QualifyOptions};
+pub use report::{
+    AlignmentCell, Detection, MutationOutcome, QualificationReport, QUALIFICATION_SCHEMA,
+};
+
+use catg::tests_lib::qualification::FunctionalDetection;
+use stbus_bca::{BcaBug, BcaNode, Fidelity};
+use stbus_protocol::rules::RuleId;
+use stbus_protocol::{DutView, NodeConfig, ViewKind};
+use stbus_rtl::{RtlBug, RtlNode};
+use std::fmt;
+
+/// Which component of the common environment caught a mutation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Detector {
+    /// A protocol-checker rule.
+    Checker(RuleId),
+    /// The starvation watchdog.
+    Starvation,
+    /// The scoreboard (data integrity, error-flag accounting, or traffic
+    /// that never drained).
+    Scoreboard,
+    /// The bus-accurate (STBA) alignment comparison against the clean
+    /// opposite view.
+    Alignment,
+    /// A functional-coverage shortfall relative to the clean same-view
+    /// control.
+    Coverage,
+}
+
+impl Detector {
+    /// The five categories in report-column order (checker rules collapse
+    /// into one column).
+    pub const COLUMNS: [&'static str; 5] = [
+        "checker",
+        "starvation",
+        "scoreboard",
+        "alignment",
+        "coverage",
+    ];
+
+    /// The report-column this detector belongs to.
+    pub fn column(self) -> &'static str {
+        match self {
+            Detector::Checker(_) => "checker",
+            Detector::Starvation => "starvation",
+            Detector::Scoreboard => "scoreboard",
+            Detector::Alignment => "alignment",
+            Detector::Coverage => "coverage",
+        }
+    }
+
+    pub(crate) fn from_functional(f: FunctionalDetection) -> Detector {
+        match f {
+            FunctionalDetection::Checker(rule) => Detector::Checker(rule),
+            FunctionalDetection::Starvation => Detector::Starvation,
+            FunctionalDetection::Scoreboard => Detector::Scoreboard,
+        }
+    }
+
+    /// Precedence used for campaign-level attribution: lower is stronger.
+    /// A protocol-rule violation names the defect most precisely; the
+    /// coverage shortfall is the weakest (most indirect) evidence.
+    pub(crate) fn precedence(self) -> u8 {
+        match self {
+            Detector::Checker(_) => 0,
+            Detector::Starvation => 1,
+            Detector::Scoreboard => 2,
+            Detector::Alignment => 3,
+            Detector::Coverage => 4,
+        }
+    }
+}
+
+impl fmt::Display for Detector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Detector::Checker(rule) => write!(f, "checker {rule}"),
+            Detector::Starvation => f.write_str("starvation watchdog"),
+            Detector::Scoreboard => f.write_str("scoreboard"),
+            Detector::Alignment => f.write_str("STBA alignment"),
+            Detector::Coverage => f.write_str("coverage shortfall"),
+        }
+    }
+}
+
+/// One injectable defect, abstracted over which view carries it.
+///
+/// The qualification campaign only speaks this interface; the BCA and RTL
+/// catalogues plug in through [`CatalogueEntry`].
+pub trait Mutation {
+    /// Catalogue label (`B1`..`B5`, `R1`..`R6`).
+    fn label(&self) -> String;
+    /// One-line description for reports.
+    fn description(&self) -> String;
+    /// Which view the defect is injected into.
+    fn mutated_view(&self) -> ViewKind;
+    /// The detector the catalogue declares must catch this defect
+    /// (display form of a [`Detector`], e.g. `"checker R-TID"`).
+    fn expected_detector(&self) -> String;
+    /// Builds the mutated view for a configuration.
+    fn build_mutated(&self, config: &NodeConfig) -> Box<dyn DutView>;
+    /// Builds the *clean opposite* view — the alignment reference.
+    fn build_clean_opposite(&self, config: &NodeConfig) -> Box<dyn DutView>;
+}
+
+/// One row of the unified qualification catalogue.
+///
+/// The two `Clean*` entries are negative controls: they run the identical
+/// campaign and must produce *zero* detections — and their runs double as
+/// the per-configuration alignment baselines and same-view coverage
+/// references for the mutated entries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CatalogueEntry {
+    /// Clean RTL view (negative control / RTL-side reference).
+    CleanRtl,
+    /// Clean BCA view at exact fidelity (negative control / BCA-side
+    /// reference).
+    CleanBca,
+    /// A BCA catalogue bug injected into the BCA view.
+    Bca(BcaBug),
+    /// An RTL catalogue bug injected into the RTL view.
+    Rtl(RtlBug),
+}
+
+impl CatalogueEntry {
+    /// True for the two clean negative-control entries.
+    pub fn is_control(self) -> bool {
+        matches!(self, CatalogueEntry::CleanRtl | CatalogueEntry::CleanBca)
+    }
+}
+
+fn clean_rtl(config: &NodeConfig) -> Box<dyn DutView> {
+    Box::new(RtlNode::new(config.clone()))
+}
+
+/// The BCA side of every qualification pair runs at exact fidelity: the
+/// relaxed-fidelity divergence is a *modeling* choice, not a defect, and
+/// must not pollute the alignment baseline.
+fn clean_bca(config: &NodeConfig) -> Box<dyn DutView> {
+    Box::new(BcaNode::new(config.clone(), Fidelity::Exact))
+}
+
+impl Mutation for CatalogueEntry {
+    fn label(&self) -> String {
+        match self {
+            CatalogueEntry::CleanRtl => "C-RTL".to_owned(),
+            CatalogueEntry::CleanBca => "C-BCA".to_owned(),
+            CatalogueEntry::Bca(b) => b.label().to_owned(),
+            CatalogueEntry::Rtl(b) => b.label().to_owned(),
+        }
+    }
+
+    fn description(&self) -> String {
+        match self {
+            CatalogueEntry::CleanRtl => "clean RTL view (negative control)".to_owned(),
+            CatalogueEntry::CleanBca => "clean BCA view (negative control)".to_owned(),
+            CatalogueEntry::Bca(b) => b.description().to_owned(),
+            CatalogueEntry::Rtl(b) => b.description().to_owned(),
+        }
+    }
+
+    fn mutated_view(&self) -> ViewKind {
+        match self {
+            CatalogueEntry::CleanRtl | CatalogueEntry::Rtl(_) => ViewKind::Rtl,
+            CatalogueEntry::CleanBca | CatalogueEntry::Bca(_) => ViewKind::Bca,
+        }
+    }
+
+    fn expected_detector(&self) -> String {
+        match self {
+            CatalogueEntry::CleanRtl | CatalogueEntry::CleanBca => "none".to_owned(),
+            CatalogueEntry::Bca(b) => b.expected_detector().to_owned(),
+            CatalogueEntry::Rtl(b) => b.expected_detector().to_owned(),
+        }
+    }
+
+    fn build_mutated(&self, config: &NodeConfig) -> Box<dyn DutView> {
+        match self {
+            CatalogueEntry::CleanRtl => clean_rtl(config),
+            CatalogueEntry::CleanBca => clean_bca(config),
+            CatalogueEntry::Bca(bug) => {
+                let mut node = BcaNode::new(config.clone(), Fidelity::Exact);
+                node.inject_bug(*bug);
+                Box::new(node)
+            }
+            CatalogueEntry::Rtl(bug) => Box::new(RtlNode::with_bugs(config.clone(), &[*bug])),
+        }
+    }
+
+    fn build_clean_opposite(&self, config: &NodeConfig) -> Box<dyn DutView> {
+        match self.mutated_view() {
+            ViewKind::Rtl => clean_bca(config),
+            ViewKind::Bca => clean_rtl(config),
+        }
+    }
+}
+
+/// The unified qualification catalogue: the two clean controls first, then
+/// the five BCA bugs, then the six RTL bugs.
+pub fn catalogue() -> Vec<CatalogueEntry> {
+    let mut entries = vec![CatalogueEntry::CleanRtl, CatalogueEntry::CleanBca];
+    entries.extend(BcaBug::ALL.into_iter().map(CatalogueEntry::Bca));
+    entries.extend(RtlBug::ALL.into_iter().map(CatalogueEntry::Rtl));
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_two_controls_and_eleven_mutations() {
+        let entries = catalogue();
+        assert_eq!(entries.len(), 13);
+        assert_eq!(entries.iter().filter(|e| e.is_control()).count(), 2);
+        let labels: Vec<String> = entries.iter().map(Mutation::label).collect();
+        assert!(labels.contains(&"B1".to_owned()));
+        assert!(labels.contains(&"R6".to_owned()));
+        // Labels are unique.
+        let set: std::collections::BTreeSet<&String> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+
+    #[test]
+    fn every_declared_detector_is_a_known_display_form() {
+        let known = [
+            Detector::Starvation.to_string(),
+            Detector::Scoreboard.to_string(),
+            Detector::Alignment.to_string(),
+            Detector::Coverage.to_string(),
+        ];
+        for entry in catalogue() {
+            if entry.is_control() {
+                continue;
+            }
+            let declared = entry.expected_detector();
+            let ok = known.contains(&declared)
+                || RuleId::ALL
+                    .iter()
+                    .any(|r| declared == Detector::Checker(*r).to_string());
+            assert!(
+                ok,
+                "{}: undeclared detector form {declared:?}",
+                entry.label()
+            );
+        }
+    }
+
+    #[test]
+    fn mutated_builders_target_the_declared_view() {
+        let config = NodeConfig::reference();
+        for entry in catalogue() {
+            assert_eq!(
+                entry.build_mutated(&config).view_kind(),
+                entry.mutated_view(),
+                "{}",
+                entry.label()
+            );
+            assert_ne!(
+                entry.build_clean_opposite(&config).view_kind(),
+                entry.mutated_view(),
+                "{}",
+                entry.label()
+            );
+        }
+    }
+
+    #[test]
+    fn detector_columns_cover_every_variant() {
+        for d in [
+            Detector::Checker(RuleId::TidMatch),
+            Detector::Starvation,
+            Detector::Scoreboard,
+            Detector::Alignment,
+            Detector::Coverage,
+        ] {
+            assert!(Detector::COLUMNS.contains(&d.column()));
+        }
+    }
+}

@@ -4,11 +4,20 @@
 //! stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N]
 //!               [--jobs N] [--deterministic] [--no-compare] [--exact]
 //!               [--log-format text|json] [--log-file PATH] [--quiet]
+//!               [--qualify]
 //! ```
 //!
 //! With `--configs <dir>`, every `*.cfg` text file in the directory is
 //! loaded ("It's sufficient to indicate the directory to which the tool
 //! has to point"); otherwise the built-in >36-configuration sweep runs.
+//!
+//! `--qualify` switches the tool into mutation-qualification mode: every
+//! catalogue defect (five BCA, six RTL) is injected in turn and run
+//! through the common environment's hunt shape; the run fails unless all
+//! mutations are killed *and* each is attributed to its declared
+//! detector. `--jobs`, `--deterministic`, `--seeds`, `--intensity`,
+//! `--out` and the logging flags apply as in regression mode; the report
+//! directory receives `qualification.json`.
 //!
 //! `--jobs N` fans the `{config × test × seed}` cells out across N worker
 //! threads (default: one per hardware thread; `--jobs 1` is fully
@@ -40,8 +49,12 @@ fn main() {
     let mut log_file: Option<String> = None;
     let mut quiet = false;
     let mut deterministic = false;
+    let mut qualify = false;
+    let mut seeds_given = false;
+    let mut intensity_given = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--qualify" => qualify = true,
             "--configs" => config_dir = args.next(),
             "--out" => out_dir = args.next(),
             "--jobs" => {
@@ -57,12 +70,14 @@ fn main() {
             "--seeds" => {
                 let n: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
                 options.seeds = (1..=n).collect();
+                seeds_given = true;
             }
             "--intensity" => {
                 intensity = args
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(intensity);
+                intensity_given = true;
             }
             "--no-compare" => options.compare_waveforms = false,
             "--exact" => options.fidelity = Fidelity::Exact,
@@ -77,7 +92,7 @@ fn main() {
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--deterministic] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet]"
+                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--deterministic] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet] [--qualify]"
                 );
                 return;
             }
@@ -108,6 +123,70 @@ fn main() {
     }
     let tel = builder.build();
     options.telemetry = tel.clone();
+
+    if qualify {
+        let mut qopts = mutation::QualifyOptions {
+            jobs: options.jobs,
+            telemetry: tel.clone(),
+            ..mutation::QualifyOptions::default()
+        };
+        if seeds_given {
+            qopts.seeds = options.seeds.clone();
+        }
+        if intensity_given {
+            qopts.tests = catg::tests_lib::all(intensity);
+        }
+        tel.info(
+            "mutation.start",
+            "qualification campaign starting",
+            [
+                ("configs", Json::from(qopts.configs.len())),
+                ("tests", Json::from(qopts.tests.len())),
+                ("seeds", Json::from(qopts.seeds.len())),
+                ("jobs", Json::from(exec::resolve_jobs(qopts.jobs))),
+            ],
+        );
+        let mut report = mutation::run_qualification(&qopts);
+        if deterministic {
+            report.strip_timings();
+        }
+        println!("{}", report.table());
+        if let Some(out) = out_dir {
+            let dir = std::path::Path::new(&out);
+            let write = std::fs::create_dir_all(dir).and_then(|()| {
+                std::fs::write(
+                    dir.join("qualification.json"),
+                    report.qualification_json().render_pretty(),
+                )
+            });
+            match write {
+                Ok(()) => tel.info(
+                    "mutation.reports",
+                    "qualification.json written",
+                    [("dir", Json::from(dir.display().to_string()))],
+                ),
+                Err(e) => tel.error(
+                    "mutation.reports",
+                    "cannot write qualification.json",
+                    [("error", Json::from(e.to_string()))],
+                ),
+            }
+        }
+        tel.flush();
+        if !report.passed() {
+            for o in report.attribution_issues() {
+                eprintln!(
+                    "qualification failure: {} expected {}, got {}",
+                    o.label,
+                    o.expected_detector,
+                    o.detector
+                        .map_or("no detection".to_owned(), |d| d.to_string()),
+                );
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let configs: Vec<NodeConfig> = match &config_dir {
         Some(dir) => {

@@ -15,14 +15,18 @@ use std::fmt;
 pub enum BcaBug {
     /// B1 — store byte enables are replaced by the full-bus mask when
     /// forwarding, turning sub-bus stores into full-word writes.
-    /// *Plausible origin:* a cell-packing shortcut. *Caught by:* the
-    /// scoreboard (data integrity).
+    /// *Plausible origin:* a cell-packing shortcut. *Caught by:* protocol
+    /// checker R-BE at the target port — the forwarded enables no longer
+    /// match the opcode footprint, which fires before the scoreboard can
+    /// see the corrupted write-back.
     DroppedByteEnables,
     /// B2 — the LRU arbiters never update their recency state, so LRU
     /// degenerates into fixed priority and starves high-index initiators.
     /// *Plausible origin:* a policy refactor losing the `update` call.
-    /// *Caught by:* the starvation watchdog (and the STBA alignment
-    /// comparison).
+    /// *Caught by:* the STBA alignment comparison — the grant order
+    /// diverges from the clean opposite view immediately (under
+    /// saturations longer than the watchdog limit, the starvation
+    /// watchdog fires too).
     StuckLruState,
     /// B3 — the transaction id of Type 3 responses delivered out of
     /// request order is corrupted (low bit flipped). *Plausible origin:*
@@ -76,8 +80,8 @@ impl BcaBug {
     /// Which environment component is expected to catch the bug.
     pub const fn expected_detector(self) -> &'static str {
         match self {
-            BcaBug::DroppedByteEnables => "scoreboard",
-            BcaBug::StuckLruState => "starvation watchdog",
+            BcaBug::DroppedByteEnables => "checker R-BE",
+            BcaBug::StuckLruState => "STBA alignment",
             BcaBug::CorruptedOooTid => "checker R-TID",
             BcaBug::ReorderedT2Responses => "checker R-ORDER",
             BcaBug::IgnoredChunkLock => "checker R-CHUNK",

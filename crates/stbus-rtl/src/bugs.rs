@@ -1,0 +1,135 @@
+//! The injectable RTL defect catalogue (mutation qualification).
+//!
+//! The BCA view carries the paper's five historical bugs
+//! (`stbus_bca::BcaBug`); this catalogue is the RTL-side counterpart used
+//! to *qualify the verification environment itself*: each entry is a
+//! plausible micro-architectural mistake in the node's evaluate/commit
+//! logic, and the qualification campaign (`crates/mutation`) asserts that
+//! the common environment detects every one of them — and attributes the
+//! detection to the declared detector.
+//!
+//! Bugs are injected at elaboration time ([`crate::RtlNode::with_bugs`]):
+//! the spec is cloned into the kernel process closures during
+//! construction, so a defect must be part of the [`crate::NodeSpec`]
+//! before the node is built.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One injectable RTL defect.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum RtlBug {
+    /// R1 — the target-port request mux does not hold its winner while
+    /// waiting for `gnt` under back-pressure, so the presented cell can
+    /// switch mid-handshake. *Plausible origin:* the presented-lock
+    /// register dropped from the sensitivity refactor. *Caught by:*
+    /// protocol checker R-REQ-STABLE.
+    DroppedGrantHold,
+    /// R2 — the routing decode is wrong for the highest target index:
+    /// requests for target `n-1` land on target `n-2`. *Plausible
+    /// origin:* an off-by-one in the decoder's index width. *Caught by:*
+    /// protocol checker R-TID (the response's responder matches no
+    /// outstanding request).
+    MisroutedHighTarget,
+    /// R3 — the priority-port register is never sampled: programming-port
+    /// writes reach the node but the arbiters keep their reset
+    /// priorities. *Plausible origin:* a missing clock enable on the
+    /// priority register. *Caught by:* the STBA alignment comparison
+    /// (grant order diverges from the clean opposite view).
+    UnsampledPriorityPort,
+    /// R4 — off-by-one in the partial-crossbar lane mask: one fewer
+    /// concurrent route than configured. Functionally invisible, but the
+    /// cycle-level timing shifts under load. *Plausible origin:* an
+    /// inclusive/exclusive bound mix-up in the lane allocator. *Caught
+    /// by:* the STBA alignment comparison.
+    PartialLaneOffByOne,
+    /// R5 — the internal error responder corrupts the response opcode:
+    /// unmapped requests are answered with an OK response instead of an
+    /// error. *Plausible origin:* the response-kind field lost when
+    /// packing the error cells. *Caught by:* the scoreboard (an internal
+    /// response must carry the error flag).
+    ErrorKindDropped,
+    /// R6 — the chunk lock is released one packet early: the target's
+    /// chunk ownership is cleared at the *locked* packet's `eop` instead
+    /// of at the closing packet, letting other initiators interleave
+    /// inside the chunk. *Plausible origin:* `lock` and `eop` priority
+    /// swapped in the ownership update. *Caught by:* protocol checker
+    /// R-CHUNK.
+    EarlyChunkRelease,
+}
+
+impl RtlBug {
+    /// All six bugs, in catalogue order.
+    pub const ALL: [RtlBug; 6] = [
+        RtlBug::DroppedGrantHold,
+        RtlBug::MisroutedHighTarget,
+        RtlBug::UnsampledPriorityPort,
+        RtlBug::PartialLaneOffByOne,
+        RtlBug::ErrorKindDropped,
+        RtlBug::EarlyChunkRelease,
+    ];
+
+    /// The catalogue label used in the qualification tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            RtlBug::DroppedGrantHold => "R1",
+            RtlBug::MisroutedHighTarget => "R2",
+            RtlBug::UnsampledPriorityPort => "R3",
+            RtlBug::PartialLaneOffByOne => "R4",
+            RtlBug::ErrorKindDropped => "R5",
+            RtlBug::EarlyChunkRelease => "R6",
+        }
+    }
+
+    /// A one-line description for reports.
+    pub const fn description(self) -> &'static str {
+        match self {
+            RtlBug::DroppedGrantHold => "request mux winner not held under back-pressure",
+            RtlBug::MisroutedHighTarget => "routing decode off by one for the top target",
+            RtlBug::UnsampledPriorityPort => "priority-port register never sampled",
+            RtlBug::PartialLaneOffByOne => "partial-crossbar lane mask off by one",
+            RtlBug::ErrorKindDropped => "internal error responses sent as OK",
+            RtlBug::EarlyChunkRelease => "chunk lock released one packet early",
+        }
+    }
+
+    /// Which environment component is expected to catch the bug.
+    pub const fn expected_detector(self) -> &'static str {
+        match self {
+            RtlBug::DroppedGrantHold => "checker R-REQ-STABLE",
+            RtlBug::MisroutedHighTarget => "checker R-TID",
+            RtlBug::UnsampledPriorityPort => "STBA alignment",
+            RtlBug::PartialLaneOffByOne => "STBA alignment",
+            RtlBug::ErrorKindDropped => "scoreboard",
+            RtlBug::EarlyChunkRelease => "checker R-CHUNK",
+        }
+    }
+}
+
+impl fmt::Display for RtlBug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.label(), self.description())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_labeled() {
+        assert_eq!(RtlBug::ALL.len(), 6);
+        for (k, b) in RtlBug::ALL.iter().enumerate() {
+            assert_eq!(b.label(), format!("R{}", k + 1));
+            assert!(!b.description().is_empty());
+            assert!(!b.expected_detector().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_joins_label_and_description() {
+        let s = RtlBug::MisroutedHighTarget.to_string();
+        assert!(s.starts_with("R2:"));
+        assert!(s.contains("decode"));
+    }
+}

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bugs;
 mod converters;
 mod node;
 mod register_decoder;
@@ -37,6 +38,7 @@ mod signals;
 mod spec;
 mod trace;
 
+pub use bugs::RtlBug;
 pub use converters::{SizeConverter, TypeConverter};
 pub use node::RtlNode;
 pub use register_decoder::{RegisterDecoder, RegisterFile};

@@ -1,6 +1,7 @@
 //! The RTL node: the cycle-level spec elaborated onto kernel signals and
 //! processes.
 
+use crate::bugs::RtlBug;
 use crate::signals::{ReqWires, RspWires, SigRead};
 use crate::spec::{NodeSpec, NodeState, Plan, ProbePoint};
 use sim_kernel::{ActivityCoverage, BranchId, Edge, Signal, SignalId, Simulator};
@@ -54,7 +55,15 @@ pub struct RtlNode {
 impl RtlNode {
     /// Elaborates the node for a configuration.
     pub fn new(config: NodeConfig) -> Self {
-        let spec = NodeSpec::new(config.clone());
+        Self::with_bugs(config, &[])
+    }
+
+    /// Elaborates the node with defects from the [`RtlBug`] catalogue
+    /// injected (mutation qualification). The spec is cloned into the
+    /// kernel process closures here, so bugs cannot be added after
+    /// elaboration.
+    pub fn with_bugs(config: NodeConfig, bugs: &[RtlBug]) -> Self {
+        let spec = NodeSpec::with_bugs(config.clone(), bugs);
         let mut sim = Simulator::new();
         let clk = sim.add_signal("clk", false);
         let state_version = sim.add_signal("state_version", 0u64);
@@ -188,6 +197,11 @@ impl RtlNode {
     /// used in the speed experiments).
     pub fn kernel_deltas(&self) -> u64 {
         self.sim.total_deltas()
+    }
+
+    /// The defects injected at elaboration, in catalogue order.
+    pub fn injected_bugs(&self) -> impl Iterator<Item = RtlBug> + '_ {
+        self.spec.bugs()
     }
 
     /// Starts recording every internal kernel signal (wires *and* the

@@ -6,13 +6,14 @@
 //! register. [`NodeSpec::commit`] is the clocked process that applies the
 //! plan. `node.rs` wires this pair onto real kernel signals and processes.
 
+use crate::bugs::RtlBug;
 use stbus_protocol::arbitration::{make_arbiter, Arbiter, ArbiterParams};
 use stbus_protocol::packet::{response_cells, ResponsePacket};
 use stbus_protocol::{
-    DutInputs, DutOutputs, NodeConfig, Opcode, ProtocolType, ReqCell, RspCell, TargetId,
-    TransactionId,
+    Architecture, DutInputs, DutOutputs, NodeConfig, Opcode, ProtocolType, ReqCell, RspCell,
+    RspKind, TargetId, TransactionId,
 };
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// How many cycles after absorbing an unmapped request the node's internal
 /// error responder takes to present the error response.
@@ -227,17 +228,61 @@ pub struct Plan {
 #[derive(Clone, Debug)]
 pub struct NodeSpec {
     config: NodeConfig,
+    /// Injected defects (mutation qualification); empty on a clean node.
+    bugs: BTreeSet<RtlBug>,
 }
 
 impl NodeSpec {
     /// Creates the spec for a configuration.
     pub fn new(config: NodeConfig) -> Self {
-        NodeSpec { config }
+        Self::with_bugs(config, &[])
+    }
+
+    /// Creates the spec with defects from the [`RtlBug`] catalogue
+    /// injected. Defects are baked into the combinational/clocked logic,
+    /// so they must be chosen before the node is elaborated.
+    pub fn with_bugs(config: NodeConfig, bugs: &[RtlBug]) -> Self {
+        NodeSpec {
+            config,
+            bugs: bugs.iter().copied().collect(),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &NodeConfig {
         &self.config
+    }
+
+    /// The injected defects, in catalogue order.
+    pub fn bugs(&self) -> impl Iterator<Item = RtlBug> + '_ {
+        self.bugs.iter().copied()
+    }
+
+    fn has_bug(&self, bug: RtlBug) -> bool {
+        self.bugs.contains(&bug)
+    }
+
+    /// The routing decode, including the R2 off-by-one on the top target.
+    fn route_target(&self, t: usize) -> usize {
+        let nt = self.config.n_targets;
+        if self.has_bug(RtlBug::MisroutedHighTarget) && nt >= 2 && t == nt - 1 {
+            t - 1
+        } else {
+            t
+        }
+    }
+
+    /// The concurrent-route limit, including the R4 partial-crossbar
+    /// off-by-one.
+    fn lane_limit(&self) -> usize {
+        let lanes = self.config.arch.concurrency(self.config.n_targets);
+        if self.has_bug(RtlBug::PartialLaneOffByOne)
+            && matches!(self.config.arch, Architecture::PartialCrossbar { .. })
+        {
+            lanes.saturating_sub(1).max(1)
+        } else {
+            lanes
+        }
     }
 
     /// Builds the post-reset state (fresh arbiters, empty queues).
@@ -325,7 +370,7 @@ impl NodeSpec {
                 Some(match st.route[i] {
                     Some(r) => r,
                     None => match cfg.address_map.decode(cell.addr) {
-                        Some(TargetId(t)) => Route::Target(t as usize),
+                        Some(TargetId(t)) => Route::Target(self.route_target(t as usize)),
                         None => Route::Internal,
                     },
                 })
@@ -369,7 +414,7 @@ impl NodeSpec {
                 _ => st.req_arb[t].choose(&req_vec[t]),
             })
             .collect();
-        let lanes = cfg.arch.concurrency(nt);
+        let lanes = self.lane_limit();
         let mut proceeding = vec![false; nt];
         let mut used_lanes = 0usize;
         for t in 0..nt {
@@ -398,7 +443,9 @@ impl NodeSpec {
                     forwards[t] = Some((w, cell));
                     committed = Some(w);
                     probe(ProbePoint::RequestForwarded);
-                } else {
+                } else if !self.has_bug(RtlBug::DroppedGrantHold) {
+                    // R1 skips the presented-lock: the mux may re-arbitrate
+                    // while the cell waits for `gnt`.
                     tgt_present_next[t] = Some(w);
                 }
             } else {
@@ -616,8 +663,12 @@ impl NodeSpec {
         st.rsp_presented.clone_from(&plan.rsp_present_next);
 
         if let Some(prios) = &plan.prog {
-            for arb in &mut st.req_arb {
-                arb.set_priorities(prios);
+            // R3: the priority register misses its clock enable — the
+            // write is observed but never reaches the arbiters.
+            if !self.has_bug(RtlBug::UnsampledPriorityPort) {
+                for arb in &mut st.req_arb {
+                    arb.set_priorities(prios);
+                }
             }
         }
 
@@ -642,7 +693,13 @@ impl NodeSpec {
         if let Route::Target(t) = route {
             st.tgt_pkt_owner[t] = if cell.eop { None } else { Some(i) };
             if cell.lock {
-                st.chunk_owner[t] = Some(i);
+                // R6: ownership cleared at the locked packet's eop instead
+                // of surviving until the closing packet.
+                st.chunk_owner[t] = if self.has_bug(RtlBug::EarlyChunkRelease) && cell.eop {
+                    None
+                } else {
+                    Some(i)
+                };
             } else if cell.eop {
                 st.chunk_owner[t] = None;
             }
@@ -661,9 +718,16 @@ impl NodeSpec {
                 let n_cells =
                     response_cells(cell.opcode, self.config.protocol, self.config.bus_bytes);
                 let rsp = ResponsePacket::error(cell.src, cell.tid, n_cells);
+                let mut cells = rsp.cells().to_vec();
+                if self.has_bug(RtlBug::ErrorKindDropped) {
+                    // R5: the kind field is lost — the error comes back OK.
+                    for c in &mut cells {
+                        c.kind = RspKind::Ok;
+                    }
+                }
                 st.err_queue[i].push_back(ErrResponse {
                     ready_at: st.cycle + ERROR_RESPONSE_LATENCY,
-                    cells: rsp.cells().to_vec(),
+                    cells,
                     sent: 0,
                 });
             }
@@ -1118,6 +1182,154 @@ mod tests {
         let plan = one_cycle(&spec, &mut st, &[Some(p0), Some(p1)]);
         assert!(plan.outputs.initiator[1].gnt);
         assert!(!plan.outputs.initiator[0].gnt);
+    }
+
+    #[test]
+    fn clean_spec_reports_no_bugs() {
+        let spec = NodeSpec::new(cfg());
+        assert_eq!(spec.bugs().count(), 0);
+        let spec = NodeSpec::with_bugs(cfg(), &[RtlBug::ErrorKindDropped]);
+        assert_eq!(
+            spec.bugs().collect::<Vec<_>>(),
+            vec![RtlBug::ErrorKindDropped]
+        );
+    }
+
+    #[test]
+    fn r1_drops_the_presented_lock_under_backpressure() {
+        let c = cfg();
+        let p0 = simple_load(&c, 0, 0x0000_0000, 1).cells()[0];
+        for (bug, expect_hold) in [(None, true), (Some(RtlBug::DroppedGrantHold), false)] {
+            let spec = match bug {
+                Some(b) => NodeSpec::with_bugs(c.clone(), &[b]),
+                None => NodeSpec::new(c.clone()),
+            };
+            let st = spec.initial_state();
+            let mut inputs = DutInputs::idle(&c);
+            inputs.initiator[0].req = true;
+            inputs.initiator[0].cell = p0;
+            // Target 0 back-pressures: no gnt.
+            let plan = spec.evaluate(&st, &inputs, &mut no_probe());
+            assert!(plan.outputs.target[0].req);
+            assert_eq!(plan.tgt_present_next[0].is_some(), expect_hold);
+        }
+    }
+
+    #[test]
+    fn r2_misroutes_the_top_target() {
+        let c = cfg();
+        let spec = NodeSpec::with_bugs(c.clone(), &[RtlBug::MisroutedHighTarget]);
+        let mut st = spec.initial_state();
+        // 0x0100_0000 decodes to target 1 (the top target of the
+        // reference map) — the bug lands it on target 0.
+        let pkt = simple_load(&c, 0, 0x0100_0000, 1);
+        let plan = one_cycle(&spec, &mut st, &[Some(pkt.cells()[0]), None, None]);
+        assert!(plan.forwards[0].is_some(), "misrouted to target 0");
+        assert!(plan.forwards[1].is_none());
+
+        let clean = NodeSpec::new(c.clone());
+        let mut st = clean.initial_state();
+        let plan = one_cycle(&clean, &mut st, &[Some(pkt.cells()[0]), None, None]);
+        assert!(plan.forwards[1].is_some(), "clean decode reaches target 1");
+    }
+
+    #[test]
+    fn r3_ignores_priority_port_writes() {
+        let c = NodeConfig::builder("prog")
+            .initiators(2)
+            .targets(1)
+            .bus_bytes(8)
+            .protocol(ProtocolType::Type3)
+            .architecture(Architecture::FullCrossbar)
+            .arbitration(ArbitrationKind::VariablePriority)
+            .prog_port(true)
+            .build()
+            .unwrap();
+        let spec = NodeSpec::with_bugs(c.clone(), &[RtlBug::UnsampledPriorityPort]);
+        let mut st = spec.initial_state();
+        let mut inputs = DutInputs::idle(&c);
+        inputs.prog = Some(stbus_protocol::ProgCommand {
+            priorities: vec![0, 9],
+        });
+        let plan = spec.evaluate(&st, &inputs, &mut no_probe());
+        spec.commit(&mut st, &plan);
+
+        // The write was observed but never sampled: initiator 0 still wins.
+        let p0 = simple_load(&c, 0, 0x00, 1).cells()[0];
+        let p1 = simple_load(&c, 1, 0x08, 2).cells()[0];
+        let plan = one_cycle(&spec, &mut st, &[Some(p0), Some(p1)]);
+        assert!(plan.outputs.initiator[0].gnt);
+        assert!(!plan.outputs.initiator[1].gnt);
+    }
+
+    #[test]
+    fn r4_reduces_partial_crossbar_lanes() {
+        let c = NodeConfig::builder("partial")
+            .initiators(3)
+            .targets(3)
+            .bus_bytes(8)
+            .protocol(ProtocolType::Type3)
+            .architecture(Architecture::PartialCrossbar { lanes: 2 })
+            .build()
+            .unwrap();
+        // Three initiators hit three distinct targets in one cycle.
+        let cells: Vec<Option<ReqCell>> = (0..3)
+            .map(|i| Some(simple_load(&c, i as u8, (i as u64) << 24, i as u8).cells()[0]))
+            .collect();
+        let clean = NodeSpec::new(c.clone());
+        let mut st = clean.initial_state();
+        let plan = one_cycle(&clean, &mut st, &cells);
+        assert_eq!(plan.forwards.iter().flatten().count(), 2);
+
+        let buggy = NodeSpec::with_bugs(c.clone(), &[RtlBug::PartialLaneOffByOne]);
+        let mut st = buggy.initial_state();
+        let plan = one_cycle(&buggy, &mut st, &cells);
+        assert_eq!(plan.forwards.iter().flatten().count(), 1);
+
+        // The bug is a partial-crossbar defect: full crossbars unaffected.
+        let full = NodeSpec::with_bugs(cfg(), &[RtlBug::PartialLaneOffByOne]);
+        assert_eq!(full.lane_limit(), full.config().n_targets);
+    }
+
+    #[test]
+    fn r5_sends_errors_back_as_ok() {
+        let c = cfg();
+        let spec = NodeSpec::with_bugs(c.clone(), &[RtlBug::ErrorKindDropped]);
+        let mut st = spec.initial_state();
+        let unmapped = c.address_map.unmapped_address().unwrap();
+        let pkt = RequestPacket::build(
+            Opcode::load(TransferSize::B8),
+            unmapped,
+            &[],
+            packet_params(&c),
+            InitiatorId(0),
+            TransactionId(3),
+            0,
+            false,
+        )
+        .unwrap();
+        one_cycle(&spec, &mut st, &[Some(pkt.cells()[0]), None, None]);
+        let queued = st.err_queue[0].front().expect("absorbed");
+        assert!(queued.cells.iter().all(|c| c.kind == RspKind::Ok));
+    }
+
+    #[test]
+    fn r6_releases_chunk_ownership_at_the_locked_eop() {
+        let c = cfg();
+        let spec = NodeSpec::with_bugs(c.clone(), &[RtlBug::EarlyChunkRelease]);
+        let mut st = spec.initial_state();
+        let mut locked = simple_load(&c, 0, 0x0000_0000, 1).cells()[0];
+        locked.lock = true;
+        one_cycle(&spec, &mut st, &[Some(locked), None, None]);
+        // The clean node holds ownership until the closing packet; the
+        // buggy one already let go.
+        assert_eq!(st.chunk_owner[0], None);
+        let p1 = simple_load(&c, 1, 0x0000_0040, 2);
+        let plan = one_cycle(&spec, &mut st, &[None, Some(p1.cells()[0]), None]);
+        assert!(
+            plan.outputs.initiator[1].gnt,
+            "interloper granted mid-chunk"
+        );
     }
 
     #[test]

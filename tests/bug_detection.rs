@@ -1,65 +1,38 @@
 //! Integration test for experiment E2: the common environment finds all
 //! five catalogue bugs; the legacy past-flow bench finds only the
 //! byte-enable one.
+//!
+//! The campaign shape (configurations, tests, seeds, alignment spec,
+//! sign-off threshold) lives in [`tests_lib::qualification`] and is shared
+//! with the mutation-qualification engine (`stbus_regress --qualify`), so
+//! this test and the qualification campaign can never drift apart.
 
-use catg::{tests_lib, LegacyTestbench, Testbench, TestbenchOptions};
+use catg::tests_lib::qualification as qual;
+use catg::LegacyTestbench;
 use stbus_bca::{BcaBug, BcaNode, Fidelity};
-use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType};
+use stbus_protocol::{DutView, NodeConfig};
 use stbus_rtl::RtlNode;
 
-fn t2_config() -> NodeConfig {
-    NodeConfig::builder("t2_hunt")
-        .initiators(3)
-        .targets(2)
-        .bus_bytes(8)
-        .protocol(ProtocolType::Type2)
-        .architecture(Architecture::FullCrossbar)
-        .arbitration(ArbitrationKind::Lru)
-        .build()
-        .expect("valid")
+fn buggy_bca(config: &NodeConfig, bug: BcaBug) -> BcaNode {
+    let mut node = BcaNode::new(config.clone(), Fidelity::Exact);
+    node.inject_bug(bug);
+    node
 }
 
 /// Runs the functional stage of the common environment on a buggy node
 /// over both hunt configurations; returns true when any run fails.
 fn functional_stage_detects(bug: BcaBug) -> bool {
-    for config in [NodeConfig::reference(), t2_config()] {
-        let bench = Testbench::new(config.clone(), TestbenchOptions::default());
-        let mut node = BcaNode::new(config.clone(), Fidelity::Exact);
-        node.inject_bug(bug);
-        for spec in tests_lib::all(20) {
-            for seed in [1u64, 2] {
-                if !bench.run(&mut node, &spec, seed).passed() {
-                    return true;
-                }
-            }
-        }
-    }
-    false
+    qual::functional_detects(&qual::hunt_configs(), |config| {
+        Box::new(buggy_bca(config, bug)) as Box<dyn DutView>
+    })
 }
 
 /// Runs the alignment stage (the flow's second quality metric).
 fn alignment_stage_detects(bug: BcaBug) -> bool {
     let config = NodeConfig::reference();
-    let bench = Testbench::new(
-        config.clone(),
-        TestbenchOptions {
-            capture_vcd: true,
-            ..TestbenchOptions::default()
-        },
-    );
     let mut rtl = RtlNode::new(config.clone());
-    let mut node = BcaNode::new(config.clone(), Fidelity::Exact);
-    node.inject_bug(bug);
-    let spec = tests_lib::lru_fairness(25);
-    let a = bench.run(&mut rtl, &spec, 1);
-    let b = bench.run(&mut node, &spec, 1);
-    match (&a.vcd, &b.vcd) {
-        (Some(va), Some(vb)) => {
-            let report = stba::compare_vcd(va, vb, catg::vcd_cycle_time()).expect("same tree");
-            !report.signed_off(0.99)
-        }
-        _ => false,
-    }
+    let mut node = buggy_bca(&config, bug);
+    qual::alignment_detects(&config, &mut rtl, &mut node)
 }
 
 #[test]
@@ -74,10 +47,9 @@ fn common_environment_finds_all_five_bugs() {
 fn legacy_flow_finds_only_the_byte_enable_bug() {
     for bug in BcaBug::ALL {
         let mut detected = false;
-        for config in [NodeConfig::reference(), t2_config()] {
+        for config in qual::hunt_configs() {
             let legacy = LegacyTestbench::new(config.clone());
-            let mut node = BcaNode::new(config.clone(), Fidelity::Exact);
-            node.inject_bug(bug);
+            let mut node = buggy_bca(&config, bug);
             detected |= !legacy.run(&mut node).passed;
         }
         assert_eq!(
@@ -91,16 +63,8 @@ fn legacy_flow_finds_only_the_byte_enable_bug() {
 #[test]
 fn clean_model_passes_everything() {
     // Sanity for the experiment: with no bug injected, both stages pass.
-    assert!(!functional_stage_detects_clean());
-    fn functional_stage_detects_clean() -> bool {
-        let config = NodeConfig::reference();
-        let bench = Testbench::new(config.clone(), TestbenchOptions::default());
-        let mut node = BcaNode::new(config.clone(), Fidelity::Exact);
-        for spec in tests_lib::all(15) {
-            if !bench.run(&mut node, &spec, 1).passed() {
-                return true;
-            }
-        }
-        false
-    }
+    let reference = [NodeConfig::reference()];
+    assert!(!qual::functional_detects(&reference, |config| {
+        Box::new(BcaNode::new(config.clone(), Fidelity::Exact)) as Box<dyn DutView>
+    }));
 }

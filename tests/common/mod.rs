@@ -1,0 +1,51 @@
+//! Helpers shared by the workspace-level integration tests.
+
+use proptest::prelude::*;
+use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType};
+
+/// A strategy over *legal* node configurations: every combination this
+/// produces must elaborate and run clean on both views. Shared by the
+/// random-config environment suite and the RTL-bug property test so both
+/// hunt over the same configuration space.
+#[allow(dead_code)]
+pub fn config_strategy() -> impl Strategy<Value = NodeConfig> {
+    (
+        1usize..=4,
+        1usize..=4,
+        0usize..=5,
+        0usize..=2,
+        0usize..=2,
+        0usize..=5,
+        0usize..=2,
+        any::<bool>(),
+        1usize..=6,
+    )
+        .prop_map(
+            |(ni, nt, bus_log2, protocol, arch, arbitration, pipe, prog, outstanding)| {
+                NodeConfig::builder("random")
+                    .initiators(ni)
+                    .targets(nt)
+                    .bus_bytes(1 << bus_log2)
+                    .protocol(
+                        [
+                            ProtocolType::Type1,
+                            ProtocolType::Type2,
+                            ProtocolType::Type3,
+                        ][protocol],
+                    )
+                    .architecture(
+                        [
+                            Architecture::SharedBus,
+                            Architecture::PartialCrossbar { lanes: 2 },
+                            Architecture::FullCrossbar,
+                        ][arch],
+                    )
+                    .arbitration(ArbitrationKind::ALL[arbitration])
+                    .pipe_depth(pipe)
+                    .prog_port(prog)
+                    .max_outstanding(outstanding)
+                    .build()
+                    .expect("strategy produces legal configs")
+            },
+        )
+}

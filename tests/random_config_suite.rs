@@ -4,51 +4,12 @@
 //! qualification suite ("some bugs could be given by verification
 //! environment", §4 — this guards against those).
 
-use catg::{tests_lib, Testbench, TestbenchOptions};
-use proptest::prelude::*;
-use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType, ViewKind};
+mod common;
 
-fn config_strategy() -> impl Strategy<Value = NodeConfig> {
-    (
-        1usize..=4,
-        1usize..=4,
-        0usize..=5,
-        0usize..=2,
-        0usize..=2,
-        0usize..=5,
-        0usize..=2,
-        any::<bool>(),
-        1usize..=6,
-    )
-        .prop_map(
-            |(ni, nt, bus_log2, protocol, arch, arbitration, pipe, prog, outstanding)| {
-                NodeConfig::builder("random")
-                    .initiators(ni)
-                    .targets(nt)
-                    .bus_bytes(1 << bus_log2)
-                    .protocol(
-                        [
-                            ProtocolType::Type1,
-                            ProtocolType::Type2,
-                            ProtocolType::Type3,
-                        ][protocol],
-                    )
-                    .architecture(
-                        [
-                            Architecture::SharedBus,
-                            Architecture::PartialCrossbar { lanes: 2 },
-                            Architecture::FullCrossbar,
-                        ][arch],
-                    )
-                    .arbitration(ArbitrationKind::ALL[arbitration])
-                    .pipe_depth(pipe)
-                    .prog_port(prog)
-                    .max_outstanding(outstanding)
-                    .build()
-                    .expect("strategy produces legal configs")
-            },
-        )
-}
+use catg::{tests_lib, Testbench, TestbenchOptions};
+use common::config_strategy;
+use proptest::prelude::*;
+use stbus_protocol::ViewKind;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
