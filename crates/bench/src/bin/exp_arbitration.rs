@@ -29,7 +29,8 @@ fn workload(intensity: usize) -> TestSpec {
                 sizes: vec![TransferSize::B32],
                 targets: vec![TargetId(0)],
                 ..TrafficProfile::default()
-            },
+            }
+            .to_model(),
             // Steady near-saturating loads.
             TrafficProfile {
                 n_transactions: intensity,
@@ -38,7 +39,8 @@ fn workload(intensity: usize) -> TestSpec {
                 sizes: vec![TransferSize::B8],
                 targets: vec![TargetId(0)],
                 ..TrafficProfile::default()
-            },
+            }
+            .to_model(),
             // Sporadic latency-sensitive loads (the "VIP").
             TrafficProfile {
                 n_transactions: intensity / 2 + 1,
@@ -47,7 +49,8 @@ fn workload(intensity: usize) -> TestSpec {
                 sizes: vec![TransferSize::B4],
                 targets: vec![TargetId(0)],
                 ..TrafficProfile::default()
-            },
+            }
+            .to_model(),
         ],
         target_profiles: vec![TargetProfile::fast()],
         prog_schedule: Vec::new(),

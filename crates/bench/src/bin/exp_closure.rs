@@ -1,0 +1,69 @@
+//! Experiment E10 — automatic coverage closure (the CDG engine).
+//!
+//! The paper's environment measures functional coverage and hands the
+//! hole list to an engineer; this experiment shows the loop closed
+//! automatically, Specman-style: start from a deliberately narrow
+//! generated test, run it on both views, and let the bias pass steer the
+//! constraint models at the remaining holes until coverage reaches 100%.
+//!
+//! ```text
+//! cargo run -p stbus-bench --release --bin exp_closure [budget] [batch]
+//! ```
+//!
+//! Two campaigns run: the 3×2 reference node, and a deliberately hard
+//! 32×32 full-crossbar node whose routing group alone holds 1024 bins —
+//! the coupon-collector worst case for undirected random traffic.
+
+use cdg::{close_coverage, ClosureOptions, Recipe};
+use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType};
+
+fn campaign(config: &NodeConfig, budget: usize, batch: usize) -> bool {
+    let options = ClosureOptions {
+        tests_per_batch: batch,
+        max_batches: budget,
+        ..ClosureOptions::default()
+    };
+    let start = Recipe::narrow(config);
+    let report = close_coverage(config, &start, &options);
+    println!(
+        "--- {} ({}x{}, {} bins) ---",
+        config.name, config.n_initiators, config.n_targets, report.total_bins
+    );
+    print!("{}", report.table());
+    println!();
+    report.closed
+}
+
+fn main() {
+    let budget: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let batch: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    println!("=== E10: coverage-directed closure ===\n");
+    let mut all_closed = campaign(&NodeConfig::reference(), budget, batch);
+
+    let hard = NodeConfig::builder("hard_32x32")
+        .initiators(32)
+        .targets(32)
+        .bus_bytes(8)
+        .protocol(ProtocolType::Type3)
+        .architecture(Architecture::FullCrossbar)
+        .arbitration(ArbitrationKind::Lru)
+        .prog_port(true)
+        .max_outstanding(4)
+        .build()
+        .expect("valid");
+    all_closed &= campaign(&hard, budget, batch);
+
+    println!(
+        "(the trajectory is what the paper's engineer did by hand: read the\n\
+         hole list, write a directed test at it, rerun; the bias pass makes\n\
+         the same moves from the HoleId list, deterministically)"
+    );
+    assert!(all_closed, "every campaign must reach 100% coverage");
+}

@@ -67,7 +67,11 @@ fn main() {
                 println!(
                     "  {} coverage holes: {}",
                     c.config.name,
-                    cov.holes().join(", ")
+                    cov.holes()
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
             }
         }

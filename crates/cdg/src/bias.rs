@@ -1,0 +1,434 @@
+//! The hole→constraint bias pass.
+//!
+//! Each open coverage hole maps to a concrete adjustment of the recipe:
+//! weight bumps on the field whose bin is empty, percentage floors for
+//! feature bins, implication constraints for cross bins (packet length is
+//! a *derived* field — hitting an `Ncells` bin requires a kind×size
+//! cross), and a target-personality change for timing-sensitive bins.
+//!
+//! Weight rules are applied for every hole each pass; the
+//! target-personality rules conflict with each other (a target cannot be
+//! fast and throttled at once), so exactly one personality — chosen by a
+//! fixed priority — is applied per pass. Later passes pick up whichever
+//! timing holes remain, so conflicting goals are met across iterations
+//! rather than fought over within one.
+
+use catg::{ConstraintModel, HoleId, Implication, Pred, TargetProfile};
+use stbus_protocol::packet::request_cells;
+use stbus_protocol::{NodeConfig, OpKind, Opcode, TargetId, TransferSize};
+
+use crate::Recipe;
+
+/// Adjusts `recipe` toward the open `holes`. Returns one human-readable
+/// note per adjustment made (for the trajectory report); the notes — like
+/// the adjustments — are a pure function of `(holes, recipe, config)`.
+pub fn bias_recipe(recipe: &mut Recipe, holes: &[HoleId], config: &NodeConfig) -> Vec<String> {
+    recipe.normalize(config);
+    let mut notes = Vec::new();
+    for hole in holes {
+        match hole.group.as_str() {
+            "op_kind" => bias_op_kind(recipe, &hole.bin, &mut notes),
+            "transfer_size" => bias_size(recipe, &hole.bin, &mut notes),
+            "routing" => bias_routing(recipe, &hole.bin, config, &mut notes),
+            "packet_len" => bias_packet_len(recipe, &hole.bin, config, &mut notes),
+            "response_kind" => bias_response(recipe, &hole.bin, &mut notes),
+            "arbitration" => bias_arbitration(recipe, &hole.bin, config, &mut notes),
+            "features" => bias_feature(recipe, &hole.bin, config, &mut notes),
+            // Timing bins are personality-driven; handled below.
+            "stall" => {}
+            _ => {}
+        }
+    }
+    bias_personality(recipe, holes, config, &mut notes);
+    notes
+}
+
+fn parse_kind(s: &str) -> Option<OpKind> {
+    Some(match s {
+        "LD" => OpKind::Load,
+        "ST" => OpKind::Store,
+        "RMW" => OpKind::ReadModifyWrite,
+        "SWAP" => OpKind::Swap,
+        "FLUSH" => OpKind::Flush,
+        "PURGE" => OpKind::Purge,
+        _ => return None,
+    })
+}
+
+/// `"i2/LD"` → `(2, "LD")`.
+fn parse_initiator_bin(bin: &str) -> Option<(usize, &str)> {
+    let rest = bin.strip_prefix('i')?;
+    let (i, tail) = rest.split_once('/')?;
+    Some((i.parse().ok()?, tail))
+}
+
+fn bump_kind(m: &mut ConstraintModel, kind: OpKind, by: u32) {
+    match m.kinds.iter_mut().find(|(k, _)| *k == kind) {
+        Some(entry) => entry.1 += by,
+        None => m.kinds.push((kind, by)),
+    }
+}
+
+fn bump_size(m: &mut ConstraintModel, size: TransferSize, by: u32) {
+    match m.sizes.iter_mut().find(|(s, _)| *s == size) {
+        Some(entry) => entry.1 += by,
+        None => m.sizes.push((size, by)),
+    }
+}
+
+fn bump_target(m: &mut ConstraintModel, target: TargetId, by: u32) {
+    match m.targets.iter_mut().find(|(t, _)| *t == target) {
+        Some(entry) => entry.1 += by,
+        None => m.targets.push((target, by)),
+    }
+}
+
+/// An empty target list means "uniform over the config"; weight rules
+/// need the explicit form before they can skew it.
+fn materialize_targets(m: &mut ConstraintModel, config: &NodeConfig) {
+    if m.targets.is_empty() {
+        m.targets = (0..config.n_targets)
+            .map(|t| (TargetId(t as u8), 1))
+            .collect();
+    }
+}
+
+fn bias_op_kind(recipe: &mut Recipe, bin: &str, notes: &mut Vec<String>) {
+    let Some((i, kind_str)) = parse_initiator_bin(bin) else {
+        return;
+    };
+    let Some(kind) = parse_kind(kind_str) else {
+        return;
+    };
+    if i < recipe.models.len() {
+        bump_kind(&mut recipe.models[i], kind, 8);
+        notes.push(format!("op_kind/{bin}: i{i} {kind_str} weight +8"));
+    }
+}
+
+fn bias_size(recipe: &mut Recipe, bin: &str, notes: &mut Vec<String>) {
+    let Some(size) = bin
+        .strip_suffix('B')
+        .and_then(|n| n.parse().ok())
+        .and_then(TransferSize::from_bytes)
+    else {
+        return;
+    };
+    for m in &mut recipe.models {
+        bump_size(m, size, 4);
+    }
+    notes.push(format!("transfer_size/{bin}: weight +4 on all initiators"));
+}
+
+fn bias_routing(recipe: &mut Recipe, bin: &str, config: &NodeConfig, notes: &mut Vec<String>) {
+    let Some((i, t)) = bin.split_once("->t").and_then(|(l, r)| {
+        Some((
+            l.strip_prefix('i')?.parse::<usize>().ok()?,
+            r.parse::<u8>().ok()?,
+        ))
+    }) else {
+        return;
+    };
+    if i < recipe.models.len() {
+        materialize_targets(&mut recipe.models[i], config);
+        bump_target(&mut recipe.models[i], TargetId(t), 6);
+        notes.push(format!("routing/{bin}: i{i} target t{t} weight +6"));
+    }
+}
+
+fn bias_packet_len(recipe: &mut Recipe, bin: &str, config: &NodeConfig, notes: &mut Vec<String>) {
+    let Some(cells) = bin
+        .strip_suffix("cells")
+        .and_then(|n| n.parse::<usize>().ok())
+    else {
+        return;
+    };
+    // Packet length is derived from kind × size × bus width: collect the
+    // opcodes whose request packet has exactly `cells` cells and steer
+    // both fields at them jointly.
+    let ops: Vec<Opcode> = Opcode::all_for(config.protocol)
+        .into_iter()
+        .filter(|op| request_cells(*op, config.protocol, config.bus_bytes) == cells)
+        .collect();
+    if ops.is_empty() {
+        return;
+    }
+    let mut kinds: Vec<OpKind> = Vec::new();
+    let mut sizes: Vec<TransferSize> = Vec::new();
+    for op in &ops {
+        if !kinds.contains(&op.kind()) {
+            kinds.push(op.kind());
+        }
+        if !sizes.contains(&op.size()) {
+            sizes.push(op.size());
+        }
+    }
+    for m in &mut recipe.models {
+        for &k in &kinds {
+            bump_kind(m, k, 2);
+        }
+        for &s in &sizes {
+            bump_size(m, s, 2);
+        }
+        if cells > 1 {
+            // Cross constraint: once one of these sizes is drawn, force a
+            // kind whose request actually carries the data.
+            let imp = Implication {
+                when: Pred::SizeIn(sizes.clone()),
+                then: Pred::KindIn(kinds.clone()),
+            };
+            if !m.constraints.contains(&imp) {
+                m.constraints.push(imp);
+            }
+        }
+    }
+    notes.push(format!(
+        "packet_len/{bin}: cross-constrained {} kinds x {} sizes",
+        kinds.len(),
+        sizes.len()
+    ));
+}
+
+fn bias_response(recipe: &mut Recipe, bin: &str, notes: &mut Vec<String>) {
+    if bin == "error" {
+        for m in &mut recipe.models {
+            m.unmapped_percent = m.unmapped_percent.max(10);
+        }
+        notes.push("response_kind/error: unmapped_percent floor 10".to_owned());
+    }
+}
+
+fn bias_arbitration(recipe: &mut Recipe, bin: &str, config: &NodeConfig, notes: &mut Vec<String>) {
+    let Some(t) = bin
+        .strip_prefix('t')
+        .and_then(|rest| rest.split_once('/'))
+        .and_then(|(t, _)| t.parse::<u8>().ok())
+    else {
+        return;
+    };
+    let saturate = bin.ends_with("back_to_back");
+    for m in &mut recipe.models {
+        materialize_targets(m, config);
+        bump_target(m, TargetId(t), 4);
+        m.gap_min = 0;
+        m.gap_max = if saturate { 0 } else { m.gap_max.clamp(1, 2) };
+    }
+    notes.push(format!(
+        "arbitration/{bin}: all initiators aim at t{t}, {}",
+        if saturate { "saturating" } else { "dense gaps" }
+    ));
+}
+
+fn bias_feature(recipe: &mut Recipe, bin: &str, config: &NodeConfig, notes: &mut Vec<String>) {
+    match bin {
+        "multi_cell_packet" => {
+            let ops: Vec<Opcode> = Opcode::all_for(config.protocol)
+                .into_iter()
+                .filter(|op| request_cells(*op, config.protocol, config.bus_bytes) > 1)
+                .collect();
+            for m in &mut recipe.models {
+                for op in &ops {
+                    bump_kind(m, op.kind(), 1);
+                    bump_size(m, op.size(), 1);
+                }
+            }
+            notes.push("features/multi_cell_packet: data kinds and wide sizes up".to_owned());
+        }
+        "locked_chunk" => {
+            for m in &mut recipe.models {
+                m.chunk_percent = m.chunk_percent.max(35);
+            }
+            notes.push("features/locked_chunk: chunk_percent floor 35".to_owned());
+        }
+        "outstanding_gt1" => {
+            for m in &mut recipe.models {
+                m.gap_min = 0;
+                m.gap_max = 0;
+            }
+            notes.push("features/outstanding_gt1: saturating issue rate".to_owned());
+        }
+        "reprogrammed" if recipe.prog_schedule.is_empty() => {
+            let prios: Vec<u8> = (0..config.n_initiators)
+                .map(|i| (config.n_initiators - i) as u8)
+                .collect();
+            recipe.prog_schedule.push((40, prios));
+            notes.push("features/reprogrammed: priority rewrite at cycle 40".to_owned());
+        }
+        // Needs a personality split; handled in bias_personality.
+        "out_of_order_response" => {}
+        _ => {}
+    }
+}
+
+/// The single target-personality adjustment for this pass, picked by
+/// fixed priority among the timing-sensitive holes still open.
+fn bias_personality(
+    recipe: &mut Recipe,
+    holes: &[HoleId],
+    config: &NodeConfig,
+    notes: &mut Vec<String>,
+) {
+    let open = |group: &str, bin: &str| holes.iter().any(|h| h.group == group && h.bin == bin);
+    if open("features", "out_of_order_response") {
+        // The paper's OOO test: short reads toward targets of different
+        // speed, issued close together.
+        for (t, profile) in recipe.target_profiles.iter_mut().enumerate() {
+            *profile = if t % 2 == 0 {
+                TargetProfile::fast()
+            } else {
+                TargetProfile::slow()
+            };
+        }
+        for m in &mut recipe.models {
+            materialize_targets(m, config);
+            for entry in &mut m.targets {
+                entry.1 += 2;
+            }
+            bump_kind(m, OpKind::Load, 6);
+            m.gap_min = 0;
+            m.gap_max = 1;
+        }
+        notes.push("personality: fast/slow target split for out_of_order_response".to_owned());
+    } else if open("stall", "long") {
+        for profile in &mut recipe.target_profiles {
+            *profile = TargetProfile {
+                min_latency: 12,
+                max_latency: 30,
+                gnt_throttle_percent: 75,
+            };
+        }
+        for m in &mut recipe.models {
+            m.gap_min = 0;
+            m.gap_max = 0;
+            m.r_gnt_throttle_percent = m.r_gnt_throttle_percent.max(30);
+        }
+        notes.push("personality: throttled slow targets for stall/long".to_owned());
+    } else if open("stall", "medium") {
+        for profile in &mut recipe.target_profiles {
+            *profile = TargetProfile::slow();
+        }
+        notes.push("personality: slow targets for stall/medium".to_owned());
+    } else if holes
+        .iter()
+        .any(|h| h.group == "arbitration" && h.bin.ends_with("back_to_back"))
+    {
+        for profile in &mut recipe.target_profiles {
+            *profile = TargetProfile::fast();
+        }
+        notes.push("personality: fast targets for back_to_back grants".to_owned());
+    } else if open("stall", "short") {
+        for profile in &mut recipe.target_profiles {
+            *profile = TargetProfile::default();
+        }
+        for m in &mut recipe.models {
+            m.gap_min = 0;
+            m.gap_max = 1;
+        }
+        notes.push("personality: default targets, dense issue for stall/short".to_owned());
+    } else if open("stall", "zero") {
+        for profile in &mut recipe.target_profiles {
+            *profile = TargetProfile::fast();
+        }
+        for m in &mut recipe.models {
+            m.gap_min = m.gap_min.max(6);
+            m.gap_max = m.gap_max.max(12);
+        }
+        notes.push("personality: fast targets, sparse issue for stall/zero".to_owned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recipe() -> (NodeConfig, Recipe) {
+        let config = NodeConfig::reference();
+        let recipe = Recipe::narrow(&config);
+        (config, recipe)
+    }
+
+    #[test]
+    fn op_kind_hole_bumps_that_initiators_kind() {
+        let (config, mut recipe) = recipe();
+        let before = recipe.models[1].kinds.clone();
+        bias_recipe(&mut recipe, &[HoleId::new("op_kind", "i1/ST")], &config);
+        let w = |kinds: &[(OpKind, u32)]| {
+            kinds
+                .iter()
+                .find(|(k, _)| *k == OpKind::Store)
+                .map_or(0, |(_, w)| *w)
+        };
+        assert_eq!(w(&recipe.models[1].kinds), w(&before) + 8);
+        // Initiator 0 untouched.
+        assert_eq!(w(&recipe.models[0].kinds), w(&before));
+    }
+
+    #[test]
+    fn packet_len_hole_installs_cross_constraint() {
+        let (config, mut recipe) = recipe();
+        bias_recipe(&mut recipe, &[HoleId::new("packet_len", "8cells")], &config);
+        let m = &recipe.models[0];
+        assert_eq!(m.constraints.len(), 1);
+        assert!(matches!(m.constraints[0].when, Pred::SizeIn(_)));
+        assert!(matches!(m.constraints[0].then, Pred::KindIn(_)));
+        // Applying the same hole again must not duplicate the constraint.
+        bias_recipe(&mut recipe, &[HoleId::new("packet_len", "8cells")], &config);
+        assert_eq!(recipe.models[0].constraints.len(), 1);
+    }
+
+    #[test]
+    fn routing_hole_steers_one_initiator_at_one_target() {
+        let (config, mut recipe) = recipe();
+        bias_recipe(&mut recipe, &[HoleId::new("routing", "i2->t1")], &config);
+        let targets = &recipe.models[2].targets;
+        let w1 = targets.iter().find(|(t, _)| t.0 == 1).map_or(0, |e| e.1);
+        assert!(w1 >= 6, "t1 weight should be bumped, got {targets:?}");
+    }
+
+    #[test]
+    fn error_hole_floors_unmapped_percent() {
+        let (config, mut recipe) = recipe();
+        bias_recipe(
+            &mut recipe,
+            &[HoleId::new("response_kind", "error")],
+            &config,
+        );
+        assert!(recipe.models.iter().all(|m| m.unmapped_percent >= 10));
+    }
+
+    #[test]
+    fn only_one_personality_applies_per_pass() {
+        let (config, mut recipe) = recipe();
+        let notes = bias_recipe(
+            &mut recipe,
+            &[
+                HoleId::new("features", "out_of_order_response"),
+                HoleId::new("stall", "long"),
+            ],
+            &config,
+        );
+        let personalities: Vec<_> = notes
+            .iter()
+            .filter(|n| n.starts_with("personality:"))
+            .collect();
+        assert_eq!(personalities.len(), 1);
+        // OOO outranks stall/long: the profiles must be split fast/slow.
+        assert_eq!(recipe.target_profiles[0], TargetProfile::fast());
+        assert_eq!(recipe.target_profiles[1], TargetProfile::slow());
+    }
+
+    #[test]
+    fn bias_is_deterministic() {
+        let (config, mut a) = recipe();
+        let mut b = a.clone();
+        let holes = vec![
+            HoleId::new("op_kind", "i0/SWAP"),
+            HoleId::new("transfer_size", "64B"),
+            HoleId::new("stall", "long"),
+        ];
+        let na = bias_recipe(&mut a, &holes, &config);
+        let nb = bias_recipe(&mut b, &holes, &config);
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+    }
+}

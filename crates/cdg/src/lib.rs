@@ -1,0 +1,119 @@
+//! CDG — coverage-directed generation.
+//!
+//! The piece of the Specman methodology the paper's environment still
+//! leaves manual: *closing* functional coverage. The twelve generic test
+//! cases plus the random suite get close to 100%, but the last bins are
+//! chased by hand — an engineer reads the hole list, writes a directed
+//! test, reruns. This crate automates that loop, the way `e` testbenches
+//! drive generation *from* coverage:
+//!
+//! 1. a [`Recipe`] holds one declarative [`catg::ConstraintModel`] per
+//!    initiator plus target personalities and a programming schedule;
+//! 2. [`close_coverage`] freezes the recipe into a spec, runs a batch of
+//!    seeds on **both** DUT views (BCA and RTL see identical stimulus),
+//!    and merges every run's functional coverage;
+//! 3. [`bias_recipe`] maps each remaining [`catg::HoleId`] to a concrete
+//!    constraint adjustment — weight bumps, percentage floors,
+//!    kind×size implication constraints for derived bins, target
+//!    personality changes for timing bins;
+//! 4. repeat until 100% or the batch budget runs out.
+//!
+//! The output [`ClosureReport`] is replayable: every iteration's exact
+//! `(spec, seeds)` pair is recorded, so the closed coverage can be
+//! reproduced as a fixed regression without the generation loop
+//! (`ClosureReport::replay`). The `closure.json` form
+//! ([`CLOSURE_SCHEMA`]) carries no wall-clock fields and is
+//! byte-identical for any worker count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bias;
+mod campaign;
+mod recipe;
+
+pub use bias::bias_recipe;
+pub use campaign::{
+    close_coverage, ClosureOptions, ClosureReport, IterationRecord, CLOSURE_SCHEMA,
+};
+pub use recipe::Recipe;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catg::{CoverageReport, Testbench, TestbenchOptions};
+    use stbus_protocol::{NodeConfig, ViewKind};
+
+    fn reference_campaign(jobs: usize) -> ClosureReport {
+        let config = NodeConfig::reference();
+        let start = Recipe::narrow(&config);
+        let options = ClosureOptions {
+            jobs,
+            ..ClosureOptions::default()
+        };
+        close_coverage(&config, &start, &options)
+    }
+
+    #[test]
+    fn narrow_start_leaves_a_wide_hole_field_then_closes() {
+        let report = reference_campaign(0);
+        let first = &report.iterations[0];
+        assert!(
+            first.holes.len() >= 5,
+            "the narrow start must leave at least 5 holes after iteration 1, got {}: {:?}",
+            first.holes.len(),
+            first.holes
+        );
+        assert!(
+            report.closed,
+            "reference config failed to close within {} iterations; last holes: {:?}",
+            report.iterations.len(),
+            report.iterations.last().map(|i| &i.holes)
+        );
+        assert!(report.iterations.iter().all(|i| i.all_passed));
+        // Trajectory is monotone: cumulative hits never decrease.
+        assert!(report
+            .iterations
+            .windows(2)
+            .all(|w| w[0].cumulative_hit <= w[1].cumulative_hit));
+        let last = report.iterations.last().unwrap();
+        assert_eq!(last.cumulative_hit, last.total_bins);
+        assert!(last.holes.is_empty());
+    }
+
+    #[test]
+    fn closure_json_is_byte_identical_across_worker_counts() {
+        let serial = reference_campaign(1).closure_json().render_pretty();
+        let parallel = reference_campaign(4).closure_json().render_pretty();
+        assert_eq!(serial, parallel);
+        assert!(serial.contains(CLOSURE_SCHEMA));
+    }
+
+    #[test]
+    fn replaying_the_recorded_recipes_reproduces_full_coverage() {
+        let report = reference_campaign(0);
+        assert!(report.closed);
+        let config = NodeConfig::reference();
+        let bench = Testbench::new(config.clone(), TestbenchOptions::default());
+        let mut merged: Option<CoverageReport> = None;
+        for (spec, seeds) in report.replay() {
+            for seed in seeds {
+                for kind in [ViewKind::Rtl, ViewKind::Bca] {
+                    let mut dut = catg::build_view(&config, kind);
+                    let result = bench.run(dut.as_mut(), &spec, seed);
+                    assert!(result.passed(), "{}/{seed}: replay run failed", spec.name);
+                    match &mut merged {
+                        None => merged = Some(result.coverage),
+                        Some(m) => m.merge(&result.coverage),
+                    }
+                }
+            }
+        }
+        let merged = merged.expect("replay ran");
+        assert!(
+            merged.is_full(),
+            "replay must reproduce 100% coverage, holes: {:?}",
+            merged.holes()
+        );
+    }
+}

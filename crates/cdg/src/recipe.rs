@@ -1,0 +1,256 @@
+//! The mutable generated-test description the closure loop iterates on.
+//!
+//! A [`Recipe`] is what the campaign actually edits between batches: one
+//! [`ConstraintModel`] per initiator, one [`TargetProfile`] per target,
+//! and the programming-port schedule. `Recipe::to_spec` freezes it into
+//! an ordinary [`TestSpec`], so every iteration of the closure loop is
+//! replayable as a fixed regression entry afterwards.
+
+use catg::{ConstraintModel, Implication, Pred, TargetProfile, TestSpec};
+use stbus_protocol::{NodeConfig, OpKind, TargetId, TransferSize};
+use telemetry::Json;
+
+/// A fully concrete generated test: per-initiator constraint models plus
+/// target personalities and an optional programming schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Recipe {
+    /// Name used for the [`TestSpec`] this recipe freezes into.
+    pub name: String,
+    /// One constraint model per initiator (cycled if shorter).
+    pub models: Vec<ConstraintModel>,
+    /// One personality per target (cycled if shorter).
+    pub target_profiles: Vec<TargetProfile>,
+    /// `(cycle, priorities)` writes to the programming port.
+    pub prog_schedule: Vec<(u64, Vec<u8>)>,
+}
+
+impl Recipe {
+    /// The deliberately narrow campaign seed: loads only, smallest
+    /// transfer size, a single target, lazy issue rate. On any
+    /// interesting configuration this leaves a wide field of holes for
+    /// the bias pass to work through — which is the point: the closure
+    /// loop must *earn* the remaining bins.
+    pub fn narrow(config: &NodeConfig) -> Recipe {
+        let model = ConstraintModel {
+            n_transactions: 30,
+            kinds: vec![
+                (OpKind::Load, 1),
+                (OpKind::Store, 0),
+                (OpKind::ReadModifyWrite, 0),
+                (OpKind::Swap, 0),
+                (OpKind::Flush, 0),
+                (OpKind::Purge, 0),
+            ],
+            sizes: vec![(TransferSize::B4, 1)],
+            targets: vec![(TargetId(0), 1)],
+            gap_min: 4,
+            gap_max: 12,
+            chunk_percent: 0,
+            unmapped_percent: 0,
+            pri: 0,
+            r_gnt_throttle_percent: 0,
+            window: 4096,
+            constraints: Vec::new(),
+        };
+        let mut recipe = Recipe {
+            name: "cdg".to_owned(),
+            models: vec![model],
+            target_profiles: vec![TargetProfile::default()],
+            prog_schedule: Vec::new(),
+        };
+        recipe.normalize(config);
+        recipe
+    }
+
+    /// Expands `models` to one entry per initiator and `target_profiles`
+    /// to one per target (cycling), so the bias pass can steer each port
+    /// independently. Idempotent.
+    pub fn normalize(&mut self, config: &NodeConfig) {
+        let models = std::mem::take(&mut self.models);
+        self.models = (0..config.n_initiators)
+            .map(|i| models[i % models.len()].clone())
+            .collect();
+        let profiles = std::mem::take(&mut self.target_profiles);
+        self.target_profiles = (0..config.n_targets)
+            .map(|t| profiles[t % profiles.len()])
+            .collect();
+    }
+
+    /// Freezes the recipe into a runnable [`TestSpec`] under `name`.
+    pub fn to_spec(&self, name: &str) -> TestSpec {
+        TestSpec {
+            name: name.to_owned(),
+            description: "coverage-directed generated test".to_owned(),
+            profiles: self.models.clone(),
+            target_profiles: self.target_profiles.clone(),
+            prog_schedule: self.prog_schedule.clone(),
+        }
+    }
+
+    /// The machine-readable form embedded in `closure.json`; contains
+    /// every field needed to reconstruct the recipe exactly.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.clone())),
+            (
+                "models",
+                Json::Arr(self.models.iter().map(model_json).collect()),
+            ),
+            (
+                "target_profiles",
+                Json::Arr(
+                    self.target_profiles
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("min_latency", Json::from(p.min_latency)),
+                                ("max_latency", Json::from(p.max_latency)),
+                                ("gnt_throttle_percent", Json::from(p.gnt_throttle_percent)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "prog_schedule",
+                Json::Arr(
+                    self.prog_schedule
+                        .iter()
+                        .map(|(cycle, prios)| {
+                            Json::obj([
+                                ("cycle", Json::from(*cycle)),
+                                (
+                                    "priorities",
+                                    Json::Arr(
+                                        prios.iter().map(|p| Json::from(*p as u64)).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn model_json(m: &ConstraintModel) -> Json {
+    let weighted = |pairs: Vec<(String, u32)>| {
+        Json::Arr(
+            pairs
+                .into_iter()
+                .map(|(v, w)| Json::Arr(vec![Json::from(v), Json::from(w)]))
+                .collect(),
+        )
+    };
+    Json::obj([
+        ("n_transactions", Json::from(m.n_transactions)),
+        (
+            "kinds",
+            weighted(m.kinds.iter().map(|(k, w)| (k.to_string(), *w)).collect()),
+        ),
+        (
+            "sizes",
+            weighted(m.sizes.iter().map(|(s, w)| (s.to_string(), *w)).collect()),
+        ),
+        (
+            "targets",
+            weighted(
+                m.targets
+                    .iter()
+                    .map(|(t, w)| (format!("t{}", t.0), *w))
+                    .collect(),
+            ),
+        ),
+        ("gap_min", Json::from(m.gap_min)),
+        ("gap_max", Json::from(m.gap_max)),
+        ("chunk_percent", Json::from(m.chunk_percent)),
+        ("unmapped_percent", Json::from(m.unmapped_percent)),
+        ("pri", Json::from(m.pri as u64)),
+        (
+            "r_gnt_throttle_percent",
+            Json::from(m.r_gnt_throttle_percent),
+        ),
+        ("window", Json::from(m.window)),
+        (
+            "constraints",
+            Json::Arr(m.constraints.iter().map(implication_json).collect()),
+        ),
+    ])
+}
+
+fn implication_json(imp: &Implication) -> Json {
+    Json::obj([
+        ("when", pred_json(&imp.when)),
+        ("then", pred_json(&imp.then)),
+    ])
+}
+
+fn pred_json(pred: &Pred) -> Json {
+    let (field, values) = match pred {
+        Pred::KindIn(ks) => (
+            "kind",
+            ks.iter().map(|k| Json::from(k.to_string())).collect(),
+        ),
+        Pred::SizeIn(ss) => (
+            "size",
+            ss.iter().map(|s| Json::from(s.bytes() as u64)).collect(),
+        ),
+        Pred::TargetIn(ts) => (
+            "target",
+            ts.iter().map(|t| Json::from(t.0 as u64)).collect(),
+        ),
+    };
+    Json::obj([("field", Json::from(field)), ("in", Json::Arr(values))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_recipe_normalizes_to_config_shape() {
+        let config = NodeConfig::reference();
+        let recipe = Recipe::narrow(&config);
+        assert_eq!(recipe.models.len(), config.n_initiators);
+        assert_eq!(recipe.target_profiles.len(), config.n_targets);
+        // All models start identical — one narrow personality, cloned.
+        assert!(recipe.models.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let config = NodeConfig::reference();
+        let mut recipe = Recipe::narrow(&config);
+        let snapshot = recipe.clone();
+        recipe.normalize(&config);
+        assert_eq!(recipe, snapshot);
+    }
+
+    #[test]
+    fn spec_freezes_current_state() {
+        let config = NodeConfig::reference();
+        let recipe = Recipe::narrow(&config);
+        let spec = recipe.to_spec("cdg_i01");
+        assert_eq!(spec.name, "cdg_i01");
+        assert_eq!(spec.profiles.len(), config.n_initiators);
+    }
+
+    #[test]
+    fn json_round_trips_every_field_name() {
+        let config = NodeConfig::reference();
+        let text = Recipe::narrow(&config).to_json().render_pretty();
+        for key in [
+            "models",
+            "kinds",
+            "sizes",
+            "targets",
+            "gap_min",
+            "chunk_percent",
+            "target_profiles",
+            "prog_schedule",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

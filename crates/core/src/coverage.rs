@@ -13,6 +13,36 @@ use stbus_protocol::packet::request_cells;
 use stbus_protocol::{NodeConfig, OpKind, Opcode, RspKind, TransferSize};
 use std::collections::BTreeMap;
 
+/// A typed coverage-hole identifier: one never-hit bin of one group.
+///
+/// Promoted from the formatted `"group/bin"` strings so machine consumers
+/// (reports, and the `cdg` bias pass that re-aims the generator at open
+/// holes) can match on the parts; [`HoleId::to_string`] still renders the
+/// historical `group/bin` form, so textual reports are unchanged.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HoleId {
+    /// The coverage group the unhit bin belongs to.
+    pub group: String,
+    /// The unhit bin's name within the group.
+    pub bin: String,
+}
+
+impl HoleId {
+    /// A hole identifier from group and bin names.
+    pub fn new(group: impl Into<String>, bin: impl Into<String>) -> Self {
+        HoleId {
+            group: group.into(),
+            bin: bin.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HoleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.group, self.bin)
+    }
+}
+
 /// One named group of coverage bins.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CoverageGroup {
@@ -110,15 +140,28 @@ impl CoverageReport {
             })
     }
 
-    /// All unhit bins as `group/bin` strings.
-    pub fn holes(&self) -> Vec<String> {
+    /// All unhit bins as typed [`HoleId`]s, in group declaration order.
+    pub fn holes(&self) -> Vec<HoleId> {
         let mut out = Vec::new();
         for g in &self.groups {
             for b in g.holes() {
-                out.push(format!("{}/{b}", g.name));
+                out.push(HoleId::new(g.name.as_str(), b));
             }
         }
         out
+    }
+
+    /// The number of declared bins across all groups.
+    pub fn total_bins(&self) -> usize {
+        self.groups.iter().map(|g| g.bins.len()).sum()
+    }
+
+    /// The number of bins hit at least once across all groups.
+    pub fn hit_bins(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.bins.values().filter(|h| **h > 0).count())
+            .sum()
     }
 }
 
@@ -372,8 +415,18 @@ mod tests {
         assert!(names.contains(&"routing"));
         assert!(names.contains(&"features"));
         // T3 with prog port: ooo + prog bins exist.
-        assert!(report.holes().iter().any(|h| h.contains("out_of_order")));
-        assert!(report.holes().iter().any(|h| h.contains("reprogrammed")));
+        assert!(report
+            .holes()
+            .iter()
+            .any(|h| h.bin.contains("out_of_order")));
+        assert!(report.holes().iter().any(|h| h.bin == "reprogrammed"));
+        // The typed holes render in the historical group/bin form.
+        let ooo = report
+            .holes()
+            .into_iter()
+            .find(|h| h.bin == "out_of_order_response")
+            .unwrap();
+        assert_eq!(ooo.to_string(), "features/out_of_order_response");
     }
 
     #[test]
@@ -387,7 +440,7 @@ mod tests {
             .report()
             .holes()
             .iter()
-            .any(|h| h.contains("out_of_order")));
+            .any(|h| h.bin.contains("out_of_order")));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod checker;
+mod constraint;
 mod coverage;
 mod harness;
 mod legacy;
@@ -51,7 +52,8 @@ mod vcd_dump;
 mod views;
 
 pub use checker::{CheckerReport, ProtocolChecker, Violation, ViolationKind};
-pub use coverage::{CoverageGroup, CoverageReport, FunctionalCoverage};
+pub use constraint::{ConstraintModel, Implication, Pred};
+pub use coverage::{CoverageGroup, CoverageReport, FunctionalCoverage, HoleId};
 pub use harness::InitiatorBfm;
 pub use legacy::{LegacyOutcome, LegacyTestbench};
 pub use memory::SparseMemory;
@@ -61,7 +63,7 @@ pub use scoreboard::{Scoreboard, ScoreboardError};
 pub use sequence::{SequenceError, SequenceRunner};
 pub use target::{TargetBfm, TargetProfile};
 pub use testbench::{RunResult, TestSpec, Testbench, TestbenchOptions};
-pub use traffic::{OpMix, TrafficProfile, TransactionPlan};
+pub use traffic::{generate_plans, OpMix, TrafficProfile, TransactionPlan};
 pub use vcd_dump::{port_var_names, VcdDump, CYCLE_TIME};
 
 /// The dump's nanoseconds-per-cycle constant, for analyzer callers.

@@ -2,13 +2,13 @@
 //! DUT view.
 
 use crate::checker::{CheckerReport, ProtocolChecker};
+use crate::constraint::ConstraintModel;
 use crate::coverage::{CoverageReport, FunctionalCoverage};
 use crate::harness::{InitiatorBfm, InitiatorStats};
 use crate::monitor::{MonitorEvent, PortMonitor};
 use crate::record::{CycleRecord, PortId};
 use crate::scoreboard::{Scoreboard, ScoreboardError};
 use crate::target::{TargetBfm, TargetProfile};
-use crate::traffic::{generate_plans, TrafficProfile};
 use crate::vcd_dump::VcdDump;
 use stbus_protocol::{DutInputs, DutView, NodeConfig, ProgCommand, ViewKind};
 use std::collections::VecDeque;
@@ -48,16 +48,20 @@ impl Default for TestbenchOptions {
     }
 }
 
-/// One of the (generic, configuration-independent) test cases: traffic
-/// profiles for every port plus an optional programming-port script.
+/// One of the (generic, configuration-independent) test cases:
+/// constraint models for every port plus an optional programming-port
+/// script. Directed tests usually build the models by lowering a
+/// [`crate::TrafficProfile`] through
+/// [`crate::TrafficProfile::to_model`].
 #[derive(Clone, Debug)]
 pub struct TestSpec {
     /// Test name (stable across configurations; used in reports).
     pub name: String,
     /// What the test exercises.
     pub description: String,
-    /// Per-initiator profiles (cycled when the node has more ports).
-    pub profiles: Vec<TrafficProfile>,
+    /// Per-initiator constraint models (cycled when the node has more
+    /// ports).
+    pub profiles: Vec<ConstraintModel>,
     /// Per-target personalities (cycled likewise).
     pub target_profiles: Vec<TargetProfile>,
     /// `(cycle, priorities)` writes to the programming port.
@@ -65,8 +69,8 @@ pub struct TestSpec {
 }
 
 impl TestSpec {
-    /// The profile used for initiator `i` under `config`.
-    pub fn profile_for(&self, i: usize) -> &TrafficProfile {
+    /// The constraint model used for initiator `i` under `config`.
+    pub fn profile_for(&self, i: usize) -> &ConstraintModel {
         &self.profiles[i % self.profiles.len()]
     }
 
@@ -179,13 +183,13 @@ impl Testbench {
 
         let mut harnesses: Vec<InitiatorBfm> = (0..cfg.n_initiators)
             .map(|i| {
-                let profile = spec.profile_for(i);
+                let model = spec.profile_for(i);
                 InitiatorBfm::new(
                     cfg,
                     i,
-                    generate_plans(profile, cfg, i, seed),
+                    model.solve(cfg, i, seed),
                     seed ^ 0x5EED ^ i as u64,
-                    profile.r_gnt_throttle_percent,
+                    model.r_gnt_throttle_percent,
                 )
             })
             .collect();

@@ -18,7 +18,10 @@ fn spec(name: &str, description: &str, profiles: Vec<TrafficProfile>) -> TestSpe
     TestSpec {
         name: name.to_owned(),
         description: description.to_owned(),
-        profiles,
+        // Every suite entry runs on the declarative constraint model; the
+        // profile literals below are lowered through the byte-compatible
+        // `to_model`, so historical seeds reproduce exactly.
+        profiles: profiles.iter().map(TrafficProfile::to_model).collect(),
         target_profiles: vec![TargetProfile::default()],
         prog_schedule: Vec::new(),
     }

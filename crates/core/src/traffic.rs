@@ -6,9 +6,15 @@
 //! perturbation in one design view does not cascade into a permanently
 //! shifted stimulus — the property that keeps the RTL/BCA alignment
 //! comparison meaningful.
+//!
+//! Since the constraint-model refactor, [`TrafficProfile`] is ergonomic
+//! sugar: [`TrafficProfile::to_model`] lowers the knobs into a
+//! [`ConstraintModel`](crate::ConstraintModel) and all actual generation
+//! happens in its seeded solver. The lowering is draw-for-draw compatible
+//! with the original ad-hoc generator, so recorded experiment tables are
+//! unchanged.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::constraint::ConstraintModel;
 use stbus_protocol::{NodeConfig, OpKind, Opcode, TargetId, TransferSize};
 
 /// Relative weights of operation kinds in generated traffic.
@@ -79,33 +85,18 @@ impl OpMix {
         }
     }
 
-    fn total(&self) -> u32 {
-        self.load + self.store + self.rmw + self.swap + self.flush + self.purge
-    }
-
-    /// Draws one kind according to the weights.
-    ///
-    /// # Panics
-    ///
-    /// Panics if all weights are zero.
-    pub fn pick(&self, rng: &mut StdRng) -> OpKind {
-        let total = self.total();
-        assert!(total > 0, "op mix must have nonzero weight");
-        let mut x = rng.gen_range(0..total);
-        for (kind, w) in [
+    /// The weights as the constraint model's ordered kind distribution.
+    /// The fixed order is the solver's draw order — it must never change,
+    /// or every recorded seed would produce different traffic.
+    pub fn weighted_kinds(&self) -> Vec<(OpKind, u32)> {
+        vec![
             (OpKind::Load, self.load),
             (OpKind::Store, self.store),
             (OpKind::ReadModifyWrite, self.rmw),
             (OpKind::Swap, self.swap),
             (OpKind::Flush, self.flush),
             (OpKind::Purge, self.purge),
-        ] {
-            if x < w {
-                return kind;
-            }
-            x -= w;
-        }
-        unreachable!("weights exhausted")
+        ]
     }
 }
 
@@ -173,113 +164,42 @@ pub struct TransactionPlan {
     pub expect_error: bool,
 }
 
+impl TrafficProfile {
+    /// Lowers the profile into the declarative [`ConstraintModel`] it is
+    /// sugar for. Uniform choices become unit weights and the mean gap
+    /// becomes the `0..=2·mean` range, preserving the historical
+    /// generator's draw sequence exactly.
+    pub fn to_model(&self) -> ConstraintModel {
+        ConstraintModel {
+            n_transactions: self.n_transactions,
+            kinds: self.op_mix.weighted_kinds(),
+            sizes: self.sizes.iter().map(|&s| (s, 1)).collect(),
+            targets: self.targets.iter().map(|&t| (t, 1)).collect(),
+            gap_min: 0,
+            gap_max: self.mean_gap * 2,
+            chunk_percent: self.chunk_percent,
+            unmapped_percent: self.unmapped_percent,
+            pri: self.pri,
+            r_gnt_throttle_percent: self.r_gnt_throttle_percent,
+            window: self.window,
+            constraints: Vec::new(),
+        }
+    }
+}
+
 /// Generates the deterministic schedule for one initiator.
 ///
 /// The same `(profile, config, initiator, seed)` always produces the same
 /// plans — the paper's "same test cases … with same seeds" requirement.
+/// This is a thin wrapper over the constraint solver; directed callers
+/// keep the profile vocabulary while everything runs on the model.
 pub fn generate_plans(
     profile: &TrafficProfile,
     config: &NodeConfig,
     initiator: usize,
     seed: u64,
 ) -> Vec<TransactionPlan> {
-    let mut rng =
-        StdRng::seed_from_u64(seed ^ (initiator as u64).wrapping_mul(0xA076_1D64_78BD_642F));
-    let sizes: Vec<TransferSize> = profile
-        .sizes
-        .iter()
-        .copied()
-        .filter(|s| {
-            Opcode::load(*s).legal_for(config.protocol)
-                || Opcode::store(*s).legal_for(config.protocol)
-        })
-        .collect();
-    let sizes = if sizes.is_empty() {
-        vec![TransferSize::B4]
-    } else {
-        sizes
-    };
-    let targets: Vec<TargetId> = if profile.targets.is_empty() {
-        (0..config.n_targets).map(|t| TargetId(t as u8)).collect()
-    } else {
-        profile.targets.clone()
-    };
-
-    let mut plans = Vec::with_capacity(profile.n_transactions);
-    let mut cycle = 1u64;
-    let mut chunk_follow = false;
-    let mut chunk_target = TargetId(0);
-    while plans.len() < profile.n_transactions {
-        // Pick an opcode legal for the protocol.
-        let opcode = loop {
-            let kind = profile.op_mix.pick(&mut rng);
-            let size = sizes[rng.gen_range(0..sizes.len())];
-            let op = Opcode::new(kind, size);
-            if op.legal_for(config.protocol) {
-                break op;
-            }
-        };
-        let size = opcode.size().bytes() as u64;
-
-        let (target, lock) = if chunk_follow {
-            chunk_follow = false;
-            (chunk_target, false) // close the chunk
-        } else {
-            let t = targets[rng.gen_range(0..targets.len())];
-            let open_chunk = rng.gen_range(0..100) < profile.chunk_percent
-                && plans.len() + 1 < profile.n_transactions;
-            if open_chunk {
-                chunk_follow = true;
-                chunk_target = t;
-            }
-            (t, open_chunk)
-        };
-
-        let expect_error = !lock
-            && !chunk_follow
-            && rng.gen_range(0..100) < profile.unmapped_percent
-            && config.address_map.unmapped_address().is_some();
-        let addr = if expect_error {
-            let base = config.address_map.unmapped_address().expect("checked");
-            base + rng.gen_range(0..profile.window / size.max(1)) * size
-        } else {
-            let base = config.address_map.base_of(target).unwrap_or(0);
-            let span = config
-                .address_map
-                .size_of(target)
-                .unwrap_or(profile.window)
-                .min(profile.window);
-            base + rng.gen_range(0..(span / size).max(1)) * size
-        };
-
-        let payload = if opcode.has_request_data() {
-            (0..opcode.size().bytes()).map(|_| rng.gen()).collect()
-        } else {
-            Vec::new()
-        };
-
-        plans.push(TransactionPlan {
-            issue_cycle: cycle,
-            opcode,
-            addr,
-            payload,
-            lock,
-            pri: profile.pri,
-            expect_error,
-        });
-
-        // Chunk members are scheduled back-to-back; otherwise advance by
-        // a random gap around the configured mean.
-        if !chunk_follow {
-            cycle += if profile.mean_gap == 0 {
-                0
-            } else {
-                rng.gen_range(0..=profile.mean_gap * 2)
-            };
-            cycle += 1;
-        }
-    }
-    plans
+    profile.to_model().solve(config, initiator, seed)
 }
 
 /// A pure per-cycle throttle decision: deterministic across views.
@@ -411,9 +331,43 @@ mod tests {
 
     #[test]
     fn op_mix_respects_zero_weights() {
-        let mut rng = StdRng::seed_from_u64(3);
-        for _ in 0..100 {
-            assert_eq!(OpMix::stores_only().pick(&mut rng), OpKind::Store);
+        let cfg = NodeConfig::reference();
+        let p = TrafficProfile {
+            op_mix: OpMix::stores_only(),
+            n_transactions: 100,
+            ..TrafficProfile::default()
+        };
+        for plan in generate_plans(&p, &cfg, 0, 3) {
+            assert_eq!(plan.opcode.kind(), OpKind::Store);
         }
+    }
+
+    #[test]
+    fn lowering_preserves_every_knob() {
+        let p = TrafficProfile {
+            n_transactions: 9,
+            mean_gap: 5,
+            op_mix: OpMix::full(),
+            sizes: vec![TransferSize::B8],
+            targets: vec![TargetId(1)],
+            chunk_percent: 30,
+            unmapped_percent: 10,
+            pri: 2,
+            r_gnt_throttle_percent: 15,
+            window: 512,
+        };
+        let m = p.to_model();
+        assert_eq!(m.n_transactions, 9);
+        assert_eq!(m.gap_min, 0);
+        assert_eq!(m.gap_max, 10);
+        assert_eq!(m.kinds, OpMix::full().weighted_kinds());
+        assert_eq!(m.sizes, vec![(TransferSize::B8, 1)]);
+        assert_eq!(m.targets, vec![(TargetId(1), 1)]);
+        assert_eq!(m.chunk_percent, 30);
+        assert_eq!(m.unmapped_percent, 10);
+        assert_eq!(m.pri, 2);
+        assert_eq!(m.r_gnt_throttle_percent, 15);
+        assert_eq!(m.window, 512);
+        assert!(m.constraints.is_empty());
     }
 }

@@ -309,7 +309,7 @@ pub fn run_qualification(options: &QualifyOptions) -> QualificationReport {
             if d.entry.is_control() {
                 break;
             }
-            let control_holes: BTreeSet<String> =
+            let control_holes: BTreeSet<catg::HoleId> =
                 baseline.coverage[ci].holes().into_iter().collect();
             let shortfall = d.coverage[ci]
                 .holes()

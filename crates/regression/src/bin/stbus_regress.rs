@@ -4,7 +4,7 @@
 //! stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N]
 //!               [--jobs N] [--deterministic] [--no-compare] [--exact]
 //!               [--log-format text|json] [--log-file PATH] [--quiet]
-//!               [--qualify]
+//!               [--qualify] [--close-coverage] [--batch N] [--budget N]
 //! ```
 //!
 //! With `--configs <dir>`, every `*.cfg` text file in the directory is
@@ -18,6 +18,19 @@
 //! detector. `--jobs`, `--deterministic`, `--seeds`, `--intensity`,
 //! `--out` and the logging flags apply as in regression mode; the report
 //! directory receives `qualification.json`.
+//!
+//! `--close-coverage` switches the tool into coverage-closure mode: the
+//! CDG engine starts from a deliberately narrow generated test and
+//! iterates generate → run on both views → merge coverage → re-bias at
+//! the holes, until 100% functional coverage or the `--budget` iteration
+//! cap (default 12; `--batch` seeds per iteration, default 4). The
+//! campaign runs on the first `--configs` entry, or the built-in
+//! reference configuration when no directory is given. stdout gets the
+//! per-iteration closure trajectory; `--out` receives `closure.json`
+//! (schema `stbus-closure/1`, byte-identical for any `--jobs`), which
+//! records every iteration's recipe and seeds so the closed coverage
+//! replays as a fixed regression. Exits nonzero if coverage did not
+//! close.
 //!
 //! `--jobs N` fans the `{config × test × seed}` cells out across N worker
 //! threads (default: one per hardware thread; `--jobs 1` is fully
@@ -50,11 +63,32 @@ fn main() {
     let mut quiet = false;
     let mut deterministic = false;
     let mut qualify = false;
+    let mut close_coverage = false;
+    let mut closure_opts = cdg::ClosureOptions::default();
     let mut seeds_given = false;
     let mut intensity_given = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--qualify" => qualify = true,
+            "--close-coverage" => close_coverage = true,
+            "--batch" => {
+                closure_opts.tests_per_batch = match args.next().and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--batch takes a positive seed count per iteration");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--budget" => {
+                closure_opts.max_batches = match args.next().and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--budget takes a positive iteration cap");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--configs" => config_dir = args.next(),
             "--out" => out_dir = args.next(),
             "--jobs" => {
@@ -92,7 +126,7 @@ fn main() {
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--deterministic] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet] [--qualify]"
+                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--deterministic] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet] [--qualify] [--close-coverage] [--batch N] [--budget N]"
                 );
                 return;
             }
@@ -222,6 +256,61 @@ fn main() {
     if configs.is_empty() {
         eprintln!("no configurations to run");
         std::process::exit(1);
+    }
+
+    if close_coverage {
+        // Closure targets one configuration: the first of `--configs`, or
+        // the built-in reference node when no directory was given.
+        let config = match &config_dir {
+            Some(_) => configs[0].clone(),
+            None => NodeConfig::reference(),
+        };
+        closure_opts.jobs = options.jobs;
+        closure_opts.telemetry = tel.clone();
+        tel.info(
+            "cdg.start",
+            "coverage-closure campaign starting",
+            [
+                ("config", Json::from(config.name.clone())),
+                ("batch", Json::from(closure_opts.tests_per_batch)),
+                ("budget", Json::from(closure_opts.max_batches)),
+                ("jobs", Json::from(exec::resolve_jobs(closure_opts.jobs))),
+            ],
+        );
+        let start = cdg::Recipe::narrow(&config);
+        let report = cdg::close_coverage(&config, &start, &closure_opts);
+        println!("closing functional coverage on `{}`:", config.name);
+        println!("{}", report.table());
+        if let Some(out) = out_dir {
+            let dir = std::path::Path::new(&out);
+            let write = std::fs::create_dir_all(dir).and_then(|()| {
+                std::fs::write(
+                    dir.join("closure.json"),
+                    report.closure_json().render_pretty(),
+                )
+            });
+            match write {
+                Ok(()) => tel.info(
+                    "cdg.reports",
+                    "closure.json written",
+                    [("dir", Json::from(dir.display().to_string()))],
+                ),
+                Err(e) => tel.error(
+                    "cdg.reports",
+                    "cannot write closure.json",
+                    [("error", Json::from(e.to_string()))],
+                ),
+            }
+        }
+        tel.flush();
+        if !report.closed {
+            eprintln!(
+                "coverage did not close within {} iterations",
+                closure_opts.max_batches
+            );
+            std::process::exit(1);
+        }
+        return;
     }
 
     let tests = catg::tests_lib::all(options.intensity);

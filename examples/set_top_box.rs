@@ -30,7 +30,8 @@ fn workload() -> TestSpec {
                 sizes: vec![TransferSize::B4, TransferSize::B8],
                 targets: vec![TargetId(0)],
                 ..TrafficProfile::default()
-            },
+            }
+            .to_model(),
             // MPEG decoder: steady medium bursts.
             TrafficProfile {
                 n_transactions: 40,
@@ -39,7 +40,8 @@ fn workload() -> TestSpec {
                 sizes: vec![TransferSize::B16, TransferSize::B32],
                 targets: vec![TargetId(0)],
                 ..TrafficProfile::default()
-            },
+            }
+            .to_model(),
             // DMA: bulk stores, saturating.
             TrafficProfile {
                 n_transactions: 40,
@@ -48,7 +50,8 @@ fn workload() -> TestSpec {
                 sizes: vec![TransferSize::B32, TransferSize::B64],
                 targets: vec![TargetId(0)],
                 ..TrafficProfile::default()
-            },
+            }
+            .to_model(),
         ],
         target_profiles: vec![TargetProfile {
             min_latency: 2,
