@@ -181,6 +181,48 @@ impl<T: Arbitrary> Strategy for Any<T> {
     }
 }
 
+/// A uniform choice between boxed strategies of one value type; built by
+/// [`prop_oneof!`].
+pub struct Union<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let k = rng.gen_range(0..self.0.len());
+        self.0[k].sample(rng)
+    }
+}
+
+/// Boxes one `prop_oneof!` arm. A function rather than an `as`-cast so
+/// the arms' value types unify through inference (integer literals in a
+/// later arm pick up the type of the first).
+pub fn union_arm<T, S: Strategy<Value = T> + 'static>(strat: S) -> Box<dyn Strategy<Value = T>> {
+    Box::new(strat)
+}
+
+/// Chooses uniformly between strategies producing the same type
+/// (`proptest::prop_oneof!`; weights are not supported — every arm is
+/// equally likely).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::union_arm($strat)),+])
+    };
+}
+
+/// Skips the current case when the assumption does not hold
+/// (`proptest::prop_assume!`). Unlike real proptest the rejected case is
+/// not replaced, so heavy use thins the effective case count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
 /// Collection strategies (`proptest::collection`).
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -239,8 +281,8 @@ pub mod collection {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
-        ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, Union,
     };
 }
 
@@ -372,5 +414,27 @@ mod tests {
         fn default_config_form_runs(seed: u64) {
             let _ = seed;
         }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn oneof_samples_every_arm_and_assume_skips(pick in prop_oneof![Just(1u8), Just(2), 3u8..=4]) {
+            prop_assert!((1..=4).contains(&pick));
+            prop_assume!(pick != 2);
+            prop_assert_ne!(pick, 2);
+        }
+    }
+
+    #[test]
+    fn oneof_is_roughly_uniform() {
+        let mut rng = crate::case_rng("oneof", 0);
+        let s = prop_oneof![Just(0usize), Just(1), Just(2)];
+        let mut seen = [0usize; 3];
+        for _ in 0..300 {
+            seen[s.sample(&mut rng)] += 1;
+        }
+        assert!(seen.iter().all(|&n| n > 50), "skewed: {seen:?}");
     }
 }

@@ -31,12 +31,14 @@
 mod bias;
 mod campaign;
 mod recipe;
+mod replay;
 
 pub use bias::bias_recipe;
 pub use campaign::{
     close_coverage, ClosureOptions, ClosureReport, IterationRecord, CLOSURE_SCHEMA,
 };
 pub use recipe::Recipe;
+pub use replay::{parse_closure_replay, ReplayEntry};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,307 @@
+//! Parsing recorded campaigns back into runnable form.
+//!
+//! `closure.json` ([`crate::CLOSURE_SCHEMA`]) records every iteration's
+//! exact `(recipe, seeds)` pair. This module is the inverse of
+//! [`Recipe::to_json`] / [`crate::ClosureReport::closure_json`]: it
+//! reconstructs the recipes so a recorded trajectory can be replayed — or
+//! minimized into a fixed regression — without rerunning the generation
+//! loop. Every field the serializer writes is parsed back; a document
+//! that drops or mangles one is rejected with a path-qualified error
+//! rather than silently defaulted, because a replay that diverges from
+//! the recording would invalidate the coverage evidence.
+
+use catg::{ConstraintModel, Implication, Pred, TargetProfile, TestSpec};
+use stbus_protocol::{OpKind, TargetId, TransferSize};
+use telemetry::Json;
+
+use crate::campaign::CLOSURE_SCHEMA;
+use crate::recipe::Recipe;
+
+/// One replayable unit of a recorded closure campaign: the frozen test
+/// name, the recipe that generated it, and the seeds its batch ran.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayEntry {
+    /// The iteration's frozen test name (`<recipe>_iNN`).
+    pub test: String,
+    /// The recipe snapshot the iteration ran.
+    pub recipe: Recipe,
+    /// The batch seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl ReplayEntry {
+    /// Freezes this entry's recipe into the spec the iteration ran.
+    pub fn to_spec(&self) -> TestSpec {
+        self.recipe.to_spec(&self.test)
+    }
+}
+
+fn err(path: &str, what: &str) -> String {
+    format!("closure document: {path}: {what}")
+}
+
+fn get<'a>(json: &'a Json, path: &str, key: &str) -> Result<&'a Json, String> {
+    json.get(key)
+        .ok_or_else(|| err(path, &format!("missing key `{key}`")))
+}
+
+fn get_u64(json: &Json, path: &str, key: &str) -> Result<u64, String> {
+    get(json, path, key)?
+        .as_u64()
+        .ok_or_else(|| err(path, &format!("`{key}` is not an unsigned integer")))
+}
+
+fn get_str<'a>(json: &'a Json, path: &str, key: &str) -> Result<&'a str, String> {
+    get(json, path, key)?
+        .as_str()
+        .ok_or_else(|| err(path, &format!("`{key}` is not a string")))
+}
+
+fn get_arr<'a>(json: &'a Json, path: &str, key: &str) -> Result<&'a [Json], String> {
+    get(json, path, key)?
+        .as_arr()
+        .ok_or_else(|| err(path, &format!("`{key}` is not an array")))
+}
+
+/// Parses the weighted `[["LD", 3], ...]` pairs written by the recipe
+/// serializer, mapping each label through `parse`.
+fn weighted<T>(
+    json: &Json,
+    path: &str,
+    key: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<(T, u32)>, String> {
+    let mut out = Vec::new();
+    for (i, pair) in get_arr(json, path, key)?.iter().enumerate() {
+        let slot = format!("{path}.{key}[{i}]");
+        let pair = pair
+            .as_arr()
+            .ok_or_else(|| err(&slot, "expected a [label, weight] pair"))?;
+        if pair.len() != 2 {
+            return Err(err(&slot, "expected exactly [label, weight]"));
+        }
+        let label = pair[0]
+            .as_str()
+            .ok_or_else(|| err(&slot, "label is not a string"))?;
+        let value = parse(label).ok_or_else(|| err(&slot, &format!("unknown label `{label}`")))?;
+        let weight = pair[1]
+            .as_u64()
+            .ok_or_else(|| err(&slot, "weight is not an unsigned integer"))?;
+        let weight = u32::try_from(weight).map_err(|_| err(&slot, "weight does not fit in u32"))?;
+        out.push((value, weight));
+    }
+    Ok(out)
+}
+
+fn parse_target_label(label: &str) -> Option<TargetId> {
+    let idx: u8 = label.strip_prefix('t')?.parse().ok()?;
+    Some(TargetId(idx))
+}
+
+fn parse_size_label(label: &str) -> Option<TransferSize> {
+    TransferSize::from_bytes(label.parse().ok()?)
+}
+
+fn parse_pred(json: &Json, path: &str) -> Result<Pred, String> {
+    let field = get_str(json, path, "field")?;
+    let values = get_arr(json, path, "in")?;
+    match field {
+        "kind" => {
+            let mut kinds = Vec::new();
+            for v in values {
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| err(path, "kind is not a string"))?;
+                kinds.push(
+                    OpKind::parse(s).ok_or_else(|| err(path, &format!("unknown kind `{s}`")))?,
+                );
+            }
+            Ok(Pred::KindIn(kinds))
+        }
+        "size" => {
+            let mut sizes = Vec::new();
+            for v in values {
+                let bytes = v
+                    .as_u64()
+                    .ok_or_else(|| err(path, "size is not an unsigned integer"))?;
+                sizes.push(
+                    TransferSize::from_bytes(bytes as usize)
+                        .ok_or_else(|| err(path, &format!("illegal size `{bytes}`")))?,
+                );
+            }
+            Ok(Pred::SizeIn(sizes))
+        }
+        "target" => {
+            let mut targets = Vec::new();
+            for v in values {
+                let t = v
+                    .as_u64()
+                    .ok_or_else(|| err(path, "target is not an unsigned integer"))?;
+                let t = u8::try_from(t).map_err(|_| err(path, "target does not fit in u8"))?;
+                targets.push(TargetId(t));
+            }
+            Ok(Pred::TargetIn(targets))
+        }
+        other => Err(err(path, &format!("unknown predicate field `{other}`"))),
+    }
+}
+
+fn parse_model(json: &Json, path: &str) -> Result<ConstraintModel, String> {
+    let mut constraints = Vec::new();
+    for (i, c) in get_arr(json, path, "constraints")?.iter().enumerate() {
+        let slot = format!("{path}.constraints[{i}]");
+        constraints.push(Implication {
+            when: parse_pred(get(c, &slot, "when")?, &format!("{slot}.when"))?,
+            then: parse_pred(get(c, &slot, "then")?, &format!("{slot}.then"))?,
+        });
+    }
+    Ok(ConstraintModel {
+        n_transactions: get_u64(json, path, "n_transactions")? as usize,
+        kinds: weighted(json, path, "kinds", OpKind::parse)?,
+        sizes: weighted(json, path, "sizes", parse_size_label)?,
+        targets: weighted(json, path, "targets", parse_target_label)?,
+        gap_min: get_u64(json, path, "gap_min")?,
+        gap_max: get_u64(json, path, "gap_max")?,
+        chunk_percent: get_u64(json, path, "chunk_percent")? as u32,
+        unmapped_percent: get_u64(json, path, "unmapped_percent")? as u32,
+        pri: get_u64(json, path, "pri")? as u8,
+        r_gnt_throttle_percent: get_u64(json, path, "r_gnt_throttle_percent")? as u32,
+        window: get_u64(json, path, "window")?,
+        constraints,
+    })
+}
+
+impl Recipe {
+    /// Reconstructs a recipe from its [`Recipe::to_json`] form.
+    pub fn from_json(json: &Json) -> Result<Recipe, String> {
+        Recipe::from_json_at(json, "recipe")
+    }
+
+    fn from_json_at(json: &Json, path: &str) -> Result<Recipe, String> {
+        let mut models = Vec::new();
+        for (i, m) in get_arr(json, path, "models")?.iter().enumerate() {
+            models.push(parse_model(m, &format!("{path}.models[{i}]"))?);
+        }
+        if models.is_empty() {
+            return Err(err(path, "recipe has no constraint models"));
+        }
+        let mut target_profiles = Vec::new();
+        for (i, p) in get_arr(json, path, "target_profiles")?.iter().enumerate() {
+            let slot = format!("{path}.target_profiles[{i}]");
+            target_profiles.push(TargetProfile {
+                min_latency: get_u64(p, &slot, "min_latency")?,
+                max_latency: get_u64(p, &slot, "max_latency")?,
+                gnt_throttle_percent: get_u64(p, &slot, "gnt_throttle_percent")? as u32,
+            });
+        }
+        if target_profiles.is_empty() {
+            return Err(err(path, "recipe has no target profiles"));
+        }
+        let mut prog_schedule = Vec::new();
+        for (i, entry) in get_arr(json, path, "prog_schedule")?.iter().enumerate() {
+            let slot = format!("{path}.prog_schedule[{i}]");
+            let cycle = get_u64(entry, &slot, "cycle")?;
+            let mut priorities = Vec::new();
+            for p in get_arr(entry, &slot, "priorities")? {
+                let p = p
+                    .as_u64()
+                    .ok_or_else(|| err(&slot, "priority is not an unsigned integer"))?;
+                priorities
+                    .push(u8::try_from(p).map_err(|_| err(&slot, "priority does not fit in u8"))?);
+            }
+            prog_schedule.push((cycle, priorities));
+        }
+        Ok(Recipe {
+            name: get_str(json, path, "name")?.to_owned(),
+            models,
+            target_profiles,
+            prog_schedule,
+        })
+    }
+}
+
+/// Parses a rendered `closure.json` document into its replayable
+/// `(test, recipe, seeds)` sequence, verifying the schema tag.
+pub fn parse_closure_replay(text: &str) -> Result<Vec<ReplayEntry>, String> {
+    let json = Json::parse(text).map_err(|e| format!("closure document: invalid JSON: {e}"))?;
+    let schema = get_str(&json, "$", "schema")?;
+    if schema != CLOSURE_SCHEMA {
+        return Err(format!(
+            "closure document: schema `{schema}` is not `{CLOSURE_SCHEMA}`"
+        ));
+    }
+    let mut entries = Vec::new();
+    for (i, it) in get_arr(&json, "$", "iterations")?.iter().enumerate() {
+        let path = format!("iterations[{i}]");
+        let recipe = Recipe::from_json_at(get(it, &path, "recipe")?, &format!("{path}.recipe"))?;
+        let mut seeds = Vec::new();
+        for s in get_arr(it, &path, "seeds")? {
+            seeds.push(
+                s.as_u64()
+                    .ok_or_else(|| err(&path, "seed is not an unsigned integer"))?,
+            );
+        }
+        entries.push(ReplayEntry {
+            test: get_str(it, &path, "test")?.to_owned(),
+            recipe,
+            seeds,
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{close_coverage, ClosureOptions};
+    use stbus_protocol::NodeConfig;
+
+    #[test]
+    fn recipe_json_round_trips_exactly() {
+        let config = NodeConfig::reference();
+        // A biased recipe (constraints, prog schedule) is the hard case:
+        // run one short campaign so the recorded recipes carry them.
+        let report = close_coverage(
+            &config,
+            &Recipe::narrow(&config),
+            &ClosureOptions::default(),
+        );
+        assert!(report.closed);
+        for it in &report.iterations {
+            let parsed = Recipe::from_json(&it.recipe.to_json()).expect("parses");
+            assert_eq!(parsed, it.recipe);
+        }
+        let last = Recipe::from_json(&report.final_recipe.to_json()).expect("parses");
+        assert_eq!(last, report.final_recipe);
+    }
+
+    #[test]
+    fn closure_document_round_trips_to_the_replay_sequence() {
+        let config = NodeConfig::reference();
+        let report = close_coverage(
+            &config,
+            &Recipe::narrow(&config),
+            &ClosureOptions::default(),
+        );
+        let text = report.closure_json().render_pretty();
+        let entries = parse_closure_replay(&text).expect("parses");
+        let replay = report.replay();
+        assert_eq!(entries.len(), replay.len());
+        for (entry, (spec, seeds)) in entries.iter().zip(&replay) {
+            assert_eq!(&entry.seeds, seeds);
+            assert_eq!(entry.to_spec().name, spec.name);
+            assert_eq!(entry.to_spec().profiles, spec.profiles);
+        }
+    }
+
+    #[test]
+    fn mangled_documents_are_rejected_with_a_path() {
+        assert!(parse_closure_replay("not json").is_err());
+        let wrong_schema = r#"{"schema": "stbus-closure/0", "iterations": []}"#;
+        let e = parse_closure_replay(wrong_schema).unwrap_err();
+        assert!(e.contains("stbus-closure/0"), "{e}");
+        let missing = r#"{"schema": "stbus-closure/1"}"#;
+        let e = parse_closure_replay(missing).unwrap_err();
+        assert!(e.contains("iterations"), "{e}");
+    }
+}

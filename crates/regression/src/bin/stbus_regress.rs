@@ -5,6 +5,7 @@
 //!               [--jobs N] [--deterministic] [--no-compare] [--exact]
 //!               [--log-format text|json] [--log-file PATH] [--quiet]
 //!               [--qualify] [--close-coverage] [--batch N] [--budget N]
+//!               [--signoff] [--waivers FILE] [--from-closure FILE]
 //! ```
 //!
 //! With `--configs <dir>`, every `*.cfg` text file in the directory is
@@ -31,6 +32,24 @@
 //! records every iteration's recipe and seeds so the closed coverage
 //! replays as a fixed regression. Exits nonzero if coverage did not
 //! close.
+//!
+//! `--signoff` switches the tool into sign-off-gate mode: the engine
+//! measures every candidate run's coverage footprint on both views,
+//! distills the minimal fixed regression still covering every functional
+//! bin and every reachable RTL branch point (greedy set cover), replays
+//! it with waveform capture, and evaluates the paper's three gates —
+//! 100% functional coverage on both views, 100% *justified* RTL line
+//! coverage, ≥99% per-port cycle alignment. Candidates come from a
+//! recorded closure trajectory (`--from-closure closure.json`) or the
+//! built-in test library (`--intensity`, `--seeds`). `--waivers FILE`
+//! names the waiver file (schema `stbus-waivers/1`) justifying each
+//! structurally unreachable branch; without it the sign-off runs against
+//! the generated template, which an audited flow should check in and
+//! review instead. The sign-off targets the first `--configs` entry (or
+//! the reference node) and writes `signoff.json` (schema
+//! `stbus-signoff/1`, no wall-clock fields, byte-identical for any
+//! `--jobs`) to `--out`. Exits 2 on an invalid waiver file, 1 on any
+//! failed gate.
 //!
 //! `--jobs N` fans the `{config × test × seed}` cells out across N worker
 //! threads (default: one per hardware thread; `--jobs 1` is fully
@@ -64,6 +83,9 @@ fn main() {
     let mut deterministic = false;
     let mut qualify = false;
     let mut close_coverage = false;
+    let mut signoff_mode = false;
+    let mut waivers_path: Option<String> = None;
+    let mut from_closure: Option<String> = None;
     let mut closure_opts = cdg::ClosureOptions::default();
     let mut seeds_given = false;
     let mut intensity_given = false;
@@ -71,6 +93,9 @@ fn main() {
         match arg.as_str() {
             "--qualify" => qualify = true,
             "--close-coverage" => close_coverage = true,
+            "--signoff" => signoff_mode = true,
+            "--waivers" => waivers_path = args.next(),
+            "--from-closure" => from_closure = args.next(),
             "--batch" => {
                 closure_opts.tests_per_batch = match args.next().and_then(|s| s.parse().ok()) {
                     Some(n) if n > 0 => n,
@@ -126,7 +151,7 @@ fn main() {
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--deterministic] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet] [--qualify] [--close-coverage] [--batch N] [--budget N]"
+                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--deterministic] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet] [--qualify] [--close-coverage] [--batch N] [--budget N] [--signoff] [--waivers FILE] [--from-closure FILE]"
                 );
                 return;
             }
@@ -308,6 +333,116 @@ fn main() {
                 "coverage did not close within {} iterations",
                 closure_opts.max_batches
             );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if signoff_mode {
+        // Like closure, sign-off targets one configuration: the first of
+        // `--configs`, or the built-in reference node.
+        let config = match &config_dir {
+            Some(_) => configs[0].clone(),
+            None => NodeConfig::reference(),
+        };
+        let waivers = match &waivers_path {
+            Some(path) => {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read waiver file {path}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                match signoff::WaiverFile::parse(&text) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            None => {
+                tel.warn(
+                    "signoff.waivers",
+                    "no --waivers file; using the generated template (an audited flow should review and commit one)",
+                    [("config", Json::from(config.name.clone()))],
+                );
+                signoff::WaiverFile::template(&config)
+            }
+        };
+        let candidates = match &from_closure {
+            Some(path) => {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read closure record {path}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                match cdg::parse_closure_replay(&text) {
+                    Ok(entries) => signoff::closure_candidates(&entries),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            None => signoff::library_candidates(options.intensity, &options.seeds),
+        };
+        let sopts = signoff::SignoffOptions {
+            jobs: options.jobs,
+            fidelity: options.fidelity,
+            telemetry: tel.clone(),
+            ..signoff::SignoffOptions::default()
+        };
+        tel.info(
+            "signoff.start",
+            "sign-off gate run starting",
+            [
+                ("config", Json::from(config.name.clone())),
+                ("candidates", Json::from(candidates.len())),
+                ("waivers", Json::from(waivers.waivers.len())),
+                ("jobs", Json::from(exec::resolve_jobs(sopts.jobs))),
+            ],
+        );
+        let report = match signoff::run_signoff(&config, &waivers, &candidates, &sopts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                tel.flush();
+                std::process::exit(2);
+            }
+        };
+        print!("{}", report.table());
+        if let Some(out) = out_dir {
+            let dir = std::path::Path::new(&out);
+            let write = std::fs::create_dir_all(dir).and_then(|()| {
+                std::fs::write(
+                    dir.join("signoff.json"),
+                    report.signoff_json().render_pretty(),
+                )
+            });
+            match write {
+                Ok(()) => tel.info(
+                    "signoff.reports",
+                    "signoff.json written",
+                    [("dir", Json::from(dir.display().to_string()))],
+                ),
+                Err(e) => tel.error(
+                    "signoff.reports",
+                    "cannot write signoff.json",
+                    [("error", Json::from(e.to_string()))],
+                ),
+            }
+        }
+        tel.flush();
+        if !report.passed() {
+            for gate in report.gates() {
+                for line in &gate.detail {
+                    eprintln!("sign-off failure ({}): {line}", gate.name);
+                }
+            }
             std::process::exit(1);
         }
         return;

@@ -1,0 +1,28 @@
+//! Prints the waiver-file template (`stbus-waivers/1`) for a built-in
+//! configuration — the starting point an engineer edits justifications
+//! and ownership into before committing it next to the config:
+//!
+//! ```text
+//! cargo run -p stbus-signoff --example waivers_template [reference|prog_hunt|t2_hunt|partial_hunt] > waivers.json
+//! ```
+
+use signoff::WaiverFile;
+use stbus_protocol::NodeConfig;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or("reference".to_owned());
+    let config = match name.as_str() {
+        "reference" => NodeConfig::reference(),
+        "prog_hunt" => catg::tests_lib::qualification::prog_hunt(),
+        "t2_hunt" => catg::tests_lib::qualification::t2_hunt(),
+        "partial_hunt" => catg::tests_lib::qualification::partial_hunt(),
+        other => {
+            eprintln!("unknown configuration `{other}`");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{}",
+        WaiverFile::template(&config).to_json().render_pretty()
+    );
+}

@@ -1,0 +1,251 @@
+//! Justified line coverage — the second paper gate, as a reusable report.
+//!
+//! This is the logic the E6 experiment binary used to carry inline: take
+//! the RTL view's structural coverage ([`sim_kernel::ActivityCoverage`]),
+//! partition the never-executed branch points by the waiver file, and
+//! call the gate passed only when every miss is explicitly justified
+//! *and* no waiver has gone stale. A waiver whose branch was actually hit
+//! ("dead waiver") fails the gate: it documents a reachability claim the
+//! run just disproved, and leaving it in place would hide a real hole the
+//! next time the configuration changes.
+
+use crate::waiver::WaiverFile;
+use sim_kernel::ActivityCoverage;
+use stbus_protocol::NodeConfig;
+use telemetry::Json;
+
+/// A missed branch point covered by an accepted waiver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JustifiedBranch {
+    /// The branch label.
+    pub branch: String,
+    /// The cited reachability predicate.
+    pub predicate: String,
+    /// The waiver's justification text.
+    pub justification: String,
+    /// The waiver's owner.
+    pub owner: String,
+}
+
+/// A waiver whose branch was hit during the run — stale, and fatal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadWaiver {
+    /// The waived branch.
+    pub branch: String,
+    /// How often the supposedly unreachable branch executed.
+    pub hits: u64,
+    /// The waiver's owner (who has to retire it).
+    pub owner: String,
+}
+
+/// The justified-line-coverage verdict of one campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JustifiedCoverage {
+    /// Branch points in the design.
+    pub total_branches: usize,
+    /// Branch points that executed.
+    pub hit_branches: usize,
+    /// Missed branches with an accepted waiver.
+    pub justified: Vec<JustifiedBranch>,
+    /// Missed branches with no (accepted) waiver — the residue that
+    /// blocks sign-off.
+    pub unjustified: Vec<String>,
+    /// Waivers whose branch was hit.
+    pub dead_waivers: Vec<DeadWaiver>,
+}
+
+impl JustifiedCoverage {
+    /// Partitions `activity`'s branch report by the waiver file.
+    ///
+    /// The waiver file is taken at face value here; run
+    /// [`WaiverFile::validate`] first — the engine refuses to evaluate
+    /// gates over an invalid file. `config` is accepted for parity with
+    /// the validator's signature and future per-config scoping.
+    pub fn new(activity: &ActivityCoverage, _config: &NodeConfig, waivers: &WaiverFile) -> Self {
+        let mut justified = Vec::new();
+        let mut unjustified = Vec::new();
+        for missed in activity.missed_branches() {
+            match waivers.for_branch(&missed.name) {
+                Some(w) => justified.push(JustifiedBranch {
+                    branch: w.branch.clone(),
+                    predicate: w.predicate.clone(),
+                    justification: w.justification.clone(),
+                    owner: w.owner.clone(),
+                }),
+                None => unjustified.push(missed.name.clone()),
+            }
+        }
+        let dead_waivers = waivers
+            .waivers
+            .iter()
+            .filter_map(|w| {
+                let hits = activity.branch(&w.branch)?.hits;
+                (hits > 0).then(|| DeadWaiver {
+                    branch: w.branch.clone(),
+                    hits,
+                    owner: w.owner.clone(),
+                })
+            })
+            .collect();
+        JustifiedCoverage {
+            total_branches: activity.branches.len(),
+            hit_branches: activity.hit_branches().count(),
+            justified,
+            unjustified,
+            dead_waivers,
+        }
+    }
+
+    /// Raw branch coverage, ignoring waivers, in `[0, 1]`.
+    pub fn raw_coverage(&self) -> f64 {
+        ratio(self.hit_branches, self.total_branches)
+    }
+
+    /// Justified coverage: hit or waived branches over all branches. The
+    /// paper's gate requires this to be 1.0.
+    pub fn justified_coverage(&self) -> f64 {
+        ratio(
+            self.hit_branches + self.justified.len(),
+            self.total_branches,
+        )
+    }
+
+    /// The gate verdict: every miss justified, no waiver stale.
+    pub fn passed(&self) -> bool {
+        self.unjustified.is_empty() && self.dead_waivers.is_empty()
+    }
+
+    /// The gate's slice of `signoff.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("passed", Json::from(self.passed())),
+            ("total_branches", Json::from(self.total_branches)),
+            ("hit_branches", Json::from(self.hit_branches)),
+            ("raw_coverage_pct", Json::from(self.raw_coverage() * 100.0)),
+            (
+                "justified_coverage_pct",
+                Json::from(self.justified_coverage() * 100.0),
+            ),
+            (
+                "justified",
+                Json::Arr(
+                    self.justified
+                        .iter()
+                        .map(|j| {
+                            Json::obj([
+                                ("branch", Json::from(j.branch.clone())),
+                                ("predicate", Json::from(j.predicate.clone())),
+                                ("justification", Json::from(j.justification.clone())),
+                                ("owner", Json::from(j.owner.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "unjustified",
+                Json::Arr(
+                    self.unjustified
+                        .iter()
+                        .map(|b| Json::from(b.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "dead_waivers",
+                Json::Arr(
+                    self.dead_waivers
+                        .iter()
+                        .map(|d| {
+                            Json::obj([
+                                ("branch", Json::from(d.branch.clone())),
+                                ("hits", Json::from(d.hits)),
+                                ("owner", Json::from(d.owner.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn ratio(hit: usize, total: usize) -> f64 {
+    if total == 0 {
+        1.0
+    } else {
+        hit as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_kernel::{ActivityCoverage, BranchActivity};
+
+    fn activity(pairs: &[(&str, u64)]) -> ActivityCoverage {
+        ActivityCoverage {
+            processes: Vec::new(),
+            branches: pairs
+                .iter()
+                .map(|(name, hits)| BranchActivity {
+                    name: (*name).to_owned(),
+                    hits: *hits,
+                })
+                .collect(),
+        }
+    }
+
+    fn waiver(branch: &str) -> crate::Waiver {
+        crate::Waiver {
+            branch: branch.to_owned(),
+            predicate: "p".to_owned(),
+            justification: "j".to_owned(),
+            owner: "o".to_owned(),
+        }
+    }
+
+    #[test]
+    fn partitions_missed_branches_by_waiver() {
+        let act = activity(&[("node/a", 5), ("node/b", 0), ("node/c", 0)]);
+        let waivers = WaiverFile {
+            waivers: vec![waiver("node/b")],
+        };
+        let jc = JustifiedCoverage::new(&act, &NodeConfig::reference(), &waivers);
+        assert_eq!(jc.hit_branches, 1);
+        assert_eq!(jc.justified.len(), 1);
+        assert_eq!(jc.unjustified, ["node/c"]);
+        assert!(jc.dead_waivers.is_empty());
+        assert!(!jc.passed());
+        assert!((jc.raw_coverage() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((jc.justified_coverage() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_justification_passes_and_hits_kill_waivers() {
+        let act = activity(&[("node/a", 5), ("node/b", 0)]);
+        let good = WaiverFile {
+            waivers: vec![waiver("node/b")],
+        };
+        let jc = JustifiedCoverage::new(&act, &NodeConfig::reference(), &good);
+        assert!(jc.passed());
+        assert!((jc.justified_coverage() - 1.0).abs() < 1e-12);
+
+        // The same file over a run that *did* hit node/b: dead waiver.
+        let act = activity(&[("node/a", 5), ("node/b", 2)]);
+        let jc = JustifiedCoverage::new(&act, &NodeConfig::reference(), &good);
+        assert!(!jc.passed());
+        assert_eq!(jc.dead_waivers.len(), 1);
+        assert_eq!(jc.dead_waivers[0].branch, "node/b");
+        assert_eq!(jc.dead_waivers[0].hits, 2);
+    }
+
+    #[test]
+    fn json_names_the_offending_branches() {
+        let act = activity(&[("node/a", 0)]);
+        let jc = JustifiedCoverage::new(&act, &NodeConfig::reference(), &WaiverFile::default());
+        let text = jc.to_json().render_pretty();
+        assert!(text.contains("node/a"));
+        assert!(text.contains("\"passed\": false"));
+    }
+}

@@ -1,0 +1,51 @@
+//! The sign-off gate engine.
+//!
+//! The paper's sign-off criterion is threefold: 100% functional coverage
+//! on **both** views, 100% *justified* RTL line coverage, and ≥99%
+//! per-port cycle alignment between the views. Before this crate, only
+//! the functional and alignment halves were machine-checked (the
+//! regression runner's `signed_off()` predicate); the "justified" half
+//! lived as ad-hoc logic inside an experiment binary, and nothing turned
+//! a coverage-closure trajectory into the *minimal* fixed regression the
+//! paper's methodology promises. This crate makes the whole criterion one
+//! auditable artifact:
+//!
+//! * [`WaiverFile`] — a versioned waiver format ([`WAIVERS_SCHEMA`]):
+//!   every never-executed RTL branch point must carry an explicit waiver
+//!   citing the structural-reachability predicate
+//!   ([`stbus_rtl::ProbePoint::predicate_id`]) that makes it dead code in
+//!   the configuration under sign-off, plus a justification text and an
+//!   owner. Unknown branches and predicate mismatches are validation
+//!   errors; waivers whose branch *was* hit during the run are flagged as
+//!   dead waivers and fail the gate — stale justifications are as
+//!   dangerous as missing ones.
+//! * [`JustifiedCoverage`] — the reusable justified-line-coverage report
+//!   (hoisted out of the E6 experiment binary) partitioning missed
+//!   branches into waived and unjustified residue on top of
+//!   [`sim_kernel::ActivityCoverage`].
+//! * [`minimize`] — a greedy set-cover minimizer over per-run coverage
+//!   footprints; fed from a recorded `closure.json` trajectory (via
+//!   [`cdg::parse_closure_replay`]) or the built-in test library, it
+//!   emits the smallest replay set that still covers every functional bin
+//!   *and* every reachable branch point.
+//! * [`run_signoff`] — the engine: measure candidate footprints, minimize,
+//!   re-run the chosen regression on both views with waveform capture,
+//!   and evaluate the three gates into a [`SignoffReport`] whose
+//!   [`SignoffReport::signoff_json`] form ([`SIGNOFF_SCHEMA`]) carries no
+//!   wall-clock fields and is byte-identical for any worker count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod justified;
+mod mincover;
+mod waiver;
+
+pub use engine::{
+    closure_candidates, library_candidates, run_signoff, Candidate, GateVerdict, SelectedUnit,
+    SignoffError, SignoffOptions, SignoffReport, SIGNOFF_SCHEMA,
+};
+pub use justified::{DeadWaiver, JustifiedBranch, JustifiedCoverage};
+pub use mincover::{minimize, CoverUnit, MinimizedSet};
+pub use waiver::{Waiver, WaiverError, WaiverFile, WAIVERS_SCHEMA};

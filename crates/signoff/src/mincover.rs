@@ -1,0 +1,186 @@
+//! Greedy set-cover minimization of a regression.
+//!
+//! A closure campaign (or the generic test library) accumulates far more
+//! runs than the coverage goal needs: later batches re-hit most bins the
+//! early ones already covered. Given each candidate run's coverage
+//! footprint, the classic greedy set-cover heuristic — repeatedly take
+//! the run covering the most still-uncovered bins — yields a fixed
+//! regression within a ln(n) factor of the optimal size, which is the
+//! paper's "minimal regression suite that still holds 100%".
+//!
+//! Determinism: ties are broken by the lowest candidate index, so the
+//! result is a pure function of the input order (order-stable), and the
+//! selection is reported in pick order — the first entry is always the
+//! single highest-value run.
+
+use std::collections::BTreeSet;
+
+/// One candidate run and the coverage bins it hits. Bin labels are
+/// opaque; the engine mixes functional bins (`f:group/bin`) and RTL
+/// branch points (`l:node/branch`) into one universe so the minimized
+/// set preserves both gates at once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverUnit {
+    /// Display label (`test@seed`).
+    pub label: String,
+    /// The bins this run covers.
+    pub bins: BTreeSet<String>,
+}
+
+/// The outcome of a minimization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinimizedSet {
+    /// Indices into the candidate slice, in greedy pick order.
+    pub selected: Vec<usize>,
+    /// How many universe bins the selection covers.
+    pub covered: usize,
+    /// The universe size.
+    pub universe: usize,
+    /// Universe bins no candidate covers — a non-empty list means the
+    /// candidate pool itself cannot reach the goal, and the functional
+    /// or line gate will fail no matter the selection.
+    pub uncovered: Vec<String>,
+}
+
+impl MinimizedSet {
+    /// Whether the selection covers the whole universe.
+    pub fn full(&self) -> bool {
+        self.covered == self.universe
+    }
+}
+
+/// Greedy set cover of `universe` by `units`.
+///
+/// Bins outside `universe` are ignored (a run may hit branches that are
+/// waived, or bins of groups the goal excludes). Candidates contributing
+/// nothing new are never selected; an empty universe selects nothing.
+pub fn minimize(universe: &BTreeSet<String>, units: &[CoverUnit]) -> MinimizedSet {
+    let mut uncovered: BTreeSet<&str> = universe.iter().map(String::as_str).collect();
+    // Drop bins no unit can cover up front, so the greedy loop terminates
+    // on coverage exhaustion, not on a stuck iteration.
+    let reachable: BTreeSet<&str> = units
+        .iter()
+        .flat_map(|u| u.bins.iter().map(String::as_str))
+        .filter(|b| universe.contains(*b))
+        .collect();
+    let unreachable: Vec<String> = uncovered
+        .iter()
+        .filter(|b| !reachable.contains(*b))
+        .map(|b| (*b).to_owned())
+        .collect();
+    uncovered.retain(|b| reachable.contains(b));
+
+    let mut selected = Vec::new();
+    let mut picked = vec![false; units.len()];
+    while !uncovered.is_empty() {
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for (i, unit) in units.iter().enumerate() {
+            if picked[i] {
+                continue;
+            }
+            let gain = unit
+                .bins
+                .iter()
+                .filter(|b| uncovered.contains(b.as_str()))
+                .count();
+            // Strict `>` keeps the earliest index on ties.
+            if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
+                best = Some((gain, i));
+            }
+        }
+        let Some((_, index)) = best else { break };
+        picked[index] = true;
+        selected.push(index);
+        for bin in &units[index].bins {
+            uncovered.remove(bin.as_str());
+        }
+    }
+
+    MinimizedSet {
+        selected,
+        covered: universe.len() - unreachable.len() - uncovered.len(),
+        universe: universe.len(),
+        uncovered: unreachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(label: &str, bins: &[&str]) -> CoverUnit {
+        CoverUnit {
+            label: label.to_owned(),
+            bins: bins.iter().map(|b| (*b).to_owned()).collect(),
+        }
+    }
+
+    fn universe(bins: &[&str]) -> BTreeSet<String> {
+        bins.iter().map(|b| (*b).to_owned()).collect()
+    }
+
+    #[test]
+    fn picks_the_classic_greedy_cover() {
+        let u = universe(&["a", "b", "c", "d", "e"]);
+        let units = vec![
+            unit("small", &["a", "b"]),
+            unit("big", &["b", "c", "d"]),
+            unit("tail", &["e", "a"]),
+        ];
+        let m = minimize(&u, &units);
+        assert!(m.full());
+        // big (3 new) → small/tail tie at 2... tail covers {e,a} = 2,
+        // small covers {a,b} = 1 after big. So big, tail, done.
+        assert_eq!(m.selected, vec![1, 2]);
+        assert!(m.uncovered.is_empty());
+    }
+
+    #[test]
+    fn ties_break_to_the_earliest_candidate() {
+        let u = universe(&["a", "b"]);
+        let units = vec![unit("first", &["a", "b"]), unit("twin", &["a", "b"])];
+        let m = minimize(&u, &units);
+        assert_eq!(m.selected, vec![0]);
+    }
+
+    #[test]
+    fn minimization_is_order_stable() {
+        let u = universe(&["a", "b", "c", "d"]);
+        let units = vec![
+            unit("u0", &["a", "b"]),
+            unit("u1", &["c"]),
+            unit("u2", &["c", "d"]),
+            unit("u3", &["a"]),
+        ];
+        let first = minimize(&u, &units);
+        let second = minimize(&u, &units);
+        assert_eq!(first, second);
+        assert_eq!(first.selected, vec![0, 2]);
+    }
+
+    #[test]
+    fn uncoverable_bins_are_reported_not_looped_over() {
+        let u = universe(&["a", "ghost"]);
+        let units = vec![unit("only", &["a", "outside-universe"])];
+        let m = minimize(&u, &units);
+        assert_eq!(m.selected, vec![0]);
+        assert!(!m.full());
+        assert_eq!(m.covered, 1);
+        assert_eq!(m.uncovered, ["ghost"]);
+    }
+
+    #[test]
+    fn empty_universe_selects_nothing() {
+        let m = minimize(&BTreeSet::new(), &[unit("x", &["a"])]);
+        assert!(m.selected.is_empty());
+        assert!(m.full());
+    }
+
+    #[test]
+    fn redundant_candidates_are_skipped() {
+        let u = universe(&["a", "b"]);
+        let units = vec![unit("covers-all", &["a", "b"]), unit("redundant", &["a"])];
+        let m = minimize(&u, &units);
+        assert_eq!(m.selected, vec![0]);
+    }
+}

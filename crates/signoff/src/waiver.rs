@@ -1,0 +1,311 @@
+//! The versioned waiver-file format ([`WAIVERS_SCHEMA`]).
+//!
+//! A waiver is the auditable unit of the paper's "100% of *justified*
+//! code" goal: one never-executed branch point, the structural predicate
+//! that makes it unreachable in the configuration under sign-off, a
+//! justification text, and an owner who signed it. Validation is strict
+//! by design — a waiver citing an unknown branch, the wrong predicate, or
+//! a branch the configuration can actually reach is an error, not a
+//! warning, because every such entry would silently shrink the coverage
+//! goal.
+
+use stbus_protocol::NodeConfig;
+use stbus_rtl::ProbePoint;
+use std::collections::BTreeSet;
+use std::fmt;
+use telemetry::Json;
+
+/// Schema identifier of the waiver file format.
+pub const WAIVERS_SCHEMA: &str = "stbus-waivers/1";
+
+/// One justified branch point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Waiver {
+    /// The kernel branch label (`"node/<probe>"`) being waived.
+    pub branch: String,
+    /// The cited reachability predicate
+    /// ([`ProbePoint::predicate_id`]); must be the predicate registered
+    /// for the branch, and must evaluate *unreachable* in the
+    /// configuration under sign-off.
+    pub predicate: String,
+    /// Why the branch is dead code in this configuration.
+    pub justification: String,
+    /// Who signed the waiver.
+    pub owner: String,
+}
+
+/// A parsed waiver file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WaiverFile {
+    /// The waivers, in file order.
+    pub waivers: Vec<Waiver>,
+}
+
+/// One validation failure. The engine refuses to run the gates while any
+/// of these exist: an invalid waiver file is a broken sign-off basis, not
+/// a degraded one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WaiverError {
+    /// The cited branch is not in the elaborated netlist.
+    UnknownBranch {
+        /// The unmatched branch label.
+        branch: String,
+    },
+    /// The cited predicate is not the one registered for the branch.
+    WrongPredicate {
+        /// The waived branch.
+        branch: String,
+        /// What the waiver cited.
+        cited: String,
+        /// The predicate actually guarding the branch.
+        expected: String,
+    },
+    /// The predicate holds in this configuration — the branch is
+    /// reachable, so it cannot be waived.
+    ReachableBranch {
+        /// The waived branch.
+        branch: String,
+        /// The cited predicate.
+        predicate: String,
+    },
+    /// The same branch is waived more than once.
+    DuplicateBranch {
+        /// The repeated branch label.
+        branch: String,
+    },
+}
+
+impl fmt::Display for WaiverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaiverError::UnknownBranch { branch } => {
+                write!(f, "waiver cites unknown branch `{branch}`")
+            }
+            WaiverError::WrongPredicate {
+                branch,
+                cited,
+                expected,
+            } => write!(
+                f,
+                "waiver for `{branch}` cites predicate `{cited}` but the branch is guarded by `{expected}`"
+            ),
+            WaiverError::ReachableBranch { branch, predicate } => write!(
+                f,
+                "waiver for `{branch}` is invalid: predicate `{predicate}` holds in this configuration (the branch is reachable)"
+            ),
+            WaiverError::DuplicateBranch { branch } => {
+                write!(f, "branch `{branch}` is waived more than once")
+            }
+        }
+    }
+}
+
+impl Waiver {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("branch", Json::from(self.branch.clone())),
+            ("predicate", Json::from(self.predicate.clone())),
+            ("justification", Json::from(self.justification.clone())),
+            ("owner", Json::from(self.owner.clone())),
+        ])
+    }
+}
+
+impl WaiverFile {
+    /// The waiver set every missed-but-unreachable branch of `config`
+    /// needs — the starting point an engineer edits justifications and
+    /// ownership into. The template is exactly the set the old E6
+    /// experiment derived implicitly from [`ProbePoint::reachable_in`].
+    pub fn template(config: &NodeConfig) -> WaiverFile {
+        WaiverFile {
+            waivers: ProbePoint::ALL
+                .iter()
+                .filter(|p| !p.reachable_in(config))
+                .map(|p| Waiver {
+                    branch: p.branch_name(),
+                    predicate: p.predicate_id().to_owned(),
+                    justification: format!(
+                        "structurally unreachable in `{}`: the branch requires that {}",
+                        config.name,
+                        p.predicate_description()
+                    ),
+                    owner: "verification".to_owned(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Static validation against the elaborated netlist: every waiver
+    /// must cite a known branch, the branch's registered predicate, and
+    /// that predicate must evaluate *unreachable* under `config`. Returns
+    /// every failure, not just the first.
+    pub fn validate(&self, config: &NodeConfig) -> Result<(), Vec<WaiverError>> {
+        let mut errors = Vec::new();
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for w in &self.waivers {
+            let Some(probe) = ProbePoint::from_branch_name(&w.branch) else {
+                errors.push(WaiverError::UnknownBranch {
+                    branch: w.branch.clone(),
+                });
+                continue;
+            };
+            if !seen.insert(&w.branch) {
+                errors.push(WaiverError::DuplicateBranch {
+                    branch: w.branch.clone(),
+                });
+                continue;
+            }
+            if w.predicate != probe.predicate_id() {
+                errors.push(WaiverError::WrongPredicate {
+                    branch: w.branch.clone(),
+                    cited: w.predicate.clone(),
+                    expected: probe.predicate_id().to_owned(),
+                });
+                continue;
+            }
+            if probe.reachable_in(config) {
+                errors.push(WaiverError::ReachableBranch {
+                    branch: w.branch.clone(),
+                    predicate: w.predicate.clone(),
+                });
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// The waiver covering `branch`, if any.
+    pub fn for_branch(&self, branch: &str) -> Option<&Waiver> {
+        self.waivers.iter().find(|w| w.branch == branch)
+    }
+
+    /// The machine-readable form ([`WAIVERS_SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::from(WAIVERS_SCHEMA)),
+            (
+                "waivers",
+                Json::Arr(self.waivers.iter().map(Waiver::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a rendered waiver document, verifying the schema tag.
+    pub fn parse(text: &str) -> Result<WaiverFile, String> {
+        let json = Json::parse(text).map_err(|e| format!("waiver file: invalid JSON: {e}"))?;
+        let schema = json
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("waiver file: missing `schema`")?;
+        if schema != WAIVERS_SCHEMA {
+            return Err(format!(
+                "waiver file: schema `{schema}` is not `{WAIVERS_SCHEMA}`"
+            ));
+        }
+        let entries = json
+            .get("waivers")
+            .and_then(Json::as_arr)
+            .ok_or("waiver file: missing `waivers` array")?;
+        let mut waivers = Vec::new();
+        for (i, entry) in entries.iter().enumerate() {
+            let field = |key: &str| -> Result<String, String> {
+                entry
+                    .get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("waiver file: waivers[{i}]: missing string `{key}`"))
+            };
+            waivers.push(Waiver {
+                branch: field("branch")?,
+                predicate: field("predicate")?,
+                justification: field("justification")?,
+                owner: field("owner")?,
+            });
+        }
+        Ok(WaiverFile { waivers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_for_the_reference_config_validates_clean() {
+        let config = NodeConfig::reference();
+        let file = WaiverFile::template(&config);
+        // E6: lane_saturated, fifo_full and order_hold are dead code on
+        // the reference node.
+        let branches: Vec<_> = file.waivers.iter().map(|w| w.branch.as_str()).collect();
+        assert_eq!(
+            branches,
+            ["node/lane_saturated", "node/fifo_full", "node/order_hold"]
+        );
+        assert_eq!(file.validate(&config), Ok(()));
+    }
+
+    #[test]
+    fn unknown_branch_and_wrong_predicate_are_errors() {
+        let config = NodeConfig::reference();
+        let mut file = WaiverFile::template(&config);
+        file.waivers.push(Waiver {
+            branch: "node/imaginary".to_owned(),
+            predicate: "always".to_owned(),
+            justification: "x".to_owned(),
+            owner: "x".to_owned(),
+        });
+        file.waivers[0].predicate = "prog-port".to_owned();
+        let errors = file.validate(&config).unwrap_err();
+        assert!(errors.iter().any(
+            |e| matches!(e, WaiverError::UnknownBranch { branch } if branch == "node/imaginary")
+        ));
+        assert!(errors.iter().any(|e| matches!(
+            e,
+            WaiverError::WrongPredicate { branch, .. } if branch == "node/lane_saturated"
+        )));
+    }
+
+    #[test]
+    fn waiving_a_reachable_branch_is_an_error() {
+        let config = NodeConfig::reference();
+        let file = WaiverFile {
+            waivers: vec![Waiver {
+                branch: "node/prog_applied".to_owned(),
+                predicate: "prog-port".to_owned(),
+                justification: "bogus".to_owned(),
+                owner: "x".to_owned(),
+            }],
+        };
+        let errors = file.validate(&config).unwrap_err();
+        assert_eq!(errors.len(), 1);
+        assert!(
+            matches!(&errors[0], WaiverError::ReachableBranch { branch, .. } if branch == "node/prog_applied")
+        );
+    }
+
+    #[test]
+    fn duplicate_waivers_are_rejected() {
+        let config = NodeConfig::reference();
+        let mut file = WaiverFile::template(&config);
+        let dup = file.waivers[0].clone();
+        file.waivers.push(dup);
+        let errors = file.validate(&config).unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, WaiverError::DuplicateBranch { .. })));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let file = WaiverFile::template(&NodeConfig::reference());
+        let text = file.to_json().render_pretty();
+        assert!(text.contains(WAIVERS_SCHEMA));
+        let parsed = WaiverFile::parse(&text).expect("parses");
+        assert_eq!(parsed, file);
+        assert!(WaiverFile::parse("{}").is_err());
+        assert!(WaiverFile::parse("{\"schema\": \"stbus-waivers/0\", \"waivers\": []}").is_err());
+    }
+}

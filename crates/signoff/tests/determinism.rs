@@ -1,0 +1,30 @@
+//! Worker-count determinism: `signoff.json` is the audit artifact of a
+//! sign-off, so it must be a pure function of the inputs — byte-identical
+//! whether the engine fanned out on one worker or four (mirrors
+//! `regression/tests/determinism.rs` for the campaign manifest).
+
+use signoff::{library_candidates, run_signoff, SignoffOptions, WaiverFile};
+use stbus_protocol::NodeConfig;
+
+fn signoff(jobs: usize) -> (String, String) {
+    let config = NodeConfig::reference();
+    let waivers = WaiverFile::template(&config);
+    let candidates = library_candidates(30, &[1, 2]);
+    // A fresh (sink-less) telemetry handle per run: the metrics registry
+    // still records, so the snapshot embedded in the document is part of
+    // what must not depend on the worker count.
+    let options = SignoffOptions {
+        jobs,
+        ..SignoffOptions::default()
+    };
+    let report = run_signoff(&config, &waivers, &candidates, &options).expect("engine runs");
+    (report.signoff_json().render_pretty(), report.table())
+}
+
+#[test]
+fn signoff_json_is_byte_identical_across_worker_counts() {
+    let (serial_json, serial_table) = signoff(1);
+    let (parallel_json, parallel_table) = signoff(4);
+    assert_eq!(serial_json, parallel_json);
+    assert_eq!(serial_table, parallel_table);
+}

@@ -1,0 +1,99 @@
+//! End-to-end gate behavior of the sign-off engine, positive and
+//! negative. The negative cases are the point: a sign-off gate that
+//! cannot fail proves nothing, so deleting a required waiver and
+//! injecting a catalogued RTL defect must each flip the verdict and name
+//! the offending branch or port inside `signoff.json`.
+
+use signoff::{library_candidates, run_signoff, SignoffOptions, WaiverFile};
+use stbus_protocol::NodeConfig;
+use stbus_rtl::RtlBug;
+
+fn options() -> SignoffOptions {
+    SignoffOptions {
+        jobs: 2,
+        ..SignoffOptions::default()
+    }
+}
+
+fn reference_candidates() -> Vec<signoff::Candidate> {
+    library_candidates(30, &[1, 2])
+}
+
+#[test]
+fn reference_config_signs_off_clean() {
+    let config = NodeConfig::reference();
+    let waivers = WaiverFile::template(&config);
+    let report =
+        run_signoff(&config, &waivers, &reference_candidates(), &options()).expect("engine runs");
+    let json = report.signoff_json().render_pretty();
+    assert!(
+        report.passed(),
+        "reference sign-off failed:\n{}\n{json}",
+        report.table()
+    );
+    // The minimized regression is a strict subset of the candidate pool.
+    assert!(report.selected.len() < report.candidate_units);
+    assert!(report.uncoverable.is_empty());
+    assert!(json.contains("\"schema\": \"stbus-signoff/1\""));
+    assert!(json.contains("\"passed\": true"));
+    // No wall-clock leaks into the document.
+    assert!(!json.contains("wall_ms"));
+    assert!(!json.contains("elapsed"));
+}
+
+#[test]
+fn deleting_a_required_waiver_fails_the_line_gate_and_names_the_branch() {
+    let config = NodeConfig::reference();
+    let mut waivers = WaiverFile::template(&config);
+    let removed = waivers.waivers.remove(0);
+    assert_eq!(removed.branch, "node/lane_saturated");
+    let report =
+        run_signoff(&config, &waivers, &reference_candidates(), &options()).expect("engine runs");
+    assert!(!report.passed());
+    assert!(!report.line_gate().passed);
+    assert_eq!(report.justified.unjustified, ["node/lane_saturated"]);
+    // The document names the unjustified branch.
+    let json = report.signoff_json().render_pretty();
+    assert!(json.contains("\"passed\": false"));
+    assert!(json.contains("node/lane_saturated"));
+    assert!(json.contains("unjustified branch node/lane_saturated"));
+}
+
+#[test]
+fn injected_rtl_bug_r3_fails_the_alignment_gate_and_names_the_port() {
+    // R3 (dead priority-port register) is only observable where the
+    // arbiters actually consume programmed priorities — the same
+    // variable-priority hunt shape the mutation-qualification campaign
+    // uses. On the LRU reference node the defect is structurally masked.
+    let config = catg::tests_lib::qualification::prog_hunt();
+    let waivers = WaiverFile::template(&config);
+    let report = run_signoff(
+        &config,
+        &waivers,
+        &reference_candidates(),
+        &SignoffOptions {
+            rtl_bugs: vec![RtlBug::UnsampledPriorityPort],
+            ..options()
+        },
+    )
+    .expect("engine runs");
+    assert!(
+        !report.passed(),
+        "R3 must not sign off:\n{}",
+        report.table()
+    );
+    let gate = report.alignment_gate();
+    assert!(!gate.passed, "R3 must break >=99% alignment");
+    assert!(
+        !gate.detail.is_empty(),
+        "alignment failure must name what went wrong"
+    );
+    // The offending port appears in the document's detail lines.
+    let json = report.signoff_json().render_pretty();
+    assert!(json.contains("\"passed\": false"));
+    assert!(
+        gate.detail.iter().any(|d| d.starts_with("port ")),
+        "detail names a port: {:?}",
+        gate.detail
+    );
+}

@@ -1,0 +1,107 @@
+//! The minimizer against real E10 closure trajectories: the greedy
+//! replay set distilled from a recorded `closure.json` must still merge
+//! to 100% functional coverage, on the 3×2 reference node and on the
+//! 32×32 crossbar whose coupon-collector tail is what made directed
+//! closure necessary in the first place. Stability matters as much as
+//! coverage — a sign-off regression that reshuffles on every rerun is
+//! not a fixed regression.
+
+use std::collections::BTreeSet;
+
+use cdg::{close_coverage, parse_closure_replay, ClosureOptions, Recipe};
+use signoff::{closure_candidates, minimize, CoverUnit};
+use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType};
+
+/// Runs a closure campaign, round-trips it through the `closure.json`
+/// document, and returns the per-`(test, seed)` functional footprints
+/// plus the declared-bin universe.
+fn trajectory_footprints(
+    config: &NodeConfig,
+    batch: usize,
+) -> (Vec<CoverUnit>, Vec<catg::CoverageReport>, BTreeSet<String>) {
+    let report = close_coverage(
+        config,
+        &Recipe::narrow(config),
+        &ClosureOptions {
+            tests_per_batch: batch,
+            ..ClosureOptions::default()
+        },
+    );
+    assert!(report.closed, "campaign must close before minimizing");
+    let replay = parse_closure_replay(&report.closure_json().render_pretty())
+        .expect("closure.json round-trips");
+    let candidates = closure_candidates(&replay);
+
+    let bench = catg::Testbench::new(config.clone(), catg::TestbenchOptions::default());
+    let mut units = Vec::new();
+    let mut covs = Vec::new();
+    let mut universe = BTreeSet::new();
+    for c in &candidates {
+        for &seed in &c.seeds {
+            let mut rtl = stbus_rtl::RtlNode::new(config.clone());
+            let result = bench.run(&mut rtl, &c.spec, seed);
+            let mut bins = BTreeSet::new();
+            for g in &result.coverage.groups {
+                for (bin, hits) in &g.bins {
+                    let label = format!("{}/{}", g.name, bin);
+                    universe.insert(label.clone());
+                    if *hits > 0 {
+                        bins.insert(label);
+                    }
+                }
+            }
+            units.push(CoverUnit {
+                label: format!("{}@{seed}", c.test),
+                bins,
+            });
+            covs.push(result.coverage);
+        }
+    }
+    (units, covs, universe)
+}
+
+fn assert_minimized_replay_closes(config: &NodeConfig, batch: usize) {
+    let (units, covs, universe) = trajectory_footprints(config, batch);
+    let minimized = minimize(&universe, &units);
+    assert!(minimized.full(), "uncoverable: {:?}", minimized.uncovered);
+    // Strictly fewer runs than the recorded trajectory (the point of the
+    // exercise), and merging exactly the chosen runs re-closes coverage.
+    assert!(minimized.selected.len() < units.len());
+    let mut merged = covs[minimized.selected[0]].clone();
+    for &i in &minimized.selected[1..] {
+        merged.merge(&covs[i]);
+    }
+    assert!(
+        (merged.coverage() - 1.0).abs() < 1e-12,
+        "minimized replay set only reaches {:.2}%",
+        merged.coverage() * 100.0
+    );
+    // Order stability: same candidates, same universe, same picks.
+    assert_eq!(minimized, minimize(&universe, &units));
+}
+
+#[test]
+fn reference_trajectory_minimizes_and_recloses() {
+    assert_minimized_replay_closes(&NodeConfig::reference(), 4);
+}
+
+/// The 32×32 campaign simulates tens of thousands of transactions per
+/// iteration; in an unoptimized build that is minutes of wall clock, so
+/// the test is ignored by default and run in release by the CI signoff
+/// job (`cargo test --release -p stbus-signoff -- --ignored`).
+#[test]
+#[ignore = "debug-build wall clock; CI runs it in release"]
+fn crossbar_32x32_trajectory_minimizes_and_recloses() {
+    let hard = NodeConfig::builder("hard_32x32")
+        .initiators(32)
+        .targets(32)
+        .bus_bytes(8)
+        .protocol(ProtocolType::Type3)
+        .architecture(Architecture::FullCrossbar)
+        .arbitration(ArbitrationKind::Lru)
+        .prog_port(true)
+        .max_outstanding(4)
+        .build()
+        .expect("valid");
+    assert_minimized_replay_closes(&hard, 4);
+}

@@ -1,0 +1,138 @@
+//! Properties of the waiver validator over random configurations.
+//!
+//! The validator is the trust anchor of the justified-line gate, so the
+//! guarantees are stated as properties, not examples: whatever the
+//! configuration shape, (1) every accepted waiver cites a branch that
+//! exists in the elaborated netlist, (2) an accepted waiver never
+//! justifies a branch a real run can hit — if a branch with a waiver
+//! fires, the dead-waiver lint reports it rather than the gate quietly
+//! passing, and (3) citing a reachable branch or a foreign predicate is
+//! rejected outright.
+
+use proptest::prelude::*;
+use signoff::{JustifiedCoverage, WaiverFile};
+use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType};
+use stbus_rtl::{ProbePoint, RtlNode};
+
+fn arb_config() -> impl Strategy<Value = NodeConfig> {
+    let protocol = prop_oneof![
+        Just(ProtocolType::Type1),
+        Just(ProtocolType::Type2),
+        Just(ProtocolType::Type3),
+    ];
+    let arch = prop_oneof![
+        Just(Architecture::SharedBus),
+        Just(Architecture::FullCrossbar),
+        (1usize..=4).prop_map(|lanes| Architecture::PartialCrossbar { lanes }),
+    ];
+    let arbitration = prop_oneof![
+        Just(ArbitrationKind::FixedPriority),
+        Just(ArbitrationKind::VariablePriority),
+        Just(ArbitrationKind::Lru),
+        Just(ArbitrationKind::LatencyBased),
+        Just(ArbitrationKind::BandwidthLimited),
+    ];
+    (
+        1usize..=5,
+        1usize..=5,
+        prop_oneof![Just(4usize), Just(8), Just(16)],
+        protocol,
+        arch,
+        arbitration,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(initiators, targets, bus, protocol, arch, arbitration, prog)| {
+                NodeConfig::builder("prop")
+                    .initiators(initiators)
+                    .targets(targets)
+                    .bus_bytes(bus)
+                    .protocol(protocol)
+                    .architecture(arch)
+                    .arbitration(arbitration)
+                    .prog_port(prog)
+                    .build()
+                    .expect("generated configs are valid")
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every waiver the validator accepts cites a branch present in the
+    /// elaborated netlist of the configuration under sign-off.
+    #[test]
+    fn accepted_waivers_cite_elaborated_branches(config in arb_config()) {
+        let file = WaiverFile::template(&config);
+        prop_assert_eq!(file.validate(&config), Ok(()));
+        let node = RtlNode::new(config);
+        let netlist = node.activity_coverage();
+        for w in &file.waivers {
+            prop_assert!(
+                netlist.branch(&w.branch).is_some(),
+                "accepted waiver cites `{}`, not in the elaborated netlist",
+                w.branch
+            );
+        }
+    }
+
+    /// A short random run never hits a waived branch: the reachability
+    /// predicates are exact, so justified coverage can only ever excuse
+    /// genuinely dead code. Equivalently, the dead-waiver lint is the
+    /// only way a hit waived branch can surface — never a passing gate.
+    #[test]
+    fn no_accepted_waiver_covers_a_hit_branch(config in arb_config(), seed in 1u64..=1000) {
+        let file = WaiverFile::template(&config);
+        prop_assert_eq!(file.validate(&config), Ok(()));
+        let bench = catg::Testbench::new(config.clone(), catg::TestbenchOptions::default());
+        let mut rtl = RtlNode::new(config.clone());
+        let spec = catg::tests_lib::random_mixed(10);
+        bench.run(&mut rtl, &spec, seed);
+        let activity = rtl.activity_coverage();
+        for w in &file.waivers {
+            let hits = activity.branch(&w.branch).map_or(0, |b| b.hits);
+            prop_assert_eq!(
+                hits, 0,
+                "waived branch `{}` was hit {} times under seed {}",
+                &w.branch, hits, seed
+            );
+        }
+        // And the lint side of the contract: had a waived branch fired,
+        // JustifiedCoverage must report it dead, never justified.
+        let jc = JustifiedCoverage::new(&activity, &config, &file);
+        for j in &jc.justified {
+            prop_assert_eq!(activity.branch(&j.branch).map_or(0, |b| b.hits), 0);
+        }
+        prop_assert!(jc.dead_waivers.is_empty());
+    }
+
+    /// Waiving a branch the configuration can reach — or citing a
+    /// predicate that is not the one guarding the branch — is rejected.
+    #[test]
+    fn reachable_or_misattributed_waivers_are_rejected(config in arb_config(), pick in 0usize..64) {
+        let reachable: Vec<&ProbePoint> = ProbePoint::ALL
+            .iter()
+            .filter(|p| p.reachable_in(&config))
+            .collect();
+        prop_assume!(!reachable.is_empty());
+        let probe = reachable[pick % reachable.len()];
+        let file = WaiverFile {
+            waivers: vec![signoff::Waiver {
+                branch: probe.branch_name(),
+                predicate: probe.predicate_id().to_owned(),
+                justification: "bogus".to_owned(),
+                owner: "prop".to_owned(),
+            }],
+        };
+        prop_assert!(file.validate(&config).is_err());
+
+        // Same branch, foreign predicate: also rejected, even when the
+        // branch is genuinely unreachable.
+        let mut template = WaiverFile::template(&config);
+        if let Some(w) = template.waivers.first_mut() {
+            w.predicate = "no-such-predicate".to_owned();
+            prop_assert!(template.validate(&config).is_err());
+        }
+    }
+}

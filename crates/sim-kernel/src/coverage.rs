@@ -73,6 +73,17 @@ impl ActivityCoverage {
         self.branches.iter().filter(|b| b.hits == 0)
     }
 
+    /// Branch points that executed at least once.
+    pub fn hit_branches(&self) -> impl Iterator<Item = &BranchActivity> {
+        self.branches.iter().filter(|b| b.hits > 0)
+    }
+
+    /// Looks a branch point up by its registered `"process/branch"` label
+    /// (waiver validation resolves every cited branch through this).
+    pub fn branch(&self, name: &str) -> Option<&BranchActivity> {
+        self.branches.iter().find(|b| b.name == name)
+    }
+
     /// Merges another report (e.g. from another test run) into this one.
     ///
     /// # Panics
@@ -169,6 +180,17 @@ mod tests {
         let c = sample();
         let missed: Vec<_> = c.missed_branches().map(|b| b.name.as_str()).collect();
         assert_eq!(missed, ["a/miss"]);
+    }
+
+    #[test]
+    fn hit_branches_and_lookup_partition_the_report() {
+        let c = sample();
+        let hit: Vec<_> = c.hit_branches().map(|b| b.name.as_str()).collect();
+        assert_eq!(hit, ["a/hit", "b/x"]);
+        assert_eq!(c.branch("a/miss").map(|b| b.hits), Some(0));
+        assert_eq!(c.branch("b/x").map(|b| b.hits), Some(1));
+        assert!(c.branch("missing").is_none());
+        assert_eq!(hit.len() + c.missed_branches().count(), c.branches.len());
     }
 
     #[test]

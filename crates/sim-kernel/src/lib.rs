@@ -51,7 +51,7 @@ mod time;
 mod trace;
 
 pub use clock::ClockId;
-pub use coverage::{ActivityCoverage, BranchId, ProcessActivity};
+pub use coverage::{ActivityCoverage, BranchActivity, BranchId, ProcessActivity};
 pub use error::SimError;
 pub use logic::{Bits, Logic, LogicVec};
 pub use process::{Edge, ProcCtx, ProcessId};

@@ -93,6 +93,13 @@ impl OpKind {
         OpKind::Flush,
         OpKind::Purge,
     ];
+
+    /// The kind whose [`fmt::Display`] mnemonic is `s` (`"LD"`, `"ST"`,
+    /// …); the inverse used when machine-readable reports (for example a
+    /// recorded `closure.json` recipe) are parsed back.
+    pub fn parse(s: &str) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|k| k.to_string() == s)
+    }
 }
 
 impl fmt::Display for OpKind {
@@ -259,6 +266,15 @@ mod tests {
         }
         assert_eq!(TransferSize::from_bytes(3), None);
         assert_eq!(TransferSize::from_bytes(128), None);
+    }
+
+    #[test]
+    fn kind_parse_round_trips_the_mnemonic() {
+        for k in OpKind::ALL {
+            assert_eq!(OpKind::parse(&k.to_string()), Some(k));
+        }
+        assert_eq!(OpKind::parse("LOAD"), None);
+        assert_eq!(OpKind::parse(""), None);
     }
 
     #[test]

@@ -179,6 +179,56 @@ impl ProbePoint {
         }
     }
 
+    /// The full branch label the kernel registers for this probe point
+    /// (`"node/<name>"`); this is the string that appears in
+    /// [`sim_kernel::ActivityCoverage`] reports and that waiver files
+    /// must cite.
+    pub fn branch_name(self) -> String {
+        format!("node/{}", self.name())
+    }
+
+    /// The probe point whose [`ProbePoint::branch_name`] is `branch`, if
+    /// any — the reverse lookup waiver validation runs on every entry.
+    pub fn from_branch_name(branch: &str) -> Option<ProbePoint> {
+        let name = branch.strip_prefix("node/")?;
+        ProbePoint::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// The stable identifier of the structural-reachability predicate
+    /// guarding this branch — the reference a waiver must cite to justify
+    /// the branch in configurations where [`ProbePoint::reachable_in`]
+    /// evaluates false. Always-reachable branches carry the `"always"`
+    /// predicate, which can never justify a waiver.
+    pub fn predicate_id(self) -> &'static str {
+        match self {
+            ProbePoint::LaneSaturated => "lane-limited",
+            ProbePoint::FifoFull => "pipelined",
+            ProbePoint::OrderHold => "in-order-protocol",
+            ProbePoint::OooContention => "out-of-order-protocol",
+            ProbePoint::ChunkFiltered => "split-transactions",
+            ProbePoint::ProgApplied => "prog-port",
+            ProbePoint::ArbitrationLoss => "multi-initiator",
+            _ => "always",
+        }
+    }
+
+    /// Human-readable statement of [`ProbePoint::predicate_id`] — the
+    /// structural condition under which the branch can execute at all.
+    pub fn predicate_description(self) -> &'static str {
+        match self {
+            ProbePoint::LaneSaturated => {
+                "the architecture routes fewer concurrent lanes than targets"
+            }
+            ProbePoint::FifoFull => "the node has a pipelined input FIFO (pipe_depth > 0)",
+            ProbePoint::OrderHold => "the protocol forbids out-of-order responses",
+            ProbePoint::OooContention => "the protocol allows out-of-order responses",
+            ProbePoint::ChunkFiltered => "the protocol splits transactions (chunk locking)",
+            ProbePoint::ProgApplied => "the node exposes a programming port",
+            ProbePoint::ArbitrationLoss => "more than one initiator contends",
+            _ => "reachable in every configuration",
+        }
+    }
+
     /// A short name for coverage reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -1330,6 +1380,22 @@ mod tests {
             plan.outputs.initiator[1].gnt,
             "interloper granted mid-chunk"
         );
+    }
+
+    #[test]
+    fn branch_names_round_trip_and_predicates_agree_with_reachability() {
+        for p in ProbePoint::ALL {
+            assert_eq!(ProbePoint::from_branch_name(&p.branch_name()), Some(p));
+            assert!(!p.predicate_id().is_empty());
+            assert!(!p.predicate_description().is_empty());
+            // An "always" predicate means the branch is reachable in every
+            // configuration — spot-check against the reference node.
+            if p.predicate_id() == "always" {
+                assert!(p.reachable_in(&NodeConfig::reference()));
+            }
+        }
+        assert_eq!(ProbePoint::from_branch_name("node/nonexistent"), None);
+        assert_eq!(ProbePoint::from_branch_name("fifo_full"), None);
     }
 
     #[test]
