@@ -1,20 +1,28 @@
-//! Regression-campaign throughput: serial vs parallel wall-clock.
+//! Regression-campaign throughput: wall-clock across a worker-count
+//! sweep.
 //!
-//! Runs the same `{config × test × seed}` campaign twice — once with
-//! `jobs = 1` (the serial baseline) and once with `jobs = N` (default:
-//! one worker per hardware thread) — verifies the two reports are
-//! identical modulo timings, and writes `BENCH_regression.json`:
+//! Runs the same `{config × test × seed}` campaign once per entry of the
+//! jobs sweep — `1` (the serial baseline), `2`, `4`, and `0` (auto: one
+//! worker per hardware thread) — verifies every report is identical to
+//! the serial one modulo timings, and writes `BENCH_regression.json`
+//! (schema `stbus-bench-regression/2`):
 //!
 //! ```text
 //! regression_throughput [--configs N] [--seeds N] [--intensity N]
-//!                       [--jobs N] [--out PATH]
+//!                       [--jobs N] [--out PATH] [--history-dir DIR]
+//!                       [--no-history]
 //! ```
 //!
-//! The JSON records the campaign shape, both wall-clocks and the speedup
-//! ratio, so the performance trajectory of the regression engine is
-//! machine-readable across revisions. On an M-core host the expected
-//! speedup of the default 8-configuration campaign is close to
-//! `min(M, cells)×`; a 1-core container reads ~1×.
+//! `--jobs N` replaces the sweep with the single worker count N. The
+//! JSON records the campaign shape, the host (core count), and one
+//! `{jobs, wall_us, speedup}` entry per sweep point, so the performance
+//! trajectory of the regression engine is machine-readable across
+//! revisions. Each sweep point also appends a `source: "bench"` record
+//! to the persistent campaign history (`.stbus/history.jsonl`, see the
+//! `stbus-regress history` subcommand), making bench runs part of the
+//! same trend the CLI inspects. On an M-core host the expected speedup
+//! of the default 8-configuration campaign approaches `min(M, cells)×`;
+//! a 1-core container reads ~1× everywhere.
 
 use regression::{run_regression, standard_configs, RegressionOptions};
 use telemetry::Json;
@@ -24,8 +32,10 @@ fn main() {
     let mut n_configs = 8usize;
     let mut n_seeds = 2u64;
     let mut intensity = 10usize;
-    let mut jobs = 0usize;
+    let mut jobs_override: Option<usize> = None;
     let mut out = "BENCH_regression.json".to_owned();
+    let mut history_dir = ".".to_owned();
+    let mut no_history = false;
     while let Some(arg) = args.next() {
         let mut take = |what: &str| {
             args.next()
@@ -39,11 +49,13 @@ fn main() {
             "--configs" => n_configs = take("--configs") as usize,
             "--seeds" => n_seeds = take("--seeds"),
             "--intensity" => intensity = take("--intensity") as usize,
-            "--jobs" => jobs = take("--jobs") as usize,
+            "--jobs" => jobs_override = Some(take("--jobs") as usize),
             "--out" => out = args.next().unwrap_or(out),
+            "--history-dir" => history_dir = args.next().unwrap_or(history_dir),
+            "--no-history" => no_history = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: regression_throughput [--configs N] [--seeds N] [--intensity N] [--jobs N] [--out PATH]"
+                    "usage: regression_throughput [--configs N] [--seeds N] [--intensity N] [--jobs N] [--out PATH] [--history-dir DIR] [--no-history]"
                 );
                 return;
             }
@@ -62,8 +74,8 @@ fn main() {
         catg::tests_lib::random_mixed(intensity),
     ];
     // Each campaign gets its own options — and with them a fresh default
-    // telemetry/metrics registry, so the second run's manifest does not
-    // accumulate the first run's counters.
+    // telemetry/metrics registry, so no run's manifest accumulates a
+    // previous run's counters.
     let mk_opts = |jobs: usize| RegressionOptions {
         seeds: (1..=n_seeds).collect(),
         intensity,
@@ -72,42 +84,114 @@ fn main() {
     };
     let n_cell_seeds = n_seeds as usize;
     let cells = configs.len() * tests.len() * n_cell_seeds;
-    let parallel_jobs = exec::resolve_jobs(jobs);
+    // The sweep: serial baseline first, then growing pools, then auto.
+    // Duplicates (e.g. auto resolving to 1, 2 or 4) are dropped.
+    let jobs_sweep: Vec<usize> = match jobs_override {
+        Some(n) => {
+            if n == 1 {
+                vec![1]
+            } else {
+                vec![1, n]
+            }
+        }
+        None => {
+            let mut sweep = vec![1usize, 2, 4, 0];
+            let mut seen = std::collections::BTreeSet::new();
+            sweep.retain(|&j| seen.insert(exec::resolve_jobs(j)));
+            sweep
+        }
+    };
     eprintln!(
-        "regression_throughput: {} configs x {} tests x {} seeds = {cells} cells, {} hardware threads",
+        "regression_throughput: {} configs x {} tests x {} seeds = {cells} cells, {} hardware threads, jobs sweep {:?}",
         configs.len(),
         tests.len(),
         n_cell_seeds,
         exec::available_parallelism(),
+        jobs_sweep.iter().map(|&j| exec::resolve_jobs(j)).collect::<Vec<_>>(),
     );
 
-    let mut serial = run_regression(configs, &tests, &mk_opts(1));
-    let serial_us = serial.wall_us;
-    eprintln!("  serial   (jobs=1)  {:>9} us", serial_us);
+    // The content key ties every sweep point (and any later re-run of the
+    // same shape) to one comparable history line.
+    let mut key_parts: Vec<String> = vec![format!("engine:{}", env!("CARGO_PKG_VERSION"))];
+    key_parts.extend(configs.iter().map(|c| format!("config:{c:?}")));
+    key_parts.extend(tests.iter().map(|t| format!("test:{}", t.name)));
+    key_parts.push(format!("intensity:{intensity}"));
+    key_parts.push(format!("seeds:1..={n_seeds}"));
+    key_parts.push("bench:throughput".to_owned());
+    let content_key = profile::content_key(&key_parts);
+    let store = profile::HistoryStore::in_dir(std::path::Path::new(&history_dir));
 
-    let mut parallel = run_regression(configs, &tests, &mk_opts(parallel_jobs));
-    let parallel_us = parallel.wall_us;
-    eprintln!("  parallel (jobs={parallel_jobs}) {:>9} us", parallel_us);
+    let mut serial_stripped: Option<String> = None;
+    let mut serial_us = 0u64;
+    let mut runs: Vec<Json> = Vec::new();
+    let mut last_report = None;
+    for &jobs in &jobs_sweep {
+        let resolved = exec::resolve_jobs(jobs);
+        let mut report = run_regression(configs, &tests, &mk_opts(jobs));
+        let wall_us = report.wall_us;
+        report.strip_timings();
+        let manifest = report.manifest_json().render_pretty();
+        // A throughput number is only meaningful if every run did the
+        // same work and reached the same verdicts.
+        match &serial_stripped {
+            None => {
+                serial_stripped = Some(manifest);
+                serial_us = wall_us;
+            }
+            Some(baseline) => assert_eq!(
+                baseline, &manifest,
+                "jobs={resolved} campaign diverged from the serial baseline"
+            ),
+        }
+        let speedup = if wall_us == 0 {
+            1.0
+        } else {
+            serial_us as f64 / wall_us as f64
+        };
+        eprintln!("  jobs={resolved:<3} {wall_us:>9} us  speedup {speedup:.2}x");
+        runs.push(Json::obj([
+            ("jobs", Json::from(resolved)),
+            ("wall_us", Json::from(wall_us)),
+            ("speedup", Json::from(speedup)),
+        ]));
+        if !no_history {
+            let record = profile::HistoryRecord {
+                key: content_key.clone(),
+                source: "bench".to_owned(),
+                engine_version: env!("CARGO_PKG_VERSION").to_owned(),
+                recorded_unix: std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0),
+                host: profile::HostInfo::current(resolved as u64),
+                shape: profile::CampaignShape {
+                    configs: configs.len() as u64,
+                    tests: tests.len() as u64,
+                    seeds: n_cell_seeds as u64,
+                    intensity: intensity as u64,
+                    cells: cells as u64,
+                },
+                wall_us,
+                // The bench campaign runs with telemetry disabled (no
+                // per-phase attribution): the record carries the total
+                // only, which is what the throughput trend compares.
+                phases: Default::default(),
+                passed: report.configs.iter().all(|c| c.all_passed()),
+            };
+            if let Err(e) = store.append(&record) {
+                eprintln!("cannot append history at {}: {e}", store.path().display());
+            }
+        }
+        last_report = Some(report);
+    }
+    let last_report = last_report.expect("sweep is never empty");
 
-    // A throughput number is only meaningful if both runs did the same
-    // work and reached the same verdicts.
-    serial.strip_timings();
-    parallel.strip_timings();
-    assert_eq!(
-        serial.manifest_json().render_pretty(),
-        parallel.manifest_json().render_pretty(),
-        "serial and parallel campaigns diverged"
-    );
-
-    let speedup = if parallel_us == 0 {
-        1.0
-    } else {
-        serial_us as f64 / parallel_us as f64
-    };
-    eprintln!("  speedup  {speedup:.2}x");
-
+    let best_speedup = runs
+        .iter()
+        .filter_map(|r| r.get("speedup").and_then(Json::as_f64))
+        .fold(1.0f64, f64::max);
     let json = Json::obj([
-        ("schema", Json::from("stbus-bench-regression/1")),
+        ("schema", Json::from("stbus-bench-regression/2")),
         ("benchmark", Json::from("regression_throughput")),
         ("configs", Json::from(configs.len())),
         ("tests", Json::from(tests.len())),
@@ -115,16 +199,20 @@ fn main() {
         ("intensity", Json::from(intensity)),
         ("cells", Json::from(cells)),
         (
-            "hardware_threads",
-            Json::from(exec::available_parallelism()),
+            "host",
+            Json::obj([
+                ("cores", Json::from(exec::available_parallelism())),
+                ("os", Json::from(std::env::consts::OS)),
+                ("arch", Json::from(std::env::consts::ARCH)),
+            ]),
         ),
+        ("content_key", Json::from(content_key)),
         ("serial_wall_us", Json::from(serial_us)),
-        ("parallel_jobs", Json::from(parallel_jobs)),
-        ("parallel_wall_us", Json::from(parallel_us)),
-        ("speedup", Json::from(speedup)),
+        ("runs", Json::Arr(runs)),
+        ("best_speedup", Json::from(best_speedup)),
         (
             "signed_off_configs",
-            Json::from(parallel.signed_off_count()),
+            Json::from(last_report.signed_off_count()),
         ),
         ("reports_identical", Json::from(true)),
     ]);
@@ -132,5 +220,5 @@ fn main() {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1);
     }
-    println!("{out}: {:.2}x speedup over {cells} cells", speedup);
+    println!("{out}: best speedup {best_speedup:.2}x over {cells} cells");
 }

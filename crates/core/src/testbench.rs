@@ -174,6 +174,14 @@ impl Testbench {
         let cfg = &self.config;
         let tel = &self.options.telemetry;
         let started = Instant::now();
+        // Phase attribution (drive / settle / check / vcd) costs four
+        // clock reads per cycle, so it is gated on telemetry being live:
+        // a disabled handle keeps the hot loop clock-free.
+        let profiling = tel.is_enabled();
+        let mut phase_drive = std::time::Duration::ZERO;
+        let mut phase_settle = std::time::Duration::ZERO;
+        let mut phase_check = std::time::Duration::ZERO;
+        let mut phase_vcd = std::time::Duration::ZERO;
         let span = tel
             .span("tb.run")
             .field("test", Json::from(spec.name.as_str()))
@@ -217,6 +225,7 @@ impl Testbench {
         let mut cycle = 0u64;
         let mut completed = false;
         while cycle < self.options.max_cycles {
+            let mark = profiling.then(Instant::now);
             let mut inputs = DutInputs::idle(cfg);
             for (i, h) in harnesses.iter_mut().enumerate() {
                 inputs.initiator[i] = h.drive(cycle);
@@ -235,7 +244,17 @@ impl Testbench {
                 }
             }
 
+            let mark = mark.map(|t| {
+                let now = Instant::now();
+                phase_drive += now - t;
+                now
+            });
             let outputs = dut.step(&inputs);
+            let mark = mark.map(|t| {
+                let now = Instant::now();
+                phase_settle += now - t;
+                now
+            });
             let rec = CycleRecord {
                 cycle,
                 inputs,
@@ -294,8 +313,16 @@ impl Testbench {
                     _ => {}
                 }
             }
+            let mark = mark.map(|t| {
+                let now = Instant::now();
+                phase_check += now - t;
+                now
+            });
             if let Some(v) = &mut vcd {
                 v.record(&rec);
+            }
+            if let Some(t) = mark {
+                phase_vcd += t.elapsed();
             }
 
             cycle += 1;
@@ -309,6 +336,14 @@ impl Testbench {
         }
 
         let transactions = harnesses.iter().map(|h| h.stats().completed).sum();
+        let vcd_text = vcd.map(|v| {
+            let t = profiling.then(Instant::now);
+            let text = v.finish();
+            if let Some(t) = t {
+                phase_vcd += t.elapsed();
+            }
+            text
+        });
         let result = RunResult {
             test: spec.name.clone(),
             seed,
@@ -325,7 +360,7 @@ impl Testbench {
                 .collect(),
             completed,
             transactions,
-            vcd: vcd.map(VcdDump::finish),
+            vcd: vcd_text,
         };
 
         let wall = started.elapsed();
@@ -368,6 +403,15 @@ impl Testbench {
                 Json::from(result.coverage.coverage() * 100.0),
             ),
             ("passed", Json::from(result.passed())),
+            // Phase attribution for the span-tree profiler: these become
+            // synthetic `phase:*` children of the tb.run node.
+            ("phase_drive_us", Json::from(phase_drive.as_micros() as u64)),
+            (
+                "phase_settle_us",
+                Json::from(phase_settle.as_micros() as u64),
+            ),
+            ("phase_check_us", Json::from(phase_check.as_micros() as u64)),
+            ("phase_vcd_us", Json::from(phase_vcd.as_micros() as u64)),
             (
                 "checker_rules",
                 Json::obj(
@@ -457,6 +501,14 @@ mod tests {
             Some(result.transactions)
         );
         assert!(end.field("cycles_per_sec").is_some());
+        for phase in ["drive", "settle", "check", "vcd"] {
+            assert!(
+                end.field(&format!("phase_{phase}_us"))
+                    .and_then(telemetry::Json::as_u64)
+                    .is_some(),
+                "phase_{phase}_us missing"
+            );
+        }
         assert_eq!(
             end.field("passed").and_then(telemetry::Json::as_bool),
             Some(true)

@@ -1,0 +1,305 @@
+//! Chrome `trace_event` export — profiles loadable in Perfetto or
+//! `chrome://tracing`.
+//!
+//! Each telemetry track becomes one trace thread row; every span emits a
+//! `B`/`E` duration-event pair on its track, generated from the
+//! reconstructed call trees so pairing and nesting are correct by
+//! construction (child `B` after parent `B`, child `E` before parent
+//! `E`, timestamps non-decreasing per thread). Synthetic `phase:*`
+//! blocks from span phase annotations are laid out back-to-back inside
+//! their parent — attribution, not measured intervals, so they only
+//! appear on leaf spans where they cannot collide with real children.
+//!
+//! [`validate_trace`] re-checks an exported (or re-parsed) document:
+//! per-thread B/E stack discipline, name matching, and monotonic
+//! timestamps — the structural contract downstream viewers rely on.
+
+use crate::span_tree::{build_forest, SpanNode, SpanRecord};
+use telemetry::Json;
+
+/// Pretty process id used for every event (one process: the campaign).
+const PID: u64 = 1;
+
+fn meta(name: &str, tid: u64, value: &str) -> Json {
+    Json::obj([
+        ("ph", Json::str("M")),
+        ("pid", Json::from(PID)),
+        ("tid", Json::from(tid)),
+        ("name", Json::str(name)),
+        ("args", Json::obj([("name", Json::str(value))])),
+    ])
+}
+
+fn begin(name: &str, tid: u64, ts: u64, args: &[(String, Json)]) -> Json {
+    Json::obj([
+        ("ph", Json::str("B")),
+        ("pid", Json::from(PID)),
+        ("tid", Json::from(tid)),
+        ("ts", Json::from(ts)),
+        ("name", Json::str(name)),
+        ("cat", Json::str("span")),
+        (
+            "args",
+            Json::Obj(args.iter().map(|(k, v)| (k.clone(), v.clone())).collect()),
+        ),
+    ])
+}
+
+fn end(name: &str, tid: u64, ts: u64) -> Json {
+    Json::obj([
+        ("ph", Json::str("E")),
+        ("pid", Json::from(PID)),
+        ("tid", Json::from(tid)),
+        ("ts", Json::from(ts)),
+        ("name", Json::str(name)),
+        ("cat", Json::str("span")),
+    ])
+}
+
+fn emit_node(node: &SpanNode, tid: u64, out: &mut Vec<Json>) {
+    let span = &node.span;
+    out.push(begin(&span.name, tid, span.start_us, &span.fields));
+    if node.children.is_empty() {
+        // Attribution blocks: sequential from the span's start, clamped
+        // to its extent.
+        let mut cursor = span.start_us;
+        for (phase, us) in span.phases() {
+            let len = us.min(span.end_us - cursor);
+            if len == 0 {
+                continue;
+            }
+            let name = format!("phase:{phase}");
+            out.push(begin(&name, tid, cursor, &[]));
+            cursor += len;
+            out.push(end(&name, tid, cursor));
+        }
+    } else {
+        for child in &node.children {
+            emit_node(child, tid, out);
+        }
+    }
+    out.push(end(&span.name, tid, span.end_us));
+}
+
+/// Exports a span set as one Chrome `trace_event` JSON document
+/// (`{"traceEvents": [...]}` object form).
+///
+/// Tracks are renumbered to dense thread ids in first-seen (ascending
+/// track) order; tid 0 — the earliest-created thread, normally the main
+/// one — is labeled `main`, the rest `worker-<n>`.
+pub fn trace_json(spans: &[SpanRecord]) -> Json {
+    let forest = build_forest(spans.to_vec());
+    let mut events: Vec<Json> = vec![Json::obj([
+        ("ph", Json::str("M")),
+        ("pid", Json::from(PID)),
+        ("name", Json::str("process_name")),
+        ("args", Json::obj([("name", Json::str("stbus-campaign"))])),
+    ])];
+    for (tid, (track, roots)) in forest.iter().enumerate() {
+        let tid = tid as u64;
+        let label = if tid == 0 {
+            "main".to_owned()
+        } else {
+            format!("worker-{tid}")
+        };
+        events.push(meta(
+            "thread_name",
+            tid,
+            &format!("{label} (track {track})"),
+        ));
+        for node in roots {
+            emit_node(node, tid, &mut events);
+        }
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+        (
+            "otherData",
+            Json::obj([("generator", Json::str("stbus-profile"))]),
+        ),
+    ])
+}
+
+/// Summary of a validated trace document.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total `B`/`E` duration events.
+    pub duration_events: u64,
+    /// Distinct thread ids.
+    pub threads: u64,
+    /// Deepest nesting observed on any thread.
+    pub max_depth: u64,
+}
+
+/// Checks the structural contract of a `trace_event` document: every `B`
+/// is closed by an `E` with the same name on the same thread (stack
+/// discipline), timestamps never decrease within a thread, and no stack
+/// is left open at the end.
+///
+/// # Errors
+///
+/// A description of the first violation.
+pub fn validate_trace(doc: &Json) -> Result<TraceStats, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+    let mut last_ts: std::collections::BTreeMap<u64, u64> = Default::default();
+    let mut stats = TraceStats::default();
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue;
+        }
+        if ph != "B" && ph != "E" {
+            return Err(format!("event {i}: unexpected phase `{ph}`"));
+        }
+        let tid = event
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        let ts = event
+            .get("ts")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i}: timestamp {ts} goes backwards on tid {tid} (was {prev})"
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+        stats.duration_events += 1;
+        let stack = stacks.entry(tid).or_default();
+        if ph == "B" {
+            stack.push(name.to_owned());
+            stats.max_depth = stats.max_depth.max(stack.len() as u64);
+        } else {
+            let open = stack
+                .pop()
+                .ok_or_else(|| format!("event {i}: E `{name}` on tid {tid} with empty stack"))?;
+            if open != name {
+                return Err(format!(
+                    "event {i}: E `{name}` closes B `{open}` on tid {tid}"
+                ));
+            }
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("tid {tid}: span `{open}` never closed"));
+        }
+    }
+    stats.threads = stacks.len() as u64;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, track: u64, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_owned(),
+            track,
+            start_us: start,
+            end_us: end,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_and_validates() {
+        let mut leaf = span("tb.run", 3, 30, 90);
+        leaf.fields
+            .push(("phase_settle_us".into(), Json::from(40u64)));
+        leaf.fields
+            .push(("phase_drive_us".into(), Json::from(100u64))); // over-long: clamped
+        let spans = vec![
+            span("campaign", 0, 0, 200),
+            span("cell", 3, 10, 100),
+            leaf,
+            span("cell", 5, 20, 150),
+        ];
+        let doc = trace_json(&spans);
+        // The document must survive its own wire format.
+        let parsed = Json::parse(&doc.render()).expect("valid JSON");
+        let stats = validate_trace(&parsed).expect("structurally sound");
+        // 4 real spans + 2 phase blocks, B and E each.
+        assert_eq!(stats.duration_events, 12);
+        assert_eq!(stats.threads, 3);
+        assert_eq!(stats.max_depth, 3);
+        assert_eq!(
+            parsed.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms")
+        );
+    }
+
+    #[test]
+    fn validate_rejects_broken_nesting() {
+        let bad = Json::obj([(
+            "traceEvents",
+            Json::Arr(vec![
+                Json::obj([
+                    ("ph", Json::str("B")),
+                    ("tid", Json::from(0u64)),
+                    ("ts", Json::from(0u64)),
+                    ("name", Json::str("a")),
+                ]),
+                Json::obj([
+                    ("ph", Json::str("E")),
+                    ("tid", Json::from(0u64)),
+                    ("ts", Json::from(5u64)),
+                    ("name", Json::str("mismatched")),
+                ]),
+            ]),
+        )]);
+        assert!(validate_trace(&bad).unwrap_err().contains("closes B"));
+    }
+
+    #[test]
+    fn validate_rejects_backwards_time_and_unclosed_spans() {
+        let backwards = Json::obj([(
+            "traceEvents",
+            Json::Arr(vec![
+                Json::obj([
+                    ("ph", Json::str("B")),
+                    ("tid", Json::from(0u64)),
+                    ("ts", Json::from(10u64)),
+                    ("name", Json::str("a")),
+                ]),
+                Json::obj([
+                    ("ph", Json::str("E")),
+                    ("tid", Json::from(0u64)),
+                    ("ts", Json::from(3u64)),
+                    ("name", Json::str("a")),
+                ]),
+            ]),
+        )]);
+        assert!(validate_trace(&backwards)
+            .unwrap_err()
+            .contains("backwards"));
+        let unclosed = Json::obj([(
+            "traceEvents",
+            Json::Arr(vec![Json::obj([
+                ("ph", Json::str("B")),
+                ("tid", Json::from(0u64)),
+                ("ts", Json::from(0u64)),
+                ("name", Json::str("a")),
+            ])]),
+        )]);
+        assert!(validate_trace(&unclosed)
+            .unwrap_err()
+            .contains("never closed"));
+    }
+}

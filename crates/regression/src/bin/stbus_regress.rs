@@ -4,8 +4,11 @@
 //! stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N]
 //!               [--jobs N] [--deterministic] [--no-compare] [--exact]
 //!               [--log-format text|json] [--log-file PATH] [--quiet]
+//!               [--profile] [--trace-out FILE] [--no-history]
+//!               [--history-dir DIR]
 //!               [--qualify] [--close-coverage] [--batch N] [--budget N]
 //!               [--signoff] [--waivers FILE] [--from-closure FILE]
+//! stbus-regress history [--baseline N] [--max-regression PCT] [--dir DIR]
 //! ```
 //!
 //! With `--configs <dir>`, every `*.cfg` text file in the directory is
@@ -63,6 +66,28 @@
 //! the JSONL event stream to a file as well, and `--quiet` silences
 //! stderr (the file sink, when given, still receives everything). The
 //! final result table and the sign-off line stay on stdout either way.
+//!
+//! `--profile` prints the aggregated span-tree profile of the campaign
+//! after the table: per-node total/self wall-clock, call counts and
+//! min/max/mean, with kernel settle / testbench drive / VCD write /
+//! checking time attributed per configuration cell through the
+//! testbench's phase annotations, and STBA compare / coverage-merge time
+//! through their own spans. With `--out`, `profile.txt` and
+//! `profile.folded` (flamegraph folded-stacks) land in the report
+//! directory; `--deterministic` strips the timings so the printed tree
+//! shape is byte-identical for any `--jobs`. `--trace-out FILE` writes
+//! the same spans as Chrome `trace_event` JSON (one thread row per
+//! worker), loadable in Perfetto or `chrome://tracing`.
+//!
+//! Every regression campaign also appends one record to the persistent
+//! history store `.stbus/history.jsonl` (`--history-dir` relocates the
+//! store root, `--no-history` opts out): per-phase wall-clock, the
+//! campaign shape, host info, and a content key hashing the
+//! configuration matrix + test library + engine version. The `history`
+//! subcommand prints the trend table and compares the latest record
+//! against the `--baseline`-th prior record with the *same* content key
+//! (default: the immediately preceding matching run), exiting nonzero
+//! when any phase slowed beyond `--max-regression` percent (default 20).
 
 use stbus_bca::Fidelity;
 use stbus_protocol::NodeConfig;
@@ -70,7 +95,11 @@ use stbus_regression::{parse_config, run_regression, standard_configs, Regressio
 use telemetry::{Json, JsonlSink, Level, Telemetry, TextSink};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("history") {
+        run_history(&argv[1..]);
+    }
+    let mut args = argv.into_iter();
     let mut config_dir: Option<String> = None;
     let mut out_dir: Option<String> = None;
     let mut options = RegressionOptions::default();
@@ -89,6 +118,10 @@ fn main() {
     let mut closure_opts = cdg::ClosureOptions::default();
     let mut seeds_given = false;
     let mut intensity_given = false;
+    let mut profile_flag = false;
+    let mut trace_out: Option<String> = None;
+    let mut no_history = false;
+    let mut history_dir = ".".to_owned();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--qualify" => qualify = true,
@@ -149,9 +182,21 @@ fn main() {
             }
             "--log-file" => log_file = args.next(),
             "--quiet" => quiet = true,
+            "--profile" => profile_flag = true,
+            "--trace-out" => trace_out = args.next(),
+            "--no-history" => no_history = true,
+            "--history-dir" => {
+                history_dir = match args.next() {
+                    Some(d) => d,
+                    None => {
+                        eprintln!("--history-dir takes a directory");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--deterministic] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet] [--qualify] [--close-coverage] [--batch N] [--budget N] [--signoff] [--waivers FILE] [--from-closure FILE]"
+                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--deterministic] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet] [--profile] [--trace-out FILE] [--no-history] [--history-dir DIR] [--qualify] [--close-coverage] [--batch N] [--budget N] [--signoff] [--waivers FILE] [--from-closure FILE]\n       stbus-regress history [--baseline N] [--max-regression PCT] [--dir DIR]"
                 );
                 return;
             }
@@ -171,6 +216,20 @@ fn main() {
             builder.with_sink(Box::new(TextSink::stderr()))
         };
     }
+    // Regression mode replays its own event stream through the span-tree
+    // profiler (for --profile / --trace-out and for the per-phase history
+    // record), so it captures events in memory regardless of --quiet.
+    let capture_events = !qualify
+        && !close_coverage
+        && !signoff_mode
+        && (profile_flag || trace_out.is_some() || !no_history);
+    let capture_handle = if capture_events {
+        let (sink, handle) = telemetry::MemorySink::new();
+        builder = builder.with_sink(Box::new(sink));
+        Some(handle)
+    } else {
+        None
+    };
     if let Some(path) = &log_file {
         builder = match builder.with_jsonl_file(std::path::Path::new(path)) {
             Ok(b) => b,
@@ -466,8 +525,8 @@ fn main() {
         report.strip_timings();
     }
     println!("{}", report.table());
-    if let Some(out) = out_dir {
-        let path = std::path::Path::new(&out);
+    if let Some(out) = &out_dir {
+        let path = std::path::Path::new(out);
         match report.write_reports(path) {
             Ok(()) => tel.info(
                 "regress.reports",
@@ -481,10 +540,190 @@ fn main() {
             ),
         }
     }
+
+    if let Some(handle) = &capture_handle {
+        let spans = profile::collect_spans(&handle.events());
+        let phases =
+            profile::build_profile(&spans, &profile::ProfileOptions::default()).phase_totals();
+        if !no_history {
+            let mut parts: Vec<String> = vec![format!("engine:{}", env!("CARGO_PKG_VERSION"))];
+            parts.extend(configs.iter().map(|c| format!("config:{c:?}")));
+            parts.extend(tests.iter().map(|t| format!("test:{}", t.name)));
+            parts.push(format!("intensity:{}", options.intensity));
+            parts.push(format!("seeds:{:?}", options.seeds));
+            parts.push(format!("fidelity:{:?}", options.fidelity));
+            parts.push(format!("compare:{}", options.compare_waveforms));
+            let record = profile::HistoryRecord {
+                key: profile::content_key(&parts),
+                source: "regress".to_owned(),
+                engine_version: env!("CARGO_PKG_VERSION").to_owned(),
+                recorded_unix: std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0),
+                host: profile::HostInfo::current(exec::resolve_jobs(options.jobs) as u64),
+                shape: profile::CampaignShape {
+                    configs: configs.len() as u64,
+                    tests: tests.len() as u64,
+                    seeds: options.seeds.len() as u64,
+                    intensity: options.intensity as u64,
+                    cells: (configs.len() * tests.len() * options.seeds.len()) as u64,
+                },
+                wall_us: report.wall_us,
+                phases,
+                passed: report.configs.iter().all(|c| c.all_passed()),
+            };
+            let store = profile::HistoryStore::in_dir(std::path::Path::new(&history_dir));
+            match store.append(&record) {
+                Ok(()) => tel.info(
+                    "regress.history",
+                    "campaign history appended",
+                    [
+                        ("path", Json::from(store.path().display().to_string())),
+                        ("key", Json::from(record.key.clone())),
+                    ],
+                ),
+                Err(e) => tel.warn(
+                    "regress.history",
+                    "cannot append campaign history",
+                    [("error", Json::from(e.to_string()))],
+                ),
+            }
+        }
+        if profile_flag {
+            let mut prof = profile::build_profile(
+                &spans,
+                &profile::ProfileOptions {
+                    group_by: vec!["config".to_owned()],
+                },
+            );
+            if deterministic {
+                prof.strip_timings();
+            }
+            let text = prof.render_text();
+            print!("{text}");
+            if let Some(out) = &out_dir {
+                let dir = std::path::Path::new(out);
+                let write = std::fs::write(dir.join("profile.txt"), &text).and_then(|()| {
+                    std::fs::write(dir.join("profile.folded"), prof.render_folded())
+                });
+                if let Err(e) = write {
+                    tel.error(
+                        "regress.profile",
+                        "cannot write profile artifacts",
+                        [("error", Json::from(e.to_string()))],
+                    );
+                }
+            }
+        }
+        if let Some(path) = &trace_out {
+            let doc = profile::trace_json(&spans);
+            match std::fs::write(path, doc.render()) {
+                Ok(()) => tel.info(
+                    "regress.trace",
+                    "Chrome trace written",
+                    [("path", Json::from(path.clone()))],
+                ),
+                Err(e) => {
+                    eprintln!("cannot write trace to {path}: {e}");
+                    tel.flush();
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
     tel.flush();
     println!(
         "{} of {} configurations signed off (all checks green, full functional coverage, >=99% alignment)",
         report.signed_off_count(),
         report.configs.len()
     );
+}
+
+/// The `history` subcommand: trend table plus a comparison of the latest
+/// record against the Nth prior record sharing its content key.
+fn run_history(args: &[String]) -> ! {
+    let mut baseline_n = 1usize;
+    let mut max_pct = 20.0f64;
+    let mut dir = ".".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline_n = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--baseline takes a positive record offset");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--max-regression" => {
+                i += 1;
+                max_pct = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(p) if p >= 0.0 => p,
+                    _ => {
+                        eprintln!("--max-regression takes a percentage");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--dir" => {
+                i += 1;
+                dir = match args.get(i) {
+                    Some(d) => d.clone(),
+                    None => {
+                        eprintln!("--dir takes a directory");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: stbus-regress history [--baseline N] [--max-regression PCT] [--dir DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let store = profile::HistoryStore::in_dir(std::path::Path::new(&dir));
+    let records = store.load();
+    if records.is_empty() {
+        println!("no campaign history at {}", store.path().display());
+        std::process::exit(0);
+    }
+    let latest = records.len() - 1;
+    let key = records[latest].key.clone();
+    let baseline_index = records[..latest]
+        .iter()
+        .enumerate()
+        .rev()
+        .filter(|(_, r)| r.key == key)
+        .nth(baseline_n.saturating_sub(1))
+        .map(|(i, _)| i);
+    print!("{}", profile::render_trend(&records, baseline_index));
+    let Some(b) = baseline_index else {
+        println!("\nno prior record with content key {key}; nothing to compare");
+        std::process::exit(0);
+    };
+    let cmp = profile::compare_records(&records[latest], &records[b], max_pct);
+    println!(
+        "\nlatest (#{latest}) vs baseline (#{b}), content key {key}, threshold {max_pct:.0}%:"
+    );
+    print!("{}", profile::render_comparison(&cmp, max_pct));
+    if cmp.regressions.is_empty() {
+        std::process::exit(0);
+    }
+    eprintln!(
+        "{} phase(s) regressed beyond {max_pct:.0}%",
+        cmp.regressions.len()
+    );
+    std::process::exit(1);
 }

@@ -393,6 +393,7 @@ pub fn run_regression(
     // and structural coverage in the same (test, seed) order the serial
     // runner used keeps every aggregate bit-identical.
     let per_config = tests.len() * options.seeds.len();
+    let assemble_span = tel.span("regress.assemble");
     let mut report = RegressionReport::default();
     let mut results = results.into_iter();
     for (config_idx, config) in configs.iter().enumerate() {
@@ -438,6 +439,7 @@ pub fn run_regression(
         );
         report.configs.push(outcome);
     }
+    assemble_span.end([("configs", Json::from(configs.len()))]);
     report.wall_us = campaign_started.elapsed().as_micros() as u64;
     report.metrics = tel.metrics().snapshot();
     campaign_span.end([

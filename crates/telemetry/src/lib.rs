@@ -59,6 +59,21 @@ use std::time::Instant;
 /// lock once to flush them all (see [`Telemetry::buffered`]).
 const WORKER_BUFFER_BATCH: usize = 64;
 
+static NEXT_TRACK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+thread_local! {
+    static TRACK: u64 = NEXT_TRACK.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The calling thread's track ordinal: a process-wide id assigned the
+/// first time a thread asks for it, stable for the thread's lifetime.
+/// Span end events carry it as the `track` field so concurrent workers'
+/// spans can be demultiplexed back into per-thread timelines (the
+/// span-tree profiler and the Chrome-trace exporter key on it).
+pub fn current_track() -> u64 {
+    TRACK.with(|t| *t)
+}
+
 struct TelemetryInner {
     start: Instant,
     min_level: Level,
@@ -319,12 +334,17 @@ impl Telemetry {
     }
 
     /// Opens a wall-clock span. On [`Span::end`] (or drop) a
-    /// `<scope>.end` event carries `duration_us` plus any attached fields.
+    /// `<scope>.end` event carries `start_us` (offset of the open on this
+    /// handle's clock), `duration_us`, and `track` (the opening thread's
+    /// [`current_track`] ordinal) plus any attached fields — enough for a
+    /// consumer to pair and nest spans back into per-thread trees.
     pub fn span(&self, scope: &str) -> Span {
         Span {
             telemetry: self.clone(),
             scope: scope.to_owned(),
             start: Instant::now(),
+            start_us: self.elapsed_us(),
+            track: current_track(),
             fields: Vec::new(),
             finished: false,
         }
@@ -349,6 +369,8 @@ pub struct Span {
     telemetry: Telemetry,
     scope: String,
     start: Instant,
+    start_us: u64,
+    track: u64,
     fields: Vec<(String, Json)>,
     finished: bool,
 }
@@ -383,10 +405,12 @@ impl Span {
         }
         self.finished = true;
         let mut fields = std::mem::take(&mut self.fields);
+        fields.push(("start_us".to_owned(), Json::from(self.start_us)));
         fields.push((
             "duration_us".to_owned(),
             Json::from(self.start.elapsed().as_micros() as u64),
         ));
+        fields.push(("track".to_owned(), Json::from(self.track)));
         self.telemetry.emit(
             Level::Info,
             &format!("{}.end", self.scope),
@@ -450,6 +474,26 @@ mod tests {
         assert_eq!(e.field("seed").unwrap().as_u64(), Some(5));
         assert_eq!(e.field("passed").unwrap().as_bool(), Some(true));
         assert!(e.field("duration_us").unwrap().as_u64().is_some());
+    }
+
+    #[test]
+    fn span_carries_pairing_fields() {
+        let (sink, handle) = MemorySink::new();
+        let tel = Telemetry::builder().with_sink(Box::new(sink)).build();
+        tel.span("outer").end(NO_FIELDS);
+        let e = &handle.events()[0];
+        let start = e.field("start_us").unwrap().as_u64().unwrap();
+        let dur = e.field("duration_us").unwrap().as_u64().unwrap();
+        assert_eq!(e.field("track").unwrap().as_u64(), Some(current_track()));
+        assert!(start + dur <= tel.elapsed_us() + 1_000);
+        // A span opened on another thread carries that thread's track.
+        let tel2 = tel.clone();
+        std::thread::spawn(move || tel2.span("worker").end(NO_FIELDS))
+            .join()
+            .unwrap();
+        let events = handle.events();
+        let w = events.iter().find(|e| e.scope == "worker.end").unwrap();
+        assert_ne!(w.field("track").unwrap().as_u64(), Some(current_track()));
     }
 
     #[test]

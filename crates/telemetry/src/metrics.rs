@@ -89,6 +89,13 @@ impl Histogram {
     }
 
     /// Records one observation.
+    ///
+    /// Buckets are `(previous bound, bound]` — a value *equal* to a bound
+    /// counts in that bound's bucket, the first value past it spills to
+    /// the next, and anything past the last bound lands in the implicit
+    /// overflow bucket. The convention is pinned by unit tests; every
+    /// derived statistic ([`Histogram::percentile`],
+    /// [`HistogramSnapshot::percentile`]) assumes it.
     pub fn observe(&self, v: u64) {
         let i = self.inner.bounds.partition_point(|&b| b < v);
         self.inner.buckets[i].fetch_add(1, Ordering::Relaxed);
@@ -115,6 +122,12 @@ impl Histogram {
         } else {
             self.sum() as f64 / n as f64
         }
+    }
+
+    /// The `p`-th percentile (see [`HistogramSnapshot::percentile`]);
+    /// 0 on an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.snapshot().percentile(p)
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -149,6 +162,41 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Mean observation, or 0 with no data (never NaN).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at or below which `p` percent of observations fall,
+    /// approximated upward to the recording bucket's upper bound (the
+    /// true `max` for the overflow bucket — buckets are `(lo, hi]`, so
+    /// the bound is a value the bucket can actually contain). `p` is
+    /// clamped to `0..=100`; an empty histogram reads 0 — no panic, no
+    /// NaN, matching [`HistogramSnapshot::mean`].
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
     /// As a JSON object.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -362,6 +410,46 @@ mod tests {
                 .as_u64(),
             Some(1)
         );
+    }
+
+    #[test]
+    fn empty_histogram_stats_are_zero_not_nan() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("empty", &[10, 100]);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(100.0), 0);
+        let snap = reg.snapshot().histograms["empty"].clone();
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_upper_inclusive() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("b", &[10, 100]);
+        h.observe(10); // equal to a bound: counts in that bound's bucket
+        h.observe(11); // first value past the bound: spills to the next
+        h.observe(100);
+        h.observe(101); // past the last bound: overflow
+        let snap = reg.snapshot().histograms["b"].clone();
+        assert_eq!(snap.buckets, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn percentile_walks_buckets_and_overflow_reads_max() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("p", &[10, 100, 1000]);
+        for v in [1, 2, 3, 50, 200, 7000] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(0.0), 10); // clamps to the first populated bucket
+        assert_eq!(h.percentile(50.0), 10);
+        assert_eq!(h.percentile(66.0), 100);
+        assert_eq!(h.percentile(83.0), 1000);
+        assert_eq!(h.percentile(100.0), 7000); // overflow reports the true max
+        assert_eq!(h.percentile(250.0), 7000); // out-of-range p clamps
     }
 
     #[test]

@@ -162,6 +162,48 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_escaping_round_trips_hostile_field_values() {
+        let hostile = [
+            "control\u{0}\u{1}\u{1f}chars",
+            "quote\" and 'single'",
+            "back\\slash\\\\double",
+            "newline\ntab\tcr\r",
+            "non-ascii é 漢字 🚀",
+            "\u{7f}mixed\"\\\n\u{2}",
+        ];
+        let mut buf = Vec::new();
+        let mut events = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut buf);
+            for (i, s) in hostile.iter().enumerate() {
+                let e = Event {
+                    ts_us: i as u64,
+                    level: Level::Info,
+                    scope: format!("esc.{i}"),
+                    message: (*s).to_owned(),
+                    fields: vec![
+                        ("value".to_owned(), Json::str(*s)),
+                        (format!("key {s}"), Json::from(i as u64)),
+                    ],
+                };
+                sink.emit(&e);
+                events.push(e);
+            }
+            sink.flush();
+        }
+        // Escaping keeps one event per line even with raw newlines in the
+        // payload, and every line parses back to an equal event.
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), hostile.len());
+        for (line, original) in lines.iter().zip(&events) {
+            let parsed = Json::parse(line).expect("hostile content still renders valid JSON");
+            let back = Event::from_json(&parsed).expect("wire form preserved");
+            assert_eq!(&back, original);
+        }
+    }
+
+    #[test]
     fn memory_sink_handle_reads_back() {
         let (mut sink, handle) = MemorySink::new();
         sink.emit(&event("x"));
