@@ -70,4 +70,4 @@ pub use vcd_dump::{port_var_names, VcdDump, CYCLE_TIME};
 pub fn vcd_cycle_time() -> u64 {
     vcd_dump::CYCLE_TIME
 }
-pub use views::build_view;
+pub use views::{build_view, build_view_with_engine};

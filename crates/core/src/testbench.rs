@@ -182,6 +182,10 @@ impl Testbench {
         let mut phase_settle = std::time::Duration::ZERO;
         let mut phase_check = std::time::Duration::ZERO;
         let mut phase_vcd = std::time::Duration::ZERO;
+        // The eval sub-phase (model evaluation inside `settle`) is timed
+        // by the view itself, where the kernel hands control to the model.
+        dut.set_phase_timing(profiling);
+        let eval_us_base = dut.phase_eval_us();
         let span = tel
             .span("tb.run")
             .field("test", Json::from(spec.name.as_str()))
@@ -412,6 +416,12 @@ impl Testbench {
             ),
             ("phase_check_us", Json::from(phase_check.as_micros() as u64)),
             ("phase_vcd_us", Json::from(phase_vcd.as_micros() as u64)),
+            // Model evaluation proper, a sub-slice of `settle` reported by
+            // the view (zero for uninstrumented views like the BCA).
+            (
+                "phase_eval_us",
+                Json::from(dut.phase_eval_us().saturating_sub(eval_us_base)),
+            ),
             (
                 "checker_rules",
                 Json::obj(
@@ -501,7 +511,7 @@ mod tests {
             Some(result.transactions)
         );
         assert!(end.field("cycles_per_sec").is_some());
-        for phase in ["drive", "settle", "check", "vcd"] {
+        for phase in ["drive", "settle", "check", "vcd", "eval"] {
             assert!(
                 end.field(&format!("phase_{phase}_us"))
                     .and_then(telemetry::Json::as_u64)

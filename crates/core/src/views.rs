@@ -1,17 +1,32 @@
 //! DUT-view factory: the Rust equivalent of the paper's wrapper files.
 
+use sim_kernel::SimBackend;
 use stbus_bca::{BcaNode, Fidelity};
 use stbus_protocol::{DutView, NodeConfig, ViewKind};
 use stbus_rtl::RtlNode;
 
-/// Elaborates one design view for a configuration.
+/// Elaborates one design view for a configuration on the default (event)
+/// simulation backend.
 ///
 /// The BCA view is built at its realistic default fidelity
 /// ([`Fidelity::Relaxed`]); use [`stbus_bca::BcaNode::new`] directly for
 /// exact-fidelity or bug-injection runs.
 pub fn build_view(config: &NodeConfig, kind: ViewKind) -> Box<dyn DutView> {
+    build_view_with_engine(config, kind, SimBackend::Event)
+}
+
+/// Elaborates one design view on a specific simulation backend.
+///
+/// Only the RTL view runs on a kernel, so `engine` selects between the
+/// event-driven reference scheduler and the levelized compiled backend
+/// there; the BCA view bypasses the kernel entirely and ignores it.
+pub fn build_view_with_engine(
+    config: &NodeConfig,
+    kind: ViewKind,
+    engine: SimBackend,
+) -> Box<dyn DutView> {
     match kind {
-        ViewKind::Rtl => Box::new(RtlNode::new(config.clone())),
+        ViewKind::Rtl => Box::new(RtlNode::with_engine(config.clone(), engine)),
         ViewKind::Bca => Box::new(BcaNode::new(config.clone(), Fidelity::Relaxed)),
     }
 }
@@ -25,5 +40,14 @@ mod tests {
         let cfg = NodeConfig::reference();
         assert_eq!(build_view(&cfg, ViewKind::Rtl).view_kind(), ViewKind::Rtl);
         assert_eq!(build_view(&cfg, ViewKind::Bca).view_kind(), ViewKind::Bca);
+    }
+
+    #[test]
+    fn factory_builds_rtl_on_both_engines() {
+        let cfg = NodeConfig::reference();
+        for engine in SimBackend::ALL {
+            let v = build_view_with_engine(&cfg, ViewKind::Rtl, engine);
+            assert_eq!(v.view_kind(), ViewKind::Rtl);
+        }
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N]
-//!               [--jobs N] [--deterministic] [--no-compare] [--exact]
+//!               [--jobs N] [--engine event|compiled] [--deterministic]
+//!               [--no-compare] [--exact]
 //!               [--log-format text|json] [--log-file PATH] [--quiet]
 //!               [--profile] [--trace-out FILE] [--no-history]
 //!               [--history-dir DIR]
@@ -60,6 +61,14 @@
 //! `manifest.json` do not depend on N. `--deterministic` additionally
 //! zeroes the wall-clock fields, making every written artifact
 //! byte-identical across repeat runs and worker counts.
+//!
+//! `--engine event|compiled` selects the simulation backend the RTL view
+//! is elaborated onto: the event-driven reference kernel (default) or the
+//! levelized compiled engine, which topologically sorts the netlist once
+//! at elaboration and evaluates it with no event queue — same results,
+//! several times faster. Under `--deterministic`, `summary.txt` and every
+//! per-config report file are byte-identical across engines; only
+//! `manifest.json`'s `"engine"` tag and kernel metric namespaces differ.
 //!
 //! Progress goes to stderr through the telemetry layer: `--log-format`
 //! selects human-readable lines (default) or JSONL, `--log-file` appends
@@ -159,6 +168,19 @@ fn main() {
                 };
             }
             "--deterministic" => deterministic = true,
+            "--engine" => {
+                options.engine = match args.next().map(|s| s.parse()) {
+                    Some(Ok(engine)) => engine,
+                    Some(Err(e)) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("--engine takes `event` or `compiled`");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--seeds" => {
                 let n: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
                 options.seeds = (1..=n).collect();
@@ -196,7 +218,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--deterministic] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet] [--profile] [--trace-out FILE] [--no-history] [--history-dir DIR] [--qualify] [--close-coverage] [--batch N] [--budget N] [--signoff] [--waivers FILE] [--from-closure FILE]\n       stbus-regress history [--baseline N] [--max-regression PCT] [--dir DIR]"
+                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--engine event|compiled] [--deterministic] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet] [--profile] [--trace-out FILE] [--no-history] [--history-dir DIR] [--qualify] [--close-coverage] [--batch N] [--budget N] [--signoff] [--waivers FILE] [--from-closure FILE]\n       stbus-regress history [--baseline N] [--max-regression PCT] [--dir DIR]"
                 );
                 return;
             }
@@ -516,6 +538,7 @@ fn main() {
             ("tests", Json::from(tests.len())),
             ("seeds", Json::from(options.seeds.len())),
             ("intensity", Json::from(options.intensity)),
+            ("engine", Json::from(options.engine.to_string())),
             ("compare", Json::from(options.compare_waveforms)),
             ("jobs", Json::from(exec::resolve_jobs(options.jobs))),
         ],
@@ -552,6 +575,7 @@ fn main() {
             parts.push(format!("intensity:{}", options.intensity));
             parts.push(format!("seeds:{:?}", options.seeds));
             parts.push(format!("fidelity:{:?}", options.fidelity));
+            parts.push(format!("engine_backend:{}", options.engine));
             parts.push(format!("compare:{}", options.compare_waveforms));
             let record = profile::HistoryRecord {
                 key: profile::content_key(&parts),

@@ -12,7 +12,10 @@ use catg::RunResult;
 use telemetry::Json;
 
 /// Schema identifier written into every manifest.
-pub const MANIFEST_SCHEMA: &str = "stbus-regress-manifest/1";
+///
+/// `/2` added the top-level `"engine"` string naming the simulation
+/// backend the RTL runs used (`"event"` or `"compiled"`).
+pub const MANIFEST_SCHEMA: &str = "stbus-regress-manifest/2";
 
 fn run_result_json(result: &RunResult) -> Json {
     Json::obj([
@@ -127,6 +130,7 @@ impl RegressionReport {
     pub fn manifest_json(&self) -> Json {
         Json::obj([
             ("schema", Json::from(MANIFEST_SCHEMA)),
+            ("engine", Json::from(self.engine.to_string())),
             ("signed_off_configs", Json::from(self.signed_off_count())),
             ("total_configs", Json::from(self.configs.len())),
             ("wall_us", Json::from(self.wall_us)),
@@ -164,6 +168,7 @@ mod tests {
             parsed.get("schema").and_then(Json::as_str),
             Some(MANIFEST_SCHEMA)
         );
+        assert_eq!(parsed.get("engine").and_then(Json::as_str), Some("event"));
         let cfgs = parsed.get("configs").and_then(Json::as_arr).unwrap();
         assert_eq!(cfgs.len(), 1);
         let c = &cfgs[0];

@@ -18,6 +18,7 @@
 //! only the descriptor crosses threads.
 
 use catg::{CoverageReport, RunResult, TestSpec, Testbench, TestbenchOptions};
+use sim_kernel::SimBackend;
 use stba::compare_vcd_with;
 use stbus_bca::{BcaBug, BcaNode, Fidelity};
 use stbus_protocol::{DutView, NodeConfig, ViewKind};
@@ -37,6 +38,12 @@ pub struct RegressionOptions {
     pub fidelity: Fidelity,
     /// Defects injected into the BCA view (experiment E2).
     pub bca_bugs: Vec<BcaBug>,
+    /// Simulation backend the RTL view is elaborated onto: the
+    /// event-driven reference kernel (default) or the levelized compiled
+    /// engine. Results — pass/fail, coverage, alignment, the report tree —
+    /// are identical on both; only the `kernel.*` vs `kernel.compiled.*`
+    /// metric namespaces (and wall-clock) differ.
+    pub engine: SimBackend,
     /// Capture VCDs and run the alignment comparison.
     pub compare_waveforms: bool,
     /// Worker threads running `{config, test, seed}` cells; `0` (the
@@ -59,6 +66,7 @@ impl Default for RegressionOptions {
             intensity: 15,
             fidelity: Fidelity::Relaxed,
             bca_bugs: Vec::new(),
+            engine: SimBackend::Event,
             compare_waveforms: true,
             jobs: 0,
             telemetry: Telemetry::disabled(),
@@ -185,6 +193,8 @@ impl ConfigOutcome {
 pub struct RegressionReport {
     /// Per-configuration outcomes.
     pub configs: Vec<ConfigOutcome>,
+    /// Simulation backend the RTL runs used.
+    pub engine: SimBackend,
     /// Campaign wall-clock microseconds.
     pub wall_us: u64,
     /// Snapshot of every metric the campaign recorded (kernel, testbench
@@ -257,6 +267,7 @@ struct CellJob {
     seed: u64,
     fidelity: Fidelity,
     bca_bugs: Vec<BcaBug>,
+    engine: SimBackend,
     compare_waveforms: bool,
     telemetry: Telemetry,
 }
@@ -283,7 +294,7 @@ fn run_cell(job: &CellJob) -> CellResult {
             ..TestbenchOptions::default()
         },
     );
-    let mut rtl = RtlNode::new(job.config.clone());
+    let mut rtl = RtlNode::with_engine(job.config.clone(), job.engine);
     rtl.attach_metrics(tel.metrics());
     let mut bca = BcaNode::new(job.config.clone(), job.fidelity);
     for bug in &job.bca_bugs {
@@ -367,6 +378,7 @@ pub fn run_regression(
         .field("configs", Json::from(configs.len()))
         .field("tests", Json::from(tests.len()))
         .field("seeds", Json::from(options.seeds.len()))
+        .field("engine", Json::from(options.engine.to_string()))
         .field("jobs", Json::from(exec::resolve_jobs(options.jobs)));
 
     // The work list, in matrix order: config-major, then test, then seed.
@@ -381,6 +393,7 @@ pub fn run_regression(
                     seed,
                     fidelity: options.fidelity,
                     bca_bugs: options.bca_bugs.clone(),
+                    engine: options.engine,
                     compare_waveforms: options.compare_waveforms,
                     telemetry: tel.clone(),
                 });
@@ -394,7 +407,10 @@ pub fn run_regression(
     // runner used keeps every aggregate bit-identical.
     let per_config = tests.len() * options.seeds.len();
     let assemble_span = tel.span("regress.assemble");
-    let mut report = RegressionReport::default();
+    let mut report = RegressionReport {
+        engine: options.engine,
+        ..RegressionReport::default()
+    };
     let mut results = results.into_iter();
     for (config_idx, config) in configs.iter().enumerate() {
         let mut runs = Vec::with_capacity(per_config);

@@ -14,6 +14,16 @@ pub enum SimError {
         /// The delta-cycle limit that was exceeded.
         limit: u32,
     },
+    /// A feedback cone in a compiled schedule failed to converge within
+    /// its iteration bound — the cone is a divergent combinational loop.
+    CombLoop {
+        /// The time step at which convergence failed.
+        time: SimTime,
+        /// The iteration bound that was exceeded.
+        limit: u32,
+        /// The names of the processes forming the cone.
+        processes: Vec<String>,
+    },
     /// A clocked process was attached to a signal that is not `bool`.
     EdgeOnNonBool {
         /// The name of the offending signal.
@@ -29,6 +39,15 @@ impl fmt::Display for SimError {
             SimError::DeltaOverflow { time, limit } => write!(
                 f,
                 "delta cycles exceeded limit {limit} at {time}: combinational loop suspected"
+            ),
+            SimError::CombLoop {
+                time,
+                limit,
+                processes,
+            } => write!(
+                f,
+                "combinational feedback cone {{{}}} did not converge within {limit} iterations at {time}",
+                processes.join(", ")
             ),
             SimError::EdgeOnNonBool { signal } => {
                 write!(f, "edge sensitivity requires a bool signal, got `{signal}`")

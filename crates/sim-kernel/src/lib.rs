@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod compiled;
 mod coverage;
 mod error;
 mod logic;
@@ -51,6 +52,7 @@ mod time;
 mod trace;
 
 pub use clock::ClockId;
+pub use compiled::{CompiledCtx, CompiledSim, CompiledStats, SimBackend, WordValue};
 pub use coverage::{ActivityCoverage, BranchActivity, BranchId, ProcessActivity};
 pub use error::SimError;
 pub use logic::{Bits, Logic, LogicVec};

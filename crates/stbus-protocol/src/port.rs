@@ -189,6 +189,20 @@ pub trait DutView {
     /// like the BCA view, which deliberately bypasses the event kernel —
     /// simply have nothing to publish.
     fn attach_metrics(&mut self, _registry: &telemetry::MetricsRegistry) {}
+
+    /// Enables or disables the view's internal evaluation-phase timer.
+    ///
+    /// When enabled, the view accumulates the wall-clock time spent in
+    /// model evaluation proper (excluding harness, scoreboard and kernel
+    /// scheduling overhead) for [`DutView::phase_eval_us`]. The default
+    /// is a no-op for views without such instrumentation.
+    fn set_phase_timing(&mut self, _enabled: bool) {}
+
+    /// Cumulative microseconds spent in model evaluation while phase
+    /// timing was enabled; `0` for views without instrumentation.
+    fn phase_eval_us(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -43,6 +43,6 @@ pub use converters::{SizeConverter, TypeConverter};
 pub use node::RtlNode;
 pub use register_decoder::{RegisterDecoder, RegisterFile};
 pub use spec::{
-    ErrResponse, NodeSpec, NodeState, OutstandingTx, Plan, ProbePoint, Route,
+    ErrResponse, EvalScratch, NodeSpec, NodeState, OutstandingTx, Plan, ProbePoint, Route,
     ERROR_RESPONSE_LATENCY,
 };

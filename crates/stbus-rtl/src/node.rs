@@ -1,22 +1,39 @@
 //! The RTL node: the cycle-level spec elaborated onto kernel signals and
-//! processes.
+//! processes, on either of two simulation backends.
+//!
+//! The **event** backend ([`Simulator`]) is the reference HDL-style
+//! delta-cycle kernel. The **compiled** backend ([`CompiledSim`]) levelizes
+//! the same netlist into a static schedule at elaboration and evaluates it
+//! straight through with no event queue. Both backends are elaborated by
+//! one routine, so signal names, registration order and process structure
+//! are identical — the compiled engine is a drop-in replacement whose
+//! outputs, coverage and traces-at-the-port are byte-identical.
 
 use crate::bugs::RtlBug;
-use crate::signals::{ReqWires, RspWires, SigRead};
-use crate::spec::{NodeSpec, NodeState, Plan, ProbePoint};
-use sim_kernel::{ActivityCoverage, BranchId, Edge, Signal, SignalId, Simulator};
+use crate::signals::{ReqWires, RspWires, SigAlloc, SigRead, SigWrite};
+use crate::spec::{EvalScratch, NodeSpec, NodeState, Plan, ProbePoint};
+use sim_kernel::{
+    ActivityCoverage, BranchId, CompiledSim, CompiledStats, Edge, Signal, SignalId, SimBackend,
+    SimError, Simulator, WordValue,
+};
 use stbus_protocol::{DutInputs, DutOutputs, DutView, NodeConfig, ProgCommand, ViewKind};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::time::Instant;
 
 /// The signal-level (RTL) view of the STBus node.
 ///
-/// Internally this owns a [`sim_kernel::Simulator`] carrying one signal per
+/// Internally this owns a simulation kernel carrying one signal per
 /// interface field, a combinational mega-process implementing the request
 /// and response paths, and a clocked process committing the register state
 /// — the classic evaluate/commit structure of synthesizable RTL. The
-/// [`DutView`] implementation drives the input wires, settles the delta
-/// cycles, samples the output wires and toggles the clock.
+/// [`DutView`] implementation drives the input wires, settles the
+/// combinational logic, samples the output wires and toggles the clock.
+///
+/// The kernel is selected at elaboration with [`RtlNode::with_engine`]:
+/// [`SimBackend::Event`] (the default) runs on the event-driven delta-cycle
+/// scheduler, [`SimBackend::Compiled`] on the levelized compiled-simulation
+/// backend.
 ///
 /// # Example
 ///
@@ -31,10 +48,10 @@ use std::rc::Rc;
 /// ```
 pub struct RtlNode {
     spec: NodeSpec,
-    sim: Simulator,
+    kern: Kern,
     clk: Signal<bool>,
     state: Rc<RefCell<NodeState>>,
-    plan: Rc<RefCell<Option<Plan>>>,
+    plan: PlanBox,
     state_version: Signal<u64>,
     // Initiator-side wires.
     init_req: Vec<ReqWires>,
@@ -49,13 +66,243 @@ pub struct RtlNode {
     // Programming port wires.
     prog_valid: Signal<bool>,
     prog_prios: Vec<Signal<u8>>,
+    // Evaluation-phase timer shared with the comb process closure.
+    eval_ns: Rc<Cell<u64>>,
+    eval_timing: Rc<Cell<bool>>,
     cycles: u64,
 }
 
+/// The simulation kernel the node was elaborated onto.
+enum Kern {
+    Event(Simulator),
+    Compiled(CompiledSim),
+}
+
+impl Kern {
+    fn settle(&mut self) -> Result<(), SimError> {
+        match self {
+            Kern::Event(sim) => sim.settle(),
+            Kern::Compiled(sim) => sim.settle(),
+        }
+    }
+
+    fn run_for(&mut self, ticks: u64) -> Result<(), SimError> {
+        match self {
+            Kern::Event(sim) => sim.run_for(ticks),
+            Kern::Compiled(sim) => sim.run_for(ticks),
+        }
+    }
+
+    fn activity_coverage(&self) -> ActivityCoverage {
+        match self {
+            Kern::Event(sim) => sim.activity_coverage(),
+            Kern::Compiled(sim) => sim.activity_coverage(),
+        }
+    }
+
+    fn signal_count(&self) -> usize {
+        match self {
+            Kern::Event(sim) => sim.signal_count(),
+            Kern::Compiled(sim) => sim.signal_count(),
+        }
+    }
+}
+
+impl SigRead for Kern {
+    fn read<T: WordValue>(&self, sig: Signal<T>) -> T {
+        match self {
+            Kern::Event(sim) => sim.value(sig),
+            Kern::Compiled(sim) => sim.value(sig),
+        }
+    }
+}
+
+impl SigWrite for Kern {
+    fn write<T: WordValue>(&mut self, sig: Signal<T>, value: T) {
+        match self {
+            Kern::Event(sim) => sim.drive(sig, value),
+            Kern::Compiled(sim) => sim.drive(sig, value),
+        }
+    }
+}
+
+/// Where the evaluated-but-uncommitted plan lives between the comb and
+/// clocked processes. The event backend keeps the historical
+/// `Option<Plan>` (a fresh plan is allocated per evaluation); the
+/// compiled backend reuses one `Plan` in place and tracks freshness with
+/// a flag, keeping the hot path allocation-free.
+///
+/// The compiled variant also carries the two ends of the *compiled port
+/// marshalling*: levelization makes the dataflow static — the node's
+/// combinational process is the only reader of the input wires and
+/// nothing inside the netlist reads the output wires — so the
+/// interpretive per-signal round trip (`DutInputs` → wires → `DutInputs`
+/// on the way in, `Plan` → wires → `DutOutputs` on the way out) is
+/// compiled away. [`RtlNode::drive_inputs`] still drives every input
+/// *wire* (their committed-change detection is what keeps process
+/// activation identical to the event kernel) but additionally snapshots
+/// the port struct into `inputs`, which the comb process reads directly;
+/// symmetrically, `RtlNode::sample_outputs` reads the settled plan's
+/// outputs instead of reassembling them signal by signal. Both shortcuts
+/// are lossless (every wire value round-trips exactly through its
+/// [`WordValue`] word), which the cross-engine equivalence suite pins
+/// down byte for byte.
+enum PlanBox {
+    Event(Rc<RefCell<Option<Plan>>>),
+    Compiled {
+        plan: Rc<RefCell<Plan>>,
+        valid: Rc<Cell<bool>>,
+        inputs: Rc<RefCell<DutInputs>>,
+    },
+}
+
+impl PlanBox {
+    fn invalidate(&self) {
+        match self {
+            PlanBox::Event(p) => *p.borrow_mut() = None,
+            PlanBox::Compiled { valid, .. } => valid.set(false),
+        }
+    }
+}
+
+/// Everything elaboration registers on a kernel, in a fixed order shared
+/// by both backends.
+struct Elab {
+    clk: Signal<bool>,
+    state_version: Signal<u64>,
+    init_req: Vec<ReqWires>,
+    init_r_gnt: Vec<Signal<bool>>,
+    init_gnt: Vec<Signal<bool>>,
+    init_rsp: Vec<RspWires>,
+    tgt_req: Vec<ReqWires>,
+    tgt_gnt: Vec<Signal<bool>>,
+    tgt_rsp: Vec<RspWires>,
+    tgt_r_gnt: Vec<Signal<bool>>,
+    prog_valid: Signal<bool>,
+    prog_prios: Vec<Signal<u8>>,
+    branches: Vec<BranchId>,
+}
+
+/// Registers every wire and branch of the node. Both backends call this
+/// with the same configuration, so `SignalId`s, names and branch labels
+/// line up exactly across engines.
+fn elaborate<S: SigAlloc>(sim: &mut S, config: &NodeConfig) -> Elab {
+    let clk = sim.signal("clk", false);
+    let state_version = sim.signal("state_version", 0u64);
+
+    let ni = config.n_initiators;
+    let nt = config.n_targets;
+    let init_req: Vec<ReqWires> = (0..ni)
+        .map(|i| ReqWires::add(sim, &format!("init{i}")))
+        .collect();
+    let init_r_gnt: Vec<Signal<bool>> = (0..ni)
+        .map(|i| sim.signal(&format!("init{i}_r_gnt"), false))
+        .collect();
+    let init_gnt: Vec<Signal<bool>> = (0..ni)
+        .map(|i| sim.signal(&format!("init{i}_gnt"), false))
+        .collect();
+    let init_rsp: Vec<RspWires> = (0..ni)
+        .map(|i| RspWires::add(sim, &format!("init{i}")))
+        .collect();
+    let tgt_req: Vec<ReqWires> = (0..nt)
+        .map(|t| ReqWires::add(sim, &format!("tgt{t}")))
+        .collect();
+    let tgt_gnt: Vec<Signal<bool>> = (0..nt)
+        .map(|t| sim.signal(&format!("tgt{t}_gnt"), false))
+        .collect();
+    let tgt_rsp: Vec<RspWires> = (0..nt)
+        .map(|t| RspWires::add(sim, &format!("tgt{t}")))
+        .collect();
+    let tgt_r_gnt: Vec<Signal<bool>> = (0..nt)
+        .map(|t| sim.signal(&format!("tgt{t}_r_gnt"), false))
+        .collect();
+    let prog_valid = sim.signal("prog_valid", false);
+    let prog_prios: Vec<Signal<u8>> = (0..ni)
+        .map(|i| sim.signal(&format!("prog_pri{i}"), 0u8))
+        .collect();
+
+    let branches: Vec<BranchId> = ProbePoint::ALL
+        .iter()
+        .map(|p| sim.branch(&format!("node/{}", p.name())))
+        .collect();
+
+    Elab {
+        clk,
+        state_version,
+        init_req,
+        init_r_gnt,
+        init_gnt,
+        init_rsp,
+        tgt_req,
+        tgt_gnt,
+        tgt_rsp,
+        tgt_r_gnt,
+        prog_valid,
+        prog_prios,
+        branches,
+    }
+}
+
+impl Elab {
+    /// Sensitivity list of the combinational process: every input wire
+    /// plus the state version bumped by the clocked process.
+    fn comb_sensitivity(&self) -> Vec<SignalId> {
+        let mut sensitivity: Vec<SignalId> = vec![self.state_version.id(), self.prog_valid.id()];
+        for w in &self.init_req {
+            sensitivity.extend(w.signal_ids());
+        }
+        sensitivity.extend(self.init_r_gnt.iter().map(|s| s.id()));
+        sensitivity.extend(self.tgt_gnt.iter().map(|s| s.id()));
+        for w in &self.tgt_rsp {
+            sensitivity.extend(w.signal_ids());
+        }
+        sensitivity.extend(self.prog_prios.iter().map(|s| s.id()));
+        sensitivity
+    }
+
+    /// Every output wire the combinational process drives — the write
+    /// set the compiled backend's levelizer needs up front.
+    fn comb_writes(&self) -> Vec<SignalId> {
+        let mut writes: Vec<SignalId> = Vec::new();
+        writes.extend(self.init_gnt.iter().map(|s| s.id()));
+        for w in &self.init_rsp {
+            writes.extend(w.signal_ids());
+        }
+        for w in &self.tgt_req {
+            writes.extend(w.signal_ids());
+        }
+        writes.extend(self.tgt_r_gnt.iter().map(|s| s.id()));
+        writes
+    }
+
+    /// Clones the wire handles the comb process closure captures. Wire
+    /// bundles hold only Copy signal handles, so rebuilding is cheap.
+    fn comb_wires(&self) -> CombWires {
+        CombWires {
+            init_req: self.init_req.iter().map(clone_req).collect(),
+            init_r_gnt: self.init_r_gnt.clone(),
+            init_gnt: self.init_gnt.clone(),
+            init_rsp: self.init_rsp.iter().map(clone_rsp).collect(),
+            tgt_req: self.tgt_req.iter().map(clone_req).collect(),
+            tgt_gnt: self.tgt_gnt.clone(),
+            tgt_rsp: self.tgt_rsp.iter().map(clone_rsp).collect(),
+            tgt_r_gnt: self.tgt_r_gnt.clone(),
+            prog_valid: self.prog_valid,
+            prog_prios: self.prog_prios.clone(),
+        }
+    }
+}
+
 impl RtlNode {
-    /// Elaborates the node for a configuration.
+    /// Elaborates the node for a configuration on the default (event)
+    /// backend.
     pub fn new(config: NodeConfig) -> Self {
         Self::with_bugs(config, &[])
+    }
+
+    /// Elaborates the node on the selected simulation backend.
+    pub fn with_engine(config: NodeConfig, engine: SimBackend) -> Self {
+        Self::with_bugs_engine(config, &[], engine)
     }
 
     /// Elaborates the node with defects from the [`RtlBug`] catalogue
@@ -63,123 +310,159 @@ impl RtlNode {
     /// kernel process closures here, so bugs cannot be added after
     /// elaboration.
     pub fn with_bugs(config: NodeConfig, bugs: &[RtlBug]) -> Self {
+        Self::with_bugs_engine(config, bugs, SimBackend::Event)
+    }
+
+    /// Elaborates the node with injected defects on the selected backend.
+    pub fn with_bugs_engine(config: NodeConfig, bugs: &[RtlBug], engine: SimBackend) -> Self {
         let spec = NodeSpec::with_bugs(config.clone(), bugs);
-        let mut sim = Simulator::new();
-        let clk = sim.add_signal("clk", false);
-        let state_version = sim.add_signal("state_version", 0u64);
-
-        let ni = config.n_initiators;
-        let nt = config.n_targets;
-        let init_req: Vec<ReqWires> = (0..ni)
-            .map(|i| ReqWires::add(&mut sim, &format!("init{i}")))
-            .collect();
-        let init_r_gnt: Vec<Signal<bool>> = (0..ni)
-            .map(|i| sim.add_signal(&format!("init{i}_r_gnt"), false))
-            .collect();
-        let init_gnt: Vec<Signal<bool>> = (0..ni)
-            .map(|i| sim.add_signal(&format!("init{i}_gnt"), false))
-            .collect();
-        let init_rsp: Vec<RspWires> = (0..ni)
-            .map(|i| RspWires::add(&mut sim, &format!("init{i}")))
-            .collect();
-        let tgt_req: Vec<ReqWires> = (0..nt)
-            .map(|t| ReqWires::add(&mut sim, &format!("tgt{t}")))
-            .collect();
-        let tgt_gnt: Vec<Signal<bool>> = (0..nt)
-            .map(|t| sim.add_signal(&format!("tgt{t}_gnt"), false))
-            .collect();
-        let tgt_rsp: Vec<RspWires> = (0..nt)
-            .map(|t| RspWires::add(&mut sim, &format!("tgt{t}")))
-            .collect();
-        let tgt_r_gnt: Vec<Signal<bool>> = (0..nt)
-            .map(|t| sim.add_signal(&format!("tgt{t}_r_gnt"), false))
-            .collect();
-        let prog_valid = sim.add_signal("prog_valid", false);
-        let prog_prios: Vec<Signal<u8>> = (0..ni)
-            .map(|i| sim.add_signal(&format!("prog_pri{i}"), 0u8))
-            .collect();
-
-        let branches: Vec<BranchId> = ProbePoint::ALL
-            .iter()
-            .map(|p| sim.add_branch(&format!("node/{}", p.name())))
-            .collect();
-
         let state = Rc::new(RefCell::new(spec.initial_state()));
-        let plan: Rc<RefCell<Option<Plan>>> = Rc::new(RefCell::new(None));
+        let eval_ns = Rc::new(Cell::new(0u64));
+        let eval_timing = Rc::new(Cell::new(false));
 
-        // Sensitivity list of the combinational process: every input wire
-        // plus the state version bumped by the clocked process.
-        let mut sensitivity: Vec<SignalId> = vec![state_version.id(), prog_valid.id()];
-        for w in &init_req {
-            sensitivity.extend(w.signal_ids());
-        }
-        sensitivity.extend(init_r_gnt.iter().map(|s| s.id()));
-        sensitivity.extend(tgt_gnt.iter().map(|s| s.id()));
-        for w in &tgt_rsp {
-            sensitivity.extend(w.signal_ids());
-        }
-        sensitivity.extend(prog_prios.iter().map(|s| s.id()));
+        let (kern, plan, e) = match engine {
+            SimBackend::Event => {
+                let mut sim = Simulator::new();
+                let e = elaborate(&mut sim, &config);
+                let sensitivity = e.comb_sensitivity();
 
-        // Clone the wire handles the processes capture. Wire bundles hold
-        // only Copy signal handles, so rebuilding the vectors is cheap.
-        let comb_inputs = CombWires {
-            init_req: init_req.iter().map(clone_req).collect(),
-            init_r_gnt: init_r_gnt.clone(),
-            init_gnt: init_gnt.clone(),
-            init_rsp: init_rsp.iter().map(clone_rsp).collect(),
-            tgt_req: tgt_req.iter().map(clone_req).collect(),
-            tgt_gnt: tgt_gnt.clone(),
-            tgt_rsp: tgt_rsp.iter().map(clone_rsp).collect(),
-            tgt_r_gnt: tgt_r_gnt.clone(),
-            prog_valid,
-            prog_prios: prog_prios.clone(),
-        };
-        let comb_spec = spec.clone();
-        let comb_state = Rc::clone(&state);
-        let comb_plan = Rc::clone(&plan);
-        sim.add_comb_process("node_comb", &sensitivity, move |ctx| {
-            let inputs = comb_inputs.sample_inputs(ctx, comb_spec.config());
-            let new_plan = {
-                let st = comb_state.borrow();
-                let mut probe = |p: ProbePoint| ctx_cov(ctx, &branches, p);
-                comb_spec.evaluate(&st, &inputs, &mut probe)
-            };
-            comb_inputs.drive_outputs(ctx, &new_plan.outputs);
-            *comb_plan.borrow_mut() = Some(new_plan);
-        });
+                let comb_inputs = e.comb_wires();
+                let branches = e.branches.clone();
+                let comb_spec = spec.clone();
+                let comb_state = Rc::clone(&state);
+                let plan: Rc<RefCell<Option<Plan>>> = Rc::new(RefCell::new(None));
+                let comb_plan = Rc::clone(&plan);
+                let timing = Rc::clone(&eval_timing);
+                let ns = Rc::clone(&eval_ns);
+                sim.add_comb_process("node_comb", &sensitivity, move |ctx| {
+                    let inputs = comb_inputs.sample_inputs(ctx, comb_spec.config());
+                    let new_plan = {
+                        let st = comb_state.borrow();
+                        let t0 = timing.get().then(Instant::now);
+                        let mut probe = |p: ProbePoint| ctx_cov(ctx, &branches, p);
+                        let new_plan = comb_spec.evaluate(&st, &inputs, &mut probe);
+                        if let Some(t0) = t0 {
+                            ns.set(ns.get() + t0.elapsed().as_nanos() as u64);
+                        }
+                        new_plan
+                    };
+                    comb_inputs.drive_outputs(ctx, &new_plan.outputs);
+                    *comb_plan.borrow_mut() = Some(new_plan);
+                });
 
-        let seq_spec = spec.clone();
-        let seq_state = Rc::clone(&state);
-        let seq_plan = Rc::clone(&plan);
-        sim.add_clocked_process("node_seq", clk, Edge::Rising, move |ctx| {
-            if let Some(p) = seq_plan.borrow_mut().take() {
-                seq_spec.commit(&mut seq_state.borrow_mut(), &p);
-                let v = ctx.get(state_version);
-                ctx.set(state_version, v + 1);
+                let seq_spec = spec.clone();
+                let seq_state = Rc::clone(&state);
+                let seq_plan = Rc::clone(&plan);
+                let state_version = e.state_version;
+                sim.add_clocked_process("node_seq", e.clk, Edge::Rising, move |ctx| {
+                    if let Some(p) = seq_plan.borrow_mut().take() {
+                        seq_spec.commit(&mut seq_state.borrow_mut(), &p);
+                        let v = ctx.get(state_version);
+                        ctx.set(state_version, v + 1);
+                    }
+                });
+
+                (Kern::Event(sim), PlanBox::Event(plan), e)
             }
-        });
+            SimBackend::Compiled => {
+                let mut sim = CompiledSim::new();
+                let e = elaborate(&mut sim, &config);
+                let sensitivity = e.comb_sensitivity();
+                let writes = e.comb_writes();
+
+                let branches = e.branches.clone();
+                let comb_spec = spec.clone();
+                let comb_state = Rc::clone(&state);
+                let plan: Rc<RefCell<Plan>> = Rc::new(RefCell::new(Plan::empty()));
+                let valid: Rc<Cell<bool>> = Rc::new(Cell::new(false));
+                let inputs: Rc<RefCell<DutInputs>> =
+                    Rc::new(RefCell::new(DutInputs::idle(&config)));
+                let comb_plan = Rc::clone(&plan);
+                let comb_valid = Rc::clone(&valid);
+                let comb_in = Rc::clone(&inputs);
+                let mut scratch = EvalScratch::default();
+                let timing = Rc::clone(&eval_timing);
+                let ns = Rc::clone(&eval_ns);
+                sim.add_comb_process("node_comb", &sensitivity, &writes, move |ctx| {
+                    // The input wires woke this process; their settled
+                    // values are exactly the snapshot `drive_inputs`
+                    // cached, so the per-signal reassembly is skipped.
+                    let inputs_buf = comb_in.borrow();
+                    let st = comb_state.borrow();
+                    let mut p = comb_plan.borrow_mut();
+                    let t0 = timing.get().then(Instant::now);
+                    {
+                        let mut probe = |pp: ProbePoint| ctx_cov_compiled(ctx, &branches, pp);
+                        comb_spec.evaluate_into(&st, &inputs_buf, &mut probe, &mut scratch, &mut p);
+                    }
+                    if let Some(t0) = t0 {
+                        ns.set(ns.get() + t0.elapsed().as_nanos() as u64);
+                    }
+                    comb_valid.set(true);
+                });
+
+                let seq_spec = spec.clone();
+                let seq_state = Rc::clone(&state);
+                let seq_plan = Rc::clone(&plan);
+                let seq_valid = Rc::clone(&valid);
+                let state_version = e.state_version;
+                sim.add_clocked_process(
+                    "node_seq",
+                    e.clk,
+                    Edge::Rising,
+                    &[state_version.id()],
+                    move |ctx| {
+                        if seq_valid.replace(false) {
+                            seq_spec.commit(&mut seq_state.borrow_mut(), &seq_plan.borrow());
+                            let v = ctx.get(state_version);
+                            ctx.set(state_version, v + 1);
+                        }
+                    },
+                );
+
+                (
+                    Kern::Compiled(sim),
+                    PlanBox::Compiled {
+                        plan,
+                        valid,
+                        inputs,
+                    },
+                    e,
+                )
+            }
+        };
 
         let mut node = RtlNode {
             spec,
-            sim,
-            clk,
+            kern,
+            clk: e.clk,
             state,
             plan,
-            state_version,
-            init_req,
-            init_r_gnt,
-            init_gnt,
-            init_rsp,
-            tgt_req,
-            tgt_gnt,
-            tgt_rsp,
-            tgt_r_gnt,
-            prog_valid,
-            prog_prios,
+            state_version: e.state_version,
+            init_req: e.init_req,
+            init_r_gnt: e.init_r_gnt,
+            init_gnt: e.init_gnt,
+            init_rsp: e.init_rsp,
+            tgt_req: e.tgt_req,
+            tgt_gnt: e.tgt_gnt,
+            tgt_rsp: e.tgt_rsp,
+            tgt_r_gnt: e.tgt_r_gnt,
+            prog_valid: e.prog_valid,
+            prog_prios: e.prog_prios,
+            eval_ns,
+            eval_timing,
             cycles: 0,
         };
-        node.sim.settle().expect("node elaboration settles");
+        node.kern.settle().expect("node elaboration settles");
         node
+    }
+
+    /// The simulation backend this node was elaborated onto.
+    pub fn engine(&self) -> SimBackend {
+        match &self.kern {
+            Kern::Event(_) => SimBackend::Event,
+            Kern::Compiled(_) => SimBackend::Compiled,
+        }
     }
 
     /// Number of clock cycles stepped since construction or reset.
@@ -190,13 +473,27 @@ impl RtlNode {
     /// The structural (process/branch) coverage collected so far — the RTL
     /// stand-in for the paper's line/branch code coverage.
     pub fn activity_coverage(&self) -> ActivityCoverage {
-        self.sim.activity_coverage()
+        self.kern.activity_coverage()
     }
 
-    /// Total delta cycles executed by the embedded kernel (a work metric
-    /// used in the speed experiments).
+    /// Total evaluation work done by the embedded kernel (a work metric
+    /// used in the speed experiments): delta cycles on the event backend,
+    /// process activations on the compiled backend (which has no delta
+    /// queue).
     pub fn kernel_deltas(&self) -> u64 {
-        self.sim.total_deltas()
+        match &self.kern {
+            Kern::Event(sim) => sim.total_deltas(),
+            Kern::Compiled(sim) => sim.stats().process_activations,
+        }
+    }
+
+    /// Scheduling statistics of the compiled backend; `None` on the event
+    /// backend.
+    pub fn compiled_stats(&self) -> Option<CompiledStats> {
+        match &self.kern {
+            Kern::Event(_) => None,
+            Kern::Compiled(sim) => Some(sim.stats()),
+        }
     }
 
     /// The defects injected at elaboration, in catalogue order.
@@ -208,56 +505,126 @@ impl RtlNode {
     /// node's registers) for [`RtlNode::internal_trace_vcd`]. This is the
     /// RTL-only debugging visibility the paper's flow gets from NCSim —
     /// the BCA view has no such signals, so no equivalent exists there.
+    /// Only the event backend records internal traces; on the compiled
+    /// backend this is a no-op (re-run the scenario on the event engine
+    /// to debug at wire level).
     pub fn enable_internal_trace(&mut self) {
-        self.sim.set_trace(sim_kernel::VecTrace::default());
-        self.sim.trace_all();
+        if let Kern::Event(sim) = &mut self.kern {
+            sim.set_trace(sim_kernel::VecTrace::default());
+            sim.trace_all();
+        }
     }
 
     /// Renders everything recorded since
     /// [`RtlNode::enable_internal_trace`] as a VCD document; `None` if
-    /// tracing was never enabled.
+    /// tracing was never enabled (always `None` on the compiled backend).
     pub fn internal_trace_vcd(&self) -> Option<String> {
-        let trace: &sim_kernel::VecTrace = self.sim.trace()?;
-        Some(crate::trace::render_kernel_trace(&self.sim, trace))
+        match &self.kern {
+            Kern::Event(sim) => {
+                let trace: &sim_kernel::VecTrace = sim.trace()?;
+                Some(crate::trace::render_kernel_trace(sim, trace))
+            }
+            Kern::Compiled(_) => None,
+        }
     }
 
     fn drive_inputs(&mut self, inputs: &DutInputs) {
         let cfg = self.spec.config();
-        assert_eq!(inputs.initiator.len(), cfg.n_initiators, "initiator count");
+        let ni = cfg.n_initiators;
+        assert_eq!(inputs.initiator.len(), ni, "initiator count");
         assert_eq!(inputs.target.len(), cfg.n_targets, "target count");
-        for (i, p) in inputs.initiator.iter().enumerate() {
-            self.init_req[i].drive(&mut self.sim, p.req, &p.cell);
-            self.sim.drive(self.init_r_gnt[i], p.r_gnt);
-        }
-        for (t, p) in inputs.target.iter().enumerate() {
-            self.sim.drive(self.tgt_gnt[t], p.gnt);
-            self.tgt_rsp[t].drive(&mut self.sim, p.r_req, &p.r_cell);
-        }
-        match &inputs.prog {
-            Some(ProgCommand { priorities }) => {
-                self.sim.drive(self.prog_valid, true);
-                for (i, s) in self.prog_prios.iter().enumerate() {
-                    self.sim.drive(*s, priorities.get(i).copied().unwrap_or(0));
+        match &mut self.kern {
+            Kern::Event(sim) => {
+                for (i, p) in inputs.initiator.iter().enumerate() {
+                    self.init_req[i].drive(sim, p.req, &p.cell);
+                    sim.drive(self.init_r_gnt[i], p.r_gnt);
+                }
+                for (t, p) in inputs.target.iter().enumerate() {
+                    sim.drive(self.tgt_gnt[t], p.gnt);
+                    self.tgt_rsp[t].drive(sim, p.r_req, &p.r_cell);
+                }
+                match &inputs.prog {
+                    Some(ProgCommand { priorities }) => {
+                        sim.drive(self.prog_valid, true);
+                        for (i, s) in self.prog_prios.iter().enumerate() {
+                            sim.drive(*s, priorities.get(i).copied().unwrap_or(0));
+                        }
+                    }
+                    None => sim.drive(self.prog_valid, false),
                 }
             }
-            None => self.sim.drive(self.prog_valid, false),
+            Kern::Compiled(sim) => {
+                // Compiled port marshalling (see [`PlanBox`]): the cache
+                // mirrors the wires exactly, so a port whose struct is
+                // unchanged needs no wire traffic at all — every one of
+                // its drives would be suppressed as a no-op anyway. Ports
+                // that did change drive their wires as usual; the wires'
+                // committed-change detection is what wakes the comb
+                // process, exactly as on the event kernel.
+                let PlanBox::Compiled { inputs: cache, .. } = &self.plan else {
+                    unreachable!("compiled kernel carries a compiled plan")
+                };
+                let mut cache = cache.borrow_mut();
+                for (i, p) in inputs.initiator.iter().enumerate() {
+                    if *p != cache.initiator[i] {
+                        cache.initiator[i] = *p;
+                        self.init_req[i].drive(sim, p.req, &p.cell);
+                        sim.drive(self.init_r_gnt[i], p.r_gnt);
+                    }
+                }
+                for (t, p) in inputs.target.iter().enumerate() {
+                    if *p != cache.target[t] {
+                        cache.target[t] = *p;
+                        sim.drive(self.tgt_gnt[t], p.gnt);
+                        self.tgt_rsp[t].drive(sim, p.r_req, &p.r_cell);
+                    }
+                }
+                if inputs.prog != cache.prog {
+                    match &inputs.prog {
+                        Some(ProgCommand { priorities }) => {
+                            sim.drive(self.prog_valid, true);
+                            // The cache holds what the event comb would
+                            // sample off the wires: exactly one entry per
+                            // initiator, zero-padded.
+                            let q = cache.prog.get_or_insert_with(|| ProgCommand {
+                                priorities: Vec::new(),
+                            });
+                            q.priorities.clear();
+                            for (i, s) in self.prog_prios.iter().enumerate() {
+                                let pri = priorities.get(i).copied().unwrap_or(0);
+                                q.priorities.push(pri);
+                                sim.drive(*s, pri);
+                            }
+                        }
+                        None => {
+                            cache.prog = None;
+                            sim.drive(self.prog_valid, false);
+                        }
+                    }
+                }
+            }
         }
     }
 
     fn sample_outputs(&self) -> DutOutputs {
+        if let PlanBox::Compiled { plan, .. } = &self.plan {
+            // Compiled port marshalling (see [`PlanBox`]): the settled
+            // plan holds this cycle's outputs verbatim.
+            return plan.borrow().outputs.clone();
+        }
         let cfg = self.spec.config();
         let mut out = DutOutputs::idle(cfg);
         for i in 0..cfg.n_initiators {
-            out.initiator[i].gnt = self.sim.read(self.init_gnt[i]);
-            let (r_req, cell) = self.init_rsp[i].sample(&self.sim);
+            out.initiator[i].gnt = self.kern.read(self.init_gnt[i]);
+            let (r_req, cell) = self.init_rsp[i].sample(&self.kern);
             out.initiator[i].r_req = r_req;
             out.initiator[i].r_cell = cell;
         }
         for t in 0..cfg.n_targets {
-            let (req, cell) = self.tgt_req[t].sample(&self.sim);
+            let (req, cell) = self.tgt_req[t].sample(&self.kern);
             out.target[t].req = req;
             out.target[t].cell = cell;
-            out.target[t].r_gnt = self.sim.read(self.tgt_r_gnt[t]);
+            out.target[t].r_gnt = self.kern.read(self.tgt_r_gnt[t]);
         }
         out
     }
@@ -269,38 +636,49 @@ impl DutView for RtlNode {
     }
 
     fn attach_metrics(&mut self, registry: &telemetry::MetricsRegistry) {
-        self.sim.attach_metrics(registry);
+        match &mut self.kern {
+            Kern::Event(sim) => sim.attach_metrics(registry),
+            Kern::Compiled(sim) => sim.attach_metrics(registry),
+        }
     }
 
     fn view_kind(&self) -> ViewKind {
         ViewKind::Rtl
     }
 
+    fn set_phase_timing(&mut self, enabled: bool) {
+        self.eval_timing.set(enabled);
+    }
+
+    fn phase_eval_us(&self) -> u64 {
+        self.eval_ns.get() / 1_000
+    }
+
     fn reset(&mut self) {
         *self.state.borrow_mut() = self.spec.initial_state();
-        *self.plan.borrow_mut() = None;
+        self.plan.invalidate();
         self.cycles = 0;
         let idle = DutInputs::idle(self.spec.config());
         self.drive_inputs(&idle);
-        let v = self.sim.value(self.state_version);
-        self.sim.drive(self.state_version, v + 1);
-        self.sim.settle().expect("reset settles");
+        let v = self.kern.read(self.state_version);
+        self.kern.write(self.state_version, v + 1);
+        self.kern.settle().expect("reset settles");
     }
 
     fn step(&mut self, inputs: &DutInputs) -> DutOutputs {
         self.drive_inputs(inputs);
-        self.sim.settle().expect("combinational paths settle");
+        self.kern.settle().expect("combinational paths settle");
         let outputs = self.sample_outputs();
         // Rising edge halfway through the cycle: the clocked process
         // commits the planned state. Kernel time advances so internal
         // traces carry real timestamps.
-        self.sim.run_for(5).expect("idle time advance");
-        self.sim.drive(self.clk, true);
-        self.sim.settle().expect("posedge settles");
+        self.kern.run_for(5).expect("idle time advance");
+        self.kern.write(self.clk, true);
+        self.kern.settle().expect("posedge settles");
         // Falling edge closes the cycle.
-        self.sim.run_for(5).expect("idle time advance");
-        self.sim.drive(self.clk, false);
-        self.sim.settle().expect("negedge settles");
+        self.kern.run_for(5).expect("idle time advance");
+        self.kern.write(self.clk, false);
+        self.kern.settle().expect("negedge settles");
         self.cycles += 1;
         outputs
     }
@@ -310,8 +688,9 @@ impl std::fmt::Debug for RtlNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RtlNode")
             .field("config", &self.spec.config().name)
+            .field("engine", &self.engine())
             .field("cycles", &self.cycles)
-            .field("signals", &self.sim.signal_count())
+            .field("signals", &self.kern.signal_count())
             .finish()
     }
 }
@@ -331,36 +710,45 @@ struct CombWires {
 }
 
 impl CombWires {
-    fn sample_inputs(&self, ctx: &sim_kernel::ProcCtx<'_>, cfg: &NodeConfig) -> DutInputs {
+    fn sample_inputs<R: SigRead>(&self, r: &R, cfg: &NodeConfig) -> DutInputs {
         let mut inputs = DutInputs::idle(cfg);
-        for (i, w) in self.init_req.iter().enumerate() {
-            let (req, cell) = w.sample(ctx);
-            inputs.initiator[i].req = req;
-            inputs.initiator[i].cell = cell;
-            inputs.initiator[i].r_gnt = ctx.get(self.init_r_gnt[i]);
-        }
-        for (t, w) in self.tgt_rsp.iter().enumerate() {
-            inputs.target[t].gnt = ctx.get(self.tgt_gnt[t]);
-            let (r_req, cell) = w.sample(ctx);
-            inputs.target[t].r_req = r_req;
-            inputs.target[t].r_cell = cell;
-        }
-        if ctx.get(self.prog_valid) {
-            inputs.prog = Some(ProgCommand {
-                priorities: self.prog_prios.iter().map(|s| ctx.get(*s)).collect(),
-            });
-        }
+        self.sample_inputs_into(r, &mut inputs);
         inputs
     }
 
-    fn drive_outputs(&self, ctx: &mut sim_kernel::ProcCtx<'_>, outputs: &DutOutputs) {
+    /// Samples into an existing, correctly-sized `DutInputs` buffer so the
+    /// compiled backend's hot path performs no allocation (except the rare
+    /// programming-port cycle).
+    fn sample_inputs_into<R: SigRead>(&self, r: &R, inputs: &mut DutInputs) {
+        for (i, w) in self.init_req.iter().enumerate() {
+            let (req, cell) = w.sample(r);
+            inputs.initiator[i].req = req;
+            inputs.initiator[i].cell = cell;
+            inputs.initiator[i].r_gnt = r.read(self.init_r_gnt[i]);
+        }
+        for (t, w) in self.tgt_rsp.iter().enumerate() {
+            inputs.target[t].gnt = r.read(self.tgt_gnt[t]);
+            let (r_req, cell) = w.sample(r);
+            inputs.target[t].r_req = r_req;
+            inputs.target[t].r_cell = cell;
+        }
+        inputs.prog = if r.read(self.prog_valid) {
+            Some(ProgCommand {
+                priorities: self.prog_prios.iter().map(|s| r.read(*s)).collect(),
+            })
+        } else {
+            None
+        };
+    }
+
+    fn drive_outputs<W: SigWrite>(&self, w: &mut W, outputs: &DutOutputs) {
         for (i, p) in outputs.initiator.iter().enumerate() {
-            ctx.set(self.init_gnt[i], p.gnt);
-            self.init_rsp[i].drive(ctx, p.r_req, &p.r_cell);
+            w.write(self.init_gnt[i], p.gnt);
+            self.init_rsp[i].drive(w, p.r_req, &p.r_cell);
         }
         for (t, p) in outputs.target.iter().enumerate() {
-            self.tgt_req[t].drive(ctx, p.req, &p.cell);
-            ctx.set(self.tgt_r_gnt[t], p.r_gnt);
+            self.tgt_req[t].drive(w, p.req, &p.cell);
+            w.write(self.tgt_r_gnt[t], p.r_gnt);
         }
     }
 }
@@ -392,6 +780,10 @@ fn clone_rsp(w: &RspWires) -> RspWires {
 }
 
 fn ctx_cov(ctx: &mut sim_kernel::ProcCtx<'_>, branches: &[BranchId], p: ProbePoint) {
+    ctx.cov(branches[p.index()]);
+}
+
+fn ctx_cov_compiled(ctx: &mut sim_kernel::CompiledCtx<'_>, branches: &[BranchId], p: ProbePoint) {
     ctx.cov(branches[p.index()]);
 }
 
@@ -566,5 +958,116 @@ mod tests {
             let ob = b.step(&inputs);
             assert_eq!(oa, ob, "cycle {k}");
         }
+    }
+
+    /// A deterministic little traffic generator shared by the
+    /// cross-engine parity tests.
+    fn lcg_traffic(cfg: &NodeConfig, cycles: usize) -> Vec<DutInputs> {
+        let mut seed: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        let p = params(cfg);
+        (0..cycles)
+            .map(|k| {
+                let mut inputs = DutInputs::idle(cfg);
+                for i in 0..cfg.n_initiators {
+                    if next() % 3 == 0 {
+                        let pkt = RequestPacket::build(
+                            Opcode::load(TransferSize::B8),
+                            (next() % 0x8000) * 8,
+                            &[],
+                            p,
+                            InitiatorId(i as u8),
+                            TransactionId((next() % 16) as u8),
+                            (next() % 4) as u8,
+                            false,
+                        )
+                        .unwrap();
+                        inputs.initiator[i].req = true;
+                        inputs.initiator[i].cell = pkt.cells()[0];
+                    }
+                    inputs.initiator[i].r_gnt = next() % 4 != 0;
+                }
+                for t in 0..cfg.n_targets {
+                    inputs.target[t].gnt = next() % 4 != 0;
+                    if next() % 5 == 0 {
+                        inputs.target[t].r_req = true;
+                        inputs.target[t].r_cell = RspCell::ok(
+                            InitiatorId((next() % cfg.n_initiators as u64) as u8),
+                            TransactionId((next() % 16) as u8),
+                            true,
+                        );
+                    }
+                }
+                if k % 37 == 17 {
+                    inputs.prog = Some(ProgCommand {
+                        priorities: (0..cfg.n_initiators).map(|i| (i % 4) as u8).collect(),
+                    });
+                }
+                inputs
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compiled_engine_matches_event_engine_cycle_by_cycle() {
+        let cfg = NodeConfig::reference();
+        let mut ev = RtlNode::with_engine(cfg.clone(), SimBackend::Event);
+        let mut cp = RtlNode::with_engine(cfg.clone(), SimBackend::Compiled);
+        assert_eq!(ev.engine(), SimBackend::Event);
+        assert_eq!(cp.engine(), SimBackend::Compiled);
+        for (k, inputs) in lcg_traffic(&cfg, 300).iter().enumerate() {
+            let oe = ev.step(inputs);
+            let oc = cp.step(inputs);
+            assert_eq!(oe, oc, "cycle {k}");
+        }
+        // The structural coverage report must match exactly: same process
+        // run counts, same branch hit counts.
+        let ce = ev.activity_coverage();
+        let cc = cp.activity_coverage();
+        assert_eq!(ce.processes, cc.processes);
+        assert_eq!(ce.branches, cc.branches);
+    }
+
+    #[test]
+    fn compiled_engine_parity_survives_reset() {
+        let cfg = NodeConfig::reference();
+        let mut ev = RtlNode::with_engine(cfg.clone(), SimBackend::Event);
+        let mut cp = RtlNode::with_engine(cfg.clone(), SimBackend::Compiled);
+        let traffic = lcg_traffic(&cfg, 60);
+        for inputs in &traffic {
+            ev.step(inputs);
+            cp.step(inputs);
+        }
+        ev.reset();
+        cp.reset();
+        for (k, inputs) in traffic.iter().enumerate() {
+            let oe = ev.step(inputs);
+            let oc = cp.step(inputs);
+            assert_eq!(oe, oc, "post-reset cycle {k}");
+        }
+    }
+
+    #[test]
+    fn compiled_engine_schedule_has_no_feedback_cones() {
+        let cfg = NodeConfig::reference();
+        let node = RtlNode::with_engine(cfg, SimBackend::Compiled);
+        let stats = node.compiled_stats().expect("compiled backend");
+        assert_eq!(stats.fallback_iterations, 0, "node netlist is acyclic");
+    }
+
+    #[test]
+    fn phase_timing_accumulates_eval_time() {
+        let cfg = NodeConfig::reference();
+        let mut node = RtlNode::with_engine(cfg.clone(), SimBackend::Compiled);
+        node.set_phase_timing(true);
+        for inputs in lcg_traffic(&cfg, 50) {
+            node.step(&inputs);
+        }
+        assert!(node.phase_eval_us() > 0 || node.cycles() == 0);
     }
 }

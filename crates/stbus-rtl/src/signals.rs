@@ -4,40 +4,96 @@
 //! kernel-level tracing, sensitivity and delta-cycle semantics apply to the
 //! RTL view exactly as they would in an HDL simulator.
 
-use sim_kernel::{ProcCtx, Signal, SignalId, Simulator};
+use sim_kernel::{
+    BranchId, CompiledCtx, CompiledSim, ProcCtx, Signal, SignalId, Simulator, WordValue,
+};
 use stbus_protocol::{CellData, InitiatorId, Opcode, ReqCell, RspCell, RspKind, TransactionId};
 
-/// Uniform read access to signals from inside a process (`ProcCtx`) or
-/// outside (`Simulator`).
+/// Uniform signal/branch registration across both kernels, so one
+/// elaboration routine produces the identical netlist (same names, same
+/// registration order, same `SignalId`s) on either backend.
+///
+/// Every STBus wire is a scalar, so the [`WordValue`] bound — required
+/// by the compiled backend's flat word buffers — costs the event kernel
+/// nothing.
+pub(crate) trait SigAlloc {
+    fn signal<T: WordValue>(&mut self, name: &str, init: T) -> Signal<T>;
+    fn branch(&mut self, name: &str) -> BranchId;
+}
+
+impl SigAlloc for Simulator {
+    fn signal<T: WordValue>(&mut self, name: &str, init: T) -> Signal<T> {
+        self.add_signal(name, init)
+    }
+    fn branch(&mut self, name: &str) -> BranchId {
+        self.add_branch(name)
+    }
+}
+
+impl SigAlloc for CompiledSim {
+    fn signal<T: WordValue>(&mut self, name: &str, init: T) -> Signal<T> {
+        self.add_signal(name, init)
+    }
+    fn branch(&mut self, name: &str) -> BranchId {
+        self.add_branch(name)
+    }
+}
+
+/// Uniform read access to signals from inside a process (`ProcCtx` /
+/// `CompiledCtx`) or outside (`Simulator` / `CompiledSim`).
 pub(crate) trait SigRead {
-    fn read<T: sim_kernel::SignalValue>(&self, sig: Signal<T>) -> T;
+    fn read<T: WordValue>(&self, sig: Signal<T>) -> T;
 }
 
 impl SigRead for Simulator {
-    fn read<T: sim_kernel::SignalValue>(&self, sig: Signal<T>) -> T {
+    fn read<T: WordValue>(&self, sig: Signal<T>) -> T {
         self.value(sig)
     }
 }
 
 impl SigRead for ProcCtx<'_> {
-    fn read<T: sim_kernel::SignalValue>(&self, sig: Signal<T>) -> T {
+    fn read<T: WordValue>(&self, sig: Signal<T>) -> T {
+        self.get(sig)
+    }
+}
+
+impl SigRead for CompiledSim {
+    fn read<T: WordValue>(&self, sig: Signal<T>) -> T {
+        self.value(sig)
+    }
+}
+
+impl SigRead for CompiledCtx<'_> {
+    fn read<T: WordValue>(&self, sig: Signal<T>) -> T {
         self.get(sig)
     }
 }
 
 /// Uniform write access from inside or outside a process.
 pub(crate) trait SigWrite {
-    fn write<T: sim_kernel::SignalValue>(&mut self, sig: Signal<T>, value: T);
+    fn write<T: WordValue>(&mut self, sig: Signal<T>, value: T);
 }
 
 impl SigWrite for Simulator {
-    fn write<T: sim_kernel::SignalValue>(&mut self, sig: Signal<T>, value: T) {
+    fn write<T: WordValue>(&mut self, sig: Signal<T>, value: T) {
         self.drive(sig, value);
     }
 }
 
 impl SigWrite for ProcCtx<'_> {
-    fn write<T: sim_kernel::SignalValue>(&mut self, sig: Signal<T>, value: T) {
+    fn write<T: WordValue>(&mut self, sig: Signal<T>, value: T) {
+        self.set(sig, value);
+    }
+}
+
+impl SigWrite for CompiledSim {
+    fn write<T: WordValue>(&mut self, sig: Signal<T>, value: T) {
+        self.drive(sig, value);
+    }
+}
+
+impl SigWrite for CompiledCtx<'_> {
+    fn write<T: WordValue>(&mut self, sig: Signal<T>, value: T) {
         self.set(sig, value);
     }
 }
@@ -75,23 +131,23 @@ pub(crate) struct ReqWires {
 }
 
 impl ReqWires {
-    pub fn add(sim: &mut Simulator, prefix: &str) -> Self {
+    pub fn add<S: SigAlloc>(sim: &mut S, prefix: &str) -> Self {
         ReqWires {
-            req: sim.add_signal(&format!("{prefix}_req"), false),
-            addr: sim.add_signal(&format!("{prefix}_addr"), 0u64),
-            opc: sim.add_signal(&format!("{prefix}_opc"), Opcode::default().encode()),
+            req: sim.signal(&format!("{prefix}_req"), false),
+            addr: sim.signal(&format!("{prefix}_addr"), 0u64),
+            opc: sim.signal(&format!("{prefix}_opc"), Opcode::default().encode()),
             data: [
-                sim.add_signal(&format!("{prefix}_data0"), 0u64),
-                sim.add_signal(&format!("{prefix}_data1"), 0u64),
-                sim.add_signal(&format!("{prefix}_data2"), 0u64),
-                sim.add_signal(&format!("{prefix}_data3"), 0u64),
+                sim.signal(&format!("{prefix}_data0"), 0u64),
+                sim.signal(&format!("{prefix}_data1"), 0u64),
+                sim.signal(&format!("{prefix}_data2"), 0u64),
+                sim.signal(&format!("{prefix}_data3"), 0u64),
             ],
-            be: sim.add_signal(&format!("{prefix}_be"), 0u32),
-            eop: sim.add_signal(&format!("{prefix}_eop"), false),
-            lock: sim.add_signal(&format!("{prefix}_lck"), false),
-            tid: sim.add_signal(&format!("{prefix}_tid"), 0u8),
-            src: sim.add_signal(&format!("{prefix}_src"), 0u8),
-            pri: sim.add_signal(&format!("{prefix}_pri"), 0u8),
+            be: sim.signal(&format!("{prefix}_be"), 0u32),
+            eop: sim.signal(&format!("{prefix}_eop"), false),
+            lock: sim.signal(&format!("{prefix}_lck"), false),
+            tid: sim.signal(&format!("{prefix}_tid"), 0u8),
+            src: sim.signal(&format!("{prefix}_src"), 0u8),
+            pri: sim.signal(&format!("{prefix}_pri"), 0u8),
         }
     }
 
@@ -160,19 +216,19 @@ pub(crate) struct RspWires {
 }
 
 impl RspWires {
-    pub fn add(sim: &mut Simulator, prefix: &str) -> Self {
+    pub fn add<S: SigAlloc>(sim: &mut S, prefix: &str) -> Self {
         RspWires {
-            r_req: sim.add_signal(&format!("{prefix}_r_req"), false),
+            r_req: sim.signal(&format!("{prefix}_r_req"), false),
             data: [
-                sim.add_signal(&format!("{prefix}_r_data0"), 0u64),
-                sim.add_signal(&format!("{prefix}_r_data1"), 0u64),
-                sim.add_signal(&format!("{prefix}_r_data2"), 0u64),
-                sim.add_signal(&format!("{prefix}_r_data3"), 0u64),
+                sim.signal(&format!("{prefix}_r_data0"), 0u64),
+                sim.signal(&format!("{prefix}_r_data1"), 0u64),
+                sim.signal(&format!("{prefix}_r_data2"), 0u64),
+                sim.signal(&format!("{prefix}_r_data3"), 0u64),
             ],
-            err: sim.add_signal(&format!("{prefix}_r_err"), false),
-            eop: sim.add_signal(&format!("{prefix}_r_eop"), false),
-            tid: sim.add_signal(&format!("{prefix}_r_tid"), 0u8),
-            src: sim.add_signal(&format!("{prefix}_r_src"), 0u8),
+            err: sim.signal(&format!("{prefix}_r_err"), false),
+            eop: sim.signal(&format!("{prefix}_r_eop"), false),
+            tid: sim.signal(&format!("{prefix}_r_tid"), 0u8),
+            src: sim.signal(&format!("{prefix}_r_src"), 0u8),
         }
     }
 
@@ -259,6 +315,27 @@ mod tests {
         sim.settle().unwrap();
         let (r_req, sampled) = wires.sample(&sim);
         assert!(r_req);
+        assert_eq!(sampled, cell);
+    }
+
+    #[test]
+    fn req_wires_round_trip_on_compiled_backend() {
+        let mut sim = CompiledSim::new();
+        let wires = ReqWires::add(&mut sim, "i0");
+        let mut cell = ReqCell::new(
+            0xDEAD_BEE0,
+            Opcode::new(OpKind::Swap, TransferSize::B16),
+            InitiatorId(5),
+        );
+        cell.data = CellData::from_bytes(&(0..32).collect::<Vec<u8>>());
+        cell.be = 0xFFFF;
+        cell.lock = true;
+        cell.tid = TransactionId(9);
+        cell.pri = 3;
+        wires.drive(&mut sim, true, &cell);
+        sim.settle().unwrap();
+        let (req, sampled) = wires.sample(&sim);
+        assert!(req);
         assert_eq!(sampled, cell);
     }
 

@@ -248,7 +248,7 @@ impl ProbePoint {
 }
 
 /// The combinational result of one cycle: outputs plus register D-inputs.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct Plan {
     /// This cycle's port outputs.
     pub outputs: DutOutputs,
@@ -271,6 +271,76 @@ pub struct Plan {
     pub tgt_present_next: Vec<Option<usize>>,
     /// Next-cycle presented-lock per initiator response port.
     pub rsp_present_next: Vec<Option<usize>>,
+}
+
+impl Plan {
+    /// An unsized plan; [`NodeSpec::evaluate_into`] sizes and fills it.
+    pub fn empty() -> Self {
+        Plan {
+            outputs: DutOutputs {
+                initiator: Vec::new(),
+                target: Vec::new(),
+            },
+            req_arb_io: Vec::new(),
+            rsp_arb_io: Vec::new(),
+            input_accepts: Vec::new(),
+            forwards: Vec::new(),
+            internal_forwards: Vec::new(),
+            rsp_transfers: Vec::new(),
+            prog: None,
+            tgt_present_next: Vec::new(),
+            rsp_present_next: Vec::new(),
+        }
+    }
+
+    /// Resizes every field to the configuration and resets it to the
+    /// idle value, reusing the existing allocations.
+    fn reset(&mut self, cfg: &NodeConfig) {
+        let ni = cfg.n_initiators;
+        let nt = cfg.n_targets;
+        self.outputs.initiator.clear();
+        self.outputs.initiator.resize(ni, Default::default());
+        self.outputs.target.clear();
+        self.outputs.target.resize(nt, Default::default());
+        self.req_arb_io.resize_with(nt, || (Vec::new(), None));
+        for (reqs, winner) in &mut self.req_arb_io {
+            reqs.clear();
+            *winner = None;
+        }
+        self.rsp_arb_io.resize_with(ni, || (Vec::new(), None));
+        for (reqs, winner) in &mut self.rsp_arb_io {
+            reqs.clear();
+            *winner = None;
+        }
+        self.input_accepts.clear();
+        self.input_accepts.resize(ni, None);
+        self.forwards.clear();
+        self.forwards.resize(nt, None);
+        self.internal_forwards.clear();
+        self.rsp_transfers.clear();
+        self.rsp_transfers.resize(ni, None);
+        self.prog = None;
+        self.tgt_present_next.clear();
+        self.tgt_present_next.resize(nt, None);
+        self.rsp_present_next.clear();
+        self.rsp_present_next.resize(ni, None);
+    }
+}
+
+/// Reusable intermediate buffers for [`NodeSpec::evaluate_into`].
+///
+/// Holding one of these (plus a reused [`Plan`]) across cycles keeps the
+/// combinational evaluation allocation-free in steady state — the
+/// property the compiled simulation backend's throughput rests on.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    presentable: Vec<Option<ReqCell>>,
+    dest: Vec<Option<Route>>,
+    req_vec: Vec<Vec<bool>>,
+    winners: Vec<Option<usize>>,
+    proceeding: Vec<bool>,
+    presenting: Vec<bool>,
+    eligible: Vec<bool>,
 }
 
 /// The pure cycle-level specification of the node, parameterized by its
@@ -381,6 +451,10 @@ impl NodeSpec {
     /// `probe` receives coverage events; pass a no-op closure when not
     /// collecting coverage.
     ///
+    /// Allocates a fresh [`Plan`]; hot paths that evaluate every cycle
+    /// should hold an [`EvalScratch`] and a reused `Plan` and call
+    /// [`NodeSpec::evaluate_into`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `inputs` port counts disagree with the configuration.
@@ -390,6 +464,28 @@ impl NodeSpec {
         inputs: &DutInputs,
         probe: &mut dyn FnMut(ProbePoint),
     ) -> Plan {
+        let mut scratch = EvalScratch::default();
+        let mut plan = Plan::empty();
+        self.evaluate_into(st, inputs, probe, &mut scratch, &mut plan);
+        plan
+    }
+
+    /// [`NodeSpec::evaluate`] without the allocations: every intermediate
+    /// vector lives in `scratch` and the result overwrites `plan` in
+    /// place, so steady-state evaluation allocates nothing. The decision
+    /// logic — and therefore the probe-event order — is identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` port counts disagree with the configuration.
+    pub fn evaluate_into(
+        &self,
+        st: &NodeState,
+        inputs: &DutInputs,
+        probe: &mut dyn FnMut(ProbePoint),
+        scratch: &mut EvalScratch,
+        plan: &mut Plan,
+    ) {
         let cfg = &self.config;
         let ni = cfg.n_initiators;
         let nt = cfg.n_targets;
@@ -397,35 +493,36 @@ impl NodeSpec {
         assert_eq!(inputs.target.len(), nt, "target port count mismatch");
         let pipelined = cfg.pipe_depth > 0;
         let max_open = self.effective_max_outstanding();
+        plan.reset(cfg);
 
         // --- request path -------------------------------------------------
         // The cell each initiator presents to the arbitration stage.
-        let presentable: Vec<Option<ReqCell>> = (0..ni)
-            .map(|i| {
-                if pipelined {
-                    st.fifo[i].front().copied()
-                } else if inputs.initiator[i].req {
-                    Some(inputs.initiator[i].cell)
-                } else {
-                    None
-                }
-            })
-            .collect();
+        let presentable = &mut scratch.presentable;
+        presentable.clear();
+        presentable.extend((0..ni).map(|i| {
+            if pipelined {
+                st.fifo[i].front().copied()
+            } else if inputs.initiator[i].req {
+                Some(inputs.initiator[i].cell)
+            } else {
+                None
+            }
+        }));
 
         // Destination of each presentable cell: the locked route, or a
         // fresh decode on the first cell of a packet.
-        let dest: Vec<Option<Route>> = (0..ni)
-            .map(|i| {
-                let cell = presentable[i]?;
-                Some(match st.route[i] {
-                    Some(r) => r,
-                    None => match cfg.address_map.decode(cell.addr) {
-                        Some(TargetId(t)) => Route::Target(self.route_target(t as usize)),
-                        None => Route::Internal,
-                    },
-                })
+        let dest = &mut scratch.dest;
+        dest.clear();
+        dest.extend((0..ni).map(|i| {
+            let cell = presentable[i]?;
+            Some(match st.route[i] {
+                Some(r) => r,
+                None => match cfg.address_map.decode(cell.addr) {
+                    Some(TargetId(t)) => Route::Target(self.route_target(t as usize)),
+                    None => Route::Internal,
+                },
             })
-            .collect();
+        }));
 
         // First-cell gating by the outstanding limit. In pipelined mode the
         // gate applies at the input stage instead (open_tx counted there),
@@ -434,7 +531,12 @@ impl NodeSpec {
             |i: usize| -> bool { !pipelined && st.route[i].is_none() && st.open_tx[i] >= max_open };
 
         // Per-target request vectors after chunk filtering and gating.
-        let mut req_vec: Vec<Vec<bool>> = vec![vec![false; ni]; nt];
+        let req_vec = &mut scratch.req_vec;
+        req_vec.resize_with(nt, Vec::new);
+        for row in req_vec.iter_mut() {
+            row.clear();
+            row.resize(ni, false);
+        }
         for i in 0..ni {
             if let (Some(_), Some(Route::Target(t))) = (presentable[i], dest[i]) {
                 if gated(i) {
@@ -458,14 +560,16 @@ impl NodeSpec {
 
         // Arbiter selection per target (a cell already presented to the
         // target holds the mux until accepted), then lane allocation.
-        let winners: Vec<Option<usize>> = (0..nt)
-            .map(|t| match st.tgt_presented[t] {
-                Some(i) if req_vec[t][i] => Some(i),
-                _ => st.req_arb[t].choose(&req_vec[t]),
-            })
-            .collect();
+        let winners = &mut scratch.winners;
+        winners.clear();
+        winners.extend((0..nt).map(|t| match st.tgt_presented[t] {
+            Some(i) if req_vec[t][i] => Some(i),
+            _ => st.req_arb[t].choose(&req_vec[t]),
+        }));
         let lanes = self.lane_limit();
-        let mut proceeding = vec![false; nt];
+        let proceeding = &mut scratch.proceeding;
+        proceeding.clear();
+        proceeding.resize(nt, false);
         let mut used_lanes = 0usize;
         for t in 0..nt {
             if winners[t].is_some() {
@@ -478,58 +582,53 @@ impl NodeSpec {
             }
         }
 
-        let mut outputs = DutOutputs::idle(cfg);
-        let mut forwards: Vec<Option<(usize, ReqCell)>> = vec![None; nt];
-        let mut req_arb_io = Vec::with_capacity(nt);
-        let mut tgt_present_next: Vec<Option<usize>> = vec![None; nt];
         for t in 0..nt {
             let mut committed = None;
             if proceeding[t] {
                 let w = winners[t].expect("proceeding implies winner");
                 let cell = presentable[w].expect("winner presented a cell");
-                outputs.target[t].req = true;
-                outputs.target[t].cell = cell;
+                plan.outputs.target[t].req = true;
+                plan.outputs.target[t].cell = cell;
                 if inputs.target[t].gnt {
-                    forwards[t] = Some((w, cell));
+                    plan.forwards[t] = Some((w, cell));
                     committed = Some(w);
                     probe(ProbePoint::RequestForwarded);
                 } else if !self.has_bug(RtlBug::DroppedGrantHold) {
                     // R1 skips the presented-lock: the mux may re-arbitrate
                     // while the cell waits for `gnt`.
-                    tgt_present_next[t] = Some(w);
+                    plan.tgt_present_next[t] = Some(w);
                 }
             } else {
-                outputs.target[t].req = false;
-                outputs.target[t].cell = st.tgt_cell_hold[t]; // wires hold
+                plan.outputs.target[t].req = false;
+                plan.outputs.target[t].cell = st.tgt_cell_hold[t]; // wires hold
             }
             // Losers this cycle (for coverage only).
             if req_vec[t].iter().filter(|r| **r).count() > 1 {
                 probe(ProbePoint::ArbitrationLoss);
             }
-            req_arb_io.push((req_vec[t].clone(), committed));
+            plan.req_arb_io[t].0.extend_from_slice(&req_vec[t]);
+            plan.req_arb_io[t].1 = committed;
         }
 
         // Internal error responder absorbs unmapped requests, one cell per
         // initiator per cycle, never stalling.
-        let mut internal_forwards = Vec::new();
         for i in 0..ni {
             if let (Some(cell), Some(Route::Internal)) = (presentable[i], dest[i]) {
                 if !gated(i) {
-                    internal_forwards.push((i, cell));
+                    plan.internal_forwards.push((i, cell));
                     probe(ProbePoint::ErrorRouted);
                 }
             }
         }
 
         // Initiator-side grants.
-        let mut input_accepts: Vec<Option<ReqCell>> = vec![None; ni];
         #[allow(clippy::needless_range_loop)]
         for i in 0..ni {
             let gnt = if pipelined {
                 // Accept into the FIFO whenever there is (or will be) space
                 // and the outstanding gate passes on a first cell.
-                let popping = forwards.iter().flatten().any(|(w, _)| *w == i)
-                    || internal_forwards.iter().any(|(w, _)| *w == i);
+                let popping = plan.forwards.iter().flatten().any(|(w, _)| *w == i)
+                    || plan.internal_forwards.iter().any(|(w, _)| *w == i);
                 let space = st.fifo[i].len() < cfg.pipe_depth
                     || (st.fifo[i].len() == cfg.pipe_depth && popping);
                 if !space {
@@ -542,22 +641,19 @@ impl NodeSpec {
                 }
                 let accept = inputs.initiator[i].req && space && gate_ok;
                 if accept {
-                    input_accepts[i] = Some(inputs.initiator[i].cell);
+                    plan.input_accepts[i] = Some(inputs.initiator[i].cell);
                 }
                 accept
             } else {
-                forwards.iter().flatten().any(|(w, _)| *w == i)
-                    || internal_forwards.iter().any(|(w, _)| *w == i)
+                plan.forwards.iter().flatten().any(|(w, _)| *w == i)
+                    || plan.internal_forwards.iter().any(|(w, _)| *w == i)
             };
-            outputs.initiator[i].gnt = gnt;
+            plan.outputs.initiator[i].gnt = gnt;
         }
 
         // --- response path --------------------------------------------------
         // Responder index space: 0..nt = target ports, nt = internal.
         let n_resp = nt + 1;
-        let mut rsp_arb_io = Vec::with_capacity(ni);
-        let mut rsp_transfers: Vec<Option<(usize, RspCell)>> = vec![None; ni];
-        let mut rsp_present_next: Vec<Option<usize>> = vec![None; ni];
 
         // Which responder presents a cell for initiator j, and that cell.
         let present_cell = |j: usize, r: usize| -> Option<RspCell> {
@@ -572,12 +668,16 @@ impl NodeSpec {
 
         let mut rsp_lanes_used = 0usize;
         for j in 0..ni {
-            let mut presenting = vec![false; n_resp];
+            let presenting = &mut scratch.presenting;
+            presenting.clear();
+            presenting.resize(n_resp, false);
             for (r, p) in presenting.iter_mut().enumerate() {
                 *p = present_cell(j, r).is_some();
             }
             // Eligibility filter: locked packet route, then ordering.
-            let mut eligible = presenting.clone();
+            let eligible = &mut scratch.eligible;
+            eligible.clear();
+            eligible.extend_from_slice(presenting);
             if let Some(locked) = st.rsp_route[j] {
                 for (r, e) in eligible.iter_mut().enumerate() {
                     if r != locked {
@@ -600,54 +700,42 @@ impl NodeSpec {
 
             let winner = match st.rsp_presented[j] {
                 Some(r) if eligible[r] => Some(r),
-                _ => st.rsp_arb[j].choose(&eligible),
+                _ => st.rsp_arb[j].choose(eligible),
             };
             let mut committed = None;
             if let Some(r) = winner {
                 if rsp_lanes_used < lanes {
                     rsp_lanes_used += 1;
                     let cell = present_cell(j, r).expect("winner presents");
-                    outputs.initiator[j].r_req = true;
-                    outputs.initiator[j].r_cell = cell;
+                    plan.outputs.initiator[j].r_req = true;
+                    plan.outputs.initiator[j].r_cell = cell;
                     if inputs.initiator[j].r_gnt {
-                        rsp_transfers[j] = Some((r, cell));
+                        plan.rsp_transfers[j] = Some((r, cell));
                         committed = Some(r);
                         probe(ProbePoint::ResponseDelivered);
                         if r < nt {
-                            outputs.target[r].r_gnt = true;
+                            plan.outputs.target[r].r_gnt = true;
                         }
                     } else {
-                        rsp_present_next[j] = Some(r);
+                        plan.rsp_present_next[j] = Some(r);
                     }
                 }
             }
-            if !outputs.initiator[j].r_req {
-                outputs.initiator[j].r_cell = st.init_rsp_hold[j]; // wires hold
+            if !plan.outputs.initiator[j].r_req {
+                plan.outputs.initiator[j].r_cell = st.init_rsp_hold[j]; // wires hold
             }
-            rsp_arb_io.push((eligible, committed));
+            plan.rsp_arb_io[j].0.extend_from_slice(eligible);
+            plan.rsp_arb_io[j].1 = committed;
         }
 
         // Programming port.
-        let prog = match (&inputs.prog, cfg.prog_port) {
+        plan.prog = match (&inputs.prog, cfg.prog_port) {
             (Some(cmd), true) => {
                 probe(ProbePoint::ProgApplied);
                 Some(cmd.priorities.clone())
             }
             _ => None,
         };
-
-        Plan {
-            outputs,
-            req_arb_io,
-            rsp_arb_io,
-            input_accepts,
-            forwards,
-            internal_forwards,
-            rsp_transfers,
-            prog,
-            tgt_present_next,
-            rsp_present_next,
-        }
     }
 
     /// The clocked process: applies one cycle's plan to the state.
@@ -805,7 +893,7 @@ impl NodeSpec {
 mod tests {
     use super::*;
     use stbus_protocol::packet::{request_cells, PacketParams, RequestPacket};
-    use stbus_protocol::{ArbitrationKind, Architecture, InitiatorId, TransferSize};
+    use stbus_protocol::{ArbitrationKind, Architecture, InitiatorId, ProgCommand, TransferSize};
 
     fn no_probe() -> impl FnMut(ProbePoint) {
         |_| {}
@@ -1405,5 +1493,74 @@ mod tests {
         let c = cfg();
         let op = Opcode::store(TransferSize::B32);
         assert_eq!(request_cells(op, c.protocol, c.bus_bytes), 4);
+    }
+
+    /// `evaluate_into` with reused scratch/plan buffers is the same
+    /// function as the allocating `evaluate`: identical plans and an
+    /// identical probe-event sequence, cycle after cycle, across mapped,
+    /// unmapped and programming traffic with backpressure.
+    #[test]
+    fn evaluate_into_matches_evaluate() {
+        let pipelined = NodeConfig::builder("pipe")
+            .initiators(3)
+            .targets(2)
+            .bus_bytes(8)
+            .protocol(ProtocolType::Type3)
+            .architecture(Architecture::FullCrossbar)
+            .arbitration(ArbitrationKind::Lru)
+            .pipe_depth(2)
+            .prog_port(true)
+            .build()
+            .unwrap();
+        for c in [cfg(), pipelined] {
+            let spec = NodeSpec::new(c.clone());
+            let mut st_a = spec.initial_state();
+            let mut st_b = spec.initial_state();
+            let mut scratch = EvalScratch::default();
+            let mut plan_b = Plan::empty();
+            let mut lcg = 0x2545_f491_4f6c_dd1du64;
+            let mut next = move || {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                lcg >> 33
+            };
+            for cycle in 0u64..200 {
+                let mut inputs = DutInputs::idle(&c);
+                for i in 0..c.n_initiators {
+                    if next() % 3 == 0 {
+                        // Addresses beyond the map exercise the internal
+                        // error responder (and with it the response path).
+                        let addr = (next() % 0x8000) * 8;
+                        let pkt = simple_load(&c, i as u8, addr, (cycle % 16) as u8);
+                        inputs.initiator[i].req = true;
+                        inputs.initiator[i].cell = pkt.cells()[0];
+                    }
+                    inputs.initiator[i].r_gnt = next() % 4 != 0;
+                }
+                for t in 0..c.n_targets {
+                    inputs.target[t].gnt = next() % 4 != 0;
+                }
+                if c.prog_port && cycle % 37 == 0 {
+                    inputs.prog = Some(ProgCommand {
+                        priorities: (0..c.n_initiators).map(|i| (i as u8) ^ 1).collect(),
+                    });
+                }
+                let mut ev_a = Vec::new();
+                let plan_a = spec.evaluate(&st_a, &inputs, &mut |p| ev_a.push(p));
+                let mut ev_b = Vec::new();
+                spec.evaluate_into(
+                    &st_b,
+                    &inputs,
+                    &mut |p| ev_b.push(p),
+                    &mut scratch,
+                    &mut plan_b,
+                );
+                assert_eq!(plan_a, plan_b, "plans diverged at cycle {cycle}");
+                assert_eq!(ev_a, ev_b, "probe order diverged at cycle {cycle}");
+                spec.commit(&mut st_a, &plan_a);
+                spec.commit(&mut st_b, &plan_b);
+            }
+        }
     }
 }
