@@ -10,8 +10,12 @@
 //! replays the same campaign's RTL runs with the DUT's `step` calls
 //! timed directly, which isolates the simulation backend from the
 //! (engine-independent) testbench, scoreboard and comparison overhead.
-//! Everything lands in `BENCH_regression.json`
-//! (schema `stbus-bench-regression/3`):
+//! It then runs a cold/warm cache pair per engine — the same campaign
+//! serially against an empty cell store and again against the store the
+//! cold run filled — verifying the warm run simulates nothing (100% hit
+//! rate) and reports byte-identically, and recording the warm-run
+//! speedup. Everything lands in `BENCH_regression.json`
+//! (schema `stbus-bench-regression/4`):
 //!
 //! ```text
 //! regression_throughput [--configs N] [--seeds N] [--intensity N]
@@ -32,6 +36,12 @@
 //! history (`.stbus/history.jsonl`, see the `stbus-regress history`
 //! subcommand), keyed per engine, making bench runs part of the same
 //! trend the CLI inspects.
+//!
+//! Note: the checked-in `BENCH_regression.json` was recorded on a 1-core
+//! container host — every multi-worker sweep point there is flagged
+//! `single_core_artifact` and the meaningful numbers are the RTL-view
+//! step rates and the cache warm-run speedup, which do not need parallel
+//! hardware.
 
 use regression::{run_regression, standard_configs, RegressionOptions, RegressionReport};
 use sim_kernel::SimBackend;
@@ -320,6 +330,65 @@ fn main() {
         "engines disagree on the bench campaign"
     );
 
+    // --- cold/warm cache pair ------------------------------------------
+    // The same serial campaign against an empty cell store, then against
+    // the store that cold run filled. The warm run must answer every
+    // cell from the store (zero simulations) and report byte-identically;
+    // the wall-clock ratio is the memoization payoff on this shape.
+    let mut cache_sections: Vec<Json> = Vec::new();
+    for &engine in &engines {
+        let cache_root =
+            std::env::temp_dir().join(format!("stbus-bench-cache-{engine}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache_root);
+        let cached_opts = || {
+            let mut o = mk_opts(1, engine);
+            o.cache_dir = Some(cache_root.clone());
+            o
+        };
+        let mut cold = run_regression(configs, &tests, &cached_opts());
+        let cold_us = cold.wall_us;
+        let cold_stats = cold.cache.expect("cache summary present");
+        let mut warm = run_regression(configs, &tests, &cached_opts());
+        let warm_us = warm.wall_us;
+        let warm_stats = warm.cache.expect("cache summary present");
+        assert_eq!(
+            warm_stats.simulated, 0,
+            "{engine} warm campaign must perform zero simulations"
+        );
+        assert_eq!(
+            warm_stats.hits, cells as u64,
+            "{engine} warm campaign must answer every cell from the store"
+        );
+        cold.strip_timings();
+        warm.strip_timings();
+        assert_eq!(
+            cold.manifest_json().render_pretty(),
+            warm.manifest_json().render_pretty(),
+            "{engine} warm campaign diverged from its cold baseline"
+        );
+        let hit_rate = warm_stats.hits as f64 / (warm_stats.hits + warm_stats.misses) as f64;
+        let warm_speedup = if warm_us == 0 {
+            1.0
+        } else {
+            cold_us as f64 / warm_us as f64
+        };
+        eprintln!(
+            "  cache {engine:>8}: cold {cold_us} us, warm {warm_us} us ({warm_speedup:.2}x), hit rate {:.0}%",
+            hit_rate * 100.0
+        );
+        cache_sections.push(Json::obj([
+            ("engine", Json::from(engine.to_string())),
+            ("cold_wall_us", Json::from(cold_us)),
+            ("warm_wall_us", Json::from(warm_us)),
+            ("warm_speedup", Json::from(warm_speedup)),
+            ("hit_rate", Json::from(hit_rate)),
+            ("cold_simulated", Json::from(cold_stats.simulated)),
+            ("warm_simulated", Json::from(warm_stats.simulated)),
+            ("warm_report_identical", Json::from(true)),
+        ]));
+        let _ = std::fs::remove_dir_all(&cache_root);
+    }
+
     // --- the RTL view in isolation -------------------------------------
     // Replay the campaign's RTL runs with `step` timed directly. The
     // full-campaign wall clock above is dominated by engine-independent
@@ -373,7 +442,7 @@ fn main() {
     }
 
     let json = Json::obj([
-        ("schema", Json::from("stbus-bench-regression/3")),
+        ("schema", Json::from("stbus-bench-regression/4")),
         ("benchmark", Json::from("regression_throughput")),
         ("configs", Json::from(configs.len())),
         ("tests", Json::from(tests.len())),
@@ -391,6 +460,7 @@ fn main() {
         ),
         ("engines", Json::Arr(engine_sections)),
         ("best_speedup", Json::from(best_speedup)),
+        ("cache", Json::Arr(cache_sections)),
         (
             "rtl_view",
             Json::obj([

@@ -54,7 +54,7 @@ mod views;
 pub use checker::{CheckerReport, ProtocolChecker, Violation, ViolationKind};
 pub use constraint::{ConstraintModel, Implication, Pred};
 pub use coverage::{CoverageGroup, CoverageReport, FunctionalCoverage, HoleId};
-pub use harness::InitiatorBfm;
+pub use harness::{InitiatorBfm, InitiatorStats};
 pub use legacy::{LegacyOutcome, LegacyTestbench};
 pub use memory::SparseMemory;
 pub use monitor::{MonitorEvent, PortMonitor, PortSide};

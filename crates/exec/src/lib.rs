@@ -64,6 +64,15 @@ pub struct ThreadPool {
     workers: Vec<JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The queue sender and join handles carry no printable state.
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl ThreadPool {
     /// Spawns `threads` workers (clamped to at least one).
     pub fn new(threads: usize) -> Self {

@@ -4,11 +4,15 @@
 //! stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N]
 //!               [--jobs N] [--engine event|compiled] [--deterministic]
 //!               [--no-compare] [--exact]
+//!               [--cache] [--cache-dir DIR] [--cache-max-entries N]
+//!               [--cache-max-bytes N]
 //!               [--log-format text|json] [--log-file PATH] [--quiet]
 //!               [--profile] [--trace-out FILE] [--no-history]
 //!               [--history-dir DIR]
 //!               [--qualify] [--close-coverage] [--batch N] [--budget N]
 //!               [--signoff] [--waivers FILE] [--from-closure FILE]
+//! stbus-regress --serve SOCKET [--cache-dir DIR] [--jobs N] [...]
+//! stbus-regress --client SOCKET [--configs <dir>] [--seeds N] [...]
 //! stbus-regress history [--baseline N] [--max-regression PCT] [--dir DIR]
 //! ```
 //!
@@ -55,6 +59,25 @@
 //! `--jobs`) to `--out`. Exits 2 on an invalid waiver file, 1 on any
 //! failed gate.
 //!
+//! `--cache` (or any `--cache-*` flag) turns on the content-addressed
+//! cell store: every `{config, test, seed}` cell consults the store
+//! before simulating and records its result on a miss, so repeating an
+//! unchanged campaign performs zero simulations and reproduces the same
+//! reports. `--cache-dir` relocates the store (default
+//! `.stbus/cell-cache`); `--cache-max-entries` / `--cache-max-bytes`
+//! bound it with LRU eviction after the campaign. With `--out`, a
+//! `cache_stats.json` lands next to the reports recording
+//! hits/misses/puts/corrupt/evicted/simulated.
+//!
+//! `--serve SOCKET` runs the tool as a long-lived daemon on a Unix
+//! socket: line-delimited JSON requests (`ping`, `stats`, `campaign`,
+//! `shutdown`), one shared cell store and one shared worker pool across
+//! all clients — concurrent campaigns queue their cells behind the pool,
+//! which is the daemon's backpressure. The daemon shuts down cleanly on
+//! a `shutdown` request or EOF on its stdin. `--client SOCKET` is the
+//! matching thin client: it submits the campaign described by the other
+//! flags and prints the daemon's report.
+//!
 //! `--jobs N` fans the `{config × test × seed}` cells out across N worker
 //! threads (default: one per hardware thread; `--jobs 1` is fully
 //! serial). Results are reassembled in matrix order, so the table and
@@ -100,8 +123,14 @@
 
 use stbus_bca::Fidelity;
 use stbus_protocol::NodeConfig;
-use stbus_regression::{parse_config, run_regression, standard_configs, RegressionOptions};
+use stbus_regression::{
+    parse_config, render_config, run_regression, serve, standard_configs, RegressionOptions,
+};
 use telemetry::{Json, JsonlSink, Level, Telemetry, TextSink};
+
+/// Where the cell store lives when `--cache` is given without a
+/// `--cache-dir`.
+const DEFAULT_CACHE_DIR: &str = ".stbus/cell-cache";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -131,6 +160,11 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut no_history = false;
     let mut history_dir = ".".to_owned();
+    let mut cache_flag = false;
+    let mut cache_dir: Option<String> = None;
+    let mut cache_gc = cache::GcPolicy::default();
+    let mut serve_socket: Option<String> = None;
+    let mut client_socket: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--qualify" => qualify = true,
@@ -195,6 +229,52 @@ fn main() {
             }
             "--no-compare" => options.compare_waveforms = false,
             "--exact" => options.fidelity = Fidelity::Exact,
+            "--cache" => cache_flag = true,
+            "--cache-dir" => {
+                cache_dir = match args.next() {
+                    Some(d) => Some(d),
+                    None => {
+                        eprintln!("--cache-dir takes a directory");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--cache-max-entries" => {
+                cache_gc.max_entries = match args.next().and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => Some(n),
+                    _ => {
+                        eprintln!("--cache-max-entries takes a positive entry count");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--cache-max-bytes" => {
+                cache_gc.max_bytes = match args.next().and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => Some(n),
+                    _ => {
+                        eprintln!("--cache-max-bytes takes a positive byte budget");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--serve" => {
+                serve_socket = match args.next() {
+                    Some(s) => Some(s),
+                    None => {
+                        eprintln!("--serve takes a socket path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--client" => {
+                client_socket = match args.next() {
+                    Some(s) => Some(s),
+                    None => {
+                        eprintln!("--client takes a socket path");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--log-format" => {
                 log_format = args.next().unwrap_or_default();
                 if log_format != "text" && log_format != "json" {
@@ -218,7 +298,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--engine event|compiled] [--deterministic] [--no-compare] [--exact] [--log-format text|json] [--log-file PATH] [--quiet] [--profile] [--trace-out FILE] [--no-history] [--history-dir DIR] [--qualify] [--close-coverage] [--batch N] [--budget N] [--signoff] [--waivers FILE] [--from-closure FILE]\n       stbus-regress history [--baseline N] [--max-regression PCT] [--dir DIR]"
+                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--engine event|compiled] [--deterministic] [--no-compare] [--exact] [--cache] [--cache-dir DIR] [--cache-max-entries N] [--cache-max-bytes N] [--log-format text|json] [--log-file PATH] [--quiet] [--profile] [--trace-out FILE] [--no-history] [--history-dir DIR] [--qualify] [--close-coverage] [--batch N] [--budget N] [--signoff] [--waivers FILE] [--from-closure FILE]\n       stbus-regress --serve SOCKET [--cache-dir DIR] [--cache-max-entries N] [--cache-max-bytes N] [--jobs N]\n       stbus-regress --client SOCKET [--configs <dir>] [--seeds N] [--intensity N] [--engine event|compiled] [--no-compare] [--deterministic] [--out <dir>]\n       stbus-regress history [--baseline N] [--max-regression PCT] [--dir DIR]"
                 );
                 return;
             }
@@ -229,6 +309,20 @@ fn main() {
         }
     }
     options.intensity = intensity;
+    // Any cache flag switches the store on; --cache alone uses the
+    // default location.
+    if cache_flag
+        || cache_dir.is_some()
+        || cache_gc.max_entries.is_some()
+        || cache_gc.max_bytes.is_some()
+    {
+        options.cache_dir = Some(std::path::PathBuf::from(
+            cache_dir
+                .clone()
+                .unwrap_or_else(|| DEFAULT_CACHE_DIR.to_owned()),
+        ));
+        options.cache_gc = cache_gc;
+    }
 
     let mut builder = Telemetry::builder().min_level(Level::Info);
     if !quiet {
@@ -263,6 +357,54 @@ fn main() {
     }
     let tel = builder.build();
     options.telemetry = tel.clone();
+
+    if let Some(socket) = &serve_socket {
+        let sopts = serve::ServeOptions {
+            socket: std::path::PathBuf::from(socket),
+            cache_dir: options
+                .cache_dir
+                .clone()
+                .unwrap_or_else(|| std::path::PathBuf::from(DEFAULT_CACHE_DIR)),
+            jobs: options.jobs,
+            cache_gc,
+            telemetry: tel.clone(),
+        };
+        let server = match serve::Server::bind(sopts) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot serve on {socket}: {e}");
+                std::process::exit(1);
+            }
+        };
+        // EOF on stdin is the no-signal shutdown path: the daemon dies
+        // with whoever spawned it once the write end of its stdin closes.
+        let flag = server.shutdown_flag();
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => {
+                        flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                        return;
+                    }
+                    Ok(_) => {}
+                }
+            }
+        });
+        match server.run() {
+            Ok(_) => {
+                tel.flush();
+                return;
+            }
+            Err(e) => {
+                eprintln!("daemon failed: {e}");
+                tel.flush();
+                std::process::exit(1);
+            }
+        }
+    }
 
     if qualify {
         let mut qopts = mutation::QualifyOptions {
@@ -362,6 +504,82 @@ fn main() {
     if configs.is_empty() {
         eprintln!("no configurations to run");
         std::process::exit(1);
+    }
+
+    if let Some(socket) = &client_socket {
+        // The client re-renders its resolved configurations into the
+        // request, so the daemon runs exactly what this invocation would
+        // have run locally (not the daemon's idea of the sweep).
+        let request = Json::obj([
+            ("op", Json::from("campaign")),
+            (
+                "config_text",
+                Json::Arr(
+                    configs
+                        .iter()
+                        .map(|c| Json::from(render_config(c)))
+                        .collect(),
+                ),
+            ),
+            (
+                "seeds",
+                Json::Arr(options.seeds.iter().map(|&s| Json::from(s)).collect()),
+            ),
+            ("intensity", Json::from(options.intensity)),
+            ("engine", Json::from(options.engine.to_string())),
+            ("compare", Json::from(options.compare_waveforms)),
+            ("deterministic", Json::from(deterministic)),
+        ]);
+        let responses = match serve::client_request(std::path::Path::new(socket), &request.render())
+        {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot reach daemon at {socket}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let report = responses
+            .iter()
+            .find(|r| r.get("event").and_then(Json::as_str) == Some("report"));
+        let Some(report) = report else {
+            let error = responses
+                .last()
+                .and_then(|r| r.get("error"))
+                .and_then(Json::as_str)
+                .unwrap_or("daemon sent no report");
+            eprintln!("campaign rejected: {error}");
+            std::process::exit(1);
+        };
+        if let Some(table) = report.get("table").and_then(Json::as_str) {
+            println!("{table}");
+        }
+        if let Some(out) = &out_dir {
+            let dir = std::path::Path::new(out);
+            let write = std::fs::create_dir_all(dir).and_then(|()| {
+                let mut status = Ok(());
+                if let Some(manifest) = report.get("manifest") {
+                    status = std::fs::write(dir.join("manifest.json"), manifest.render_pretty());
+                }
+                if let (Ok(()), Some(stats)) = (&status, report.get("cache")) {
+                    status = std::fs::write(dir.join("cache_stats.json"), stats.render_pretty());
+                }
+                status
+            });
+            if let Err(e) = write {
+                eprintln!("cannot write reports to {out}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(cache) = report.get("cache") {
+            println!(
+                "cache: {} hits, {} misses, {} simulated",
+                cache.get("hits").and_then(Json::as_u64).unwrap_or(0),
+                cache.get("misses").and_then(Json::as_u64).unwrap_or(0),
+                cache.get("simulated").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
+        tel.flush();
+        return;
     }
 
     if close_coverage {
@@ -561,6 +779,27 @@ fn main() {
                 "cannot write reports",
                 [("error", Json::from(e.to_string()))],
             ),
+        }
+        // Cache statistics are volatile by design (a warm run differs
+        // from a cold one), so they live in their own file next to the
+        // deterministic reports rather than inside manifest.json.
+        if let Some(stats) = &report.cache {
+            let doc = Json::obj([
+                ("schema", Json::from("stbus-cache-stats/1")),
+                ("hits", Json::from(stats.hits)),
+                ("misses", Json::from(stats.misses)),
+                ("puts", Json::from(stats.puts)),
+                ("corrupt", Json::from(stats.corrupt)),
+                ("evicted", Json::from(stats.evicted)),
+                ("simulated", Json::from(stats.simulated)),
+            ]);
+            if let Err(e) = std::fs::write(path.join("cache_stats.json"), doc.render_pretty()) {
+                tel.error(
+                    "regress.reports",
+                    "cannot write cache_stats.json",
+                    [("error", Json::from(e.to_string()))],
+                );
+            }
         }
     }
 

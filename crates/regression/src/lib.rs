@@ -19,13 +19,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cell_codec;
 pub mod config_file;
 mod manifest;
 mod matrix;
 mod report_files;
 mod runner;
+#[cfg(unix)]
+pub mod serve;
 
 pub use config_file::{parse_config, render_config, ParseConfigError};
 pub use manifest::MANIFEST_SCHEMA;
 pub use matrix::standard_configs;
-pub use runner::{run_regression, ConfigOutcome, RegressionOptions, RegressionReport, RunRecord};
+pub use runner::{
+    cell_key, run_regression, CacheSummary, ConfigOutcome, RegressionOptions, RegressionReport,
+    RunRecord,
+};

@@ -17,12 +17,17 @@
 //! is intentionally single-threaded (`Rc`/`RefCell` process closures);
 //! only the descriptor crosses threads.
 
+use crate::cell_codec;
+use cache::{GcPolicy, Key, Lookup, Store};
 use catg::{CoverageReport, RunResult, TestSpec, Testbench, TestbenchOptions};
 use sim_kernel::SimBackend;
 use stba::compare_vcd_with;
 use stbus_bca::{BcaBug, BcaNode, Fidelity};
 use stbus_protocol::{DutView, NodeConfig, ViewKind};
 use stbus_rtl::RtlNode;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use telemetry::{Json, Telemetry};
 
@@ -57,6 +62,22 @@ pub struct RegressionOptions {
     /// the shared sinks instead of contending per event. Disabled by
     /// default.
     pub telemetry: Telemetry,
+    /// Root of the content-addressed cell store. When set, every
+    /// `{config, test, seed}` cell consults the store before simulating
+    /// and records its result on a miss, so an unchanged cell is never
+    /// re-simulated — a fully warm campaign performs zero simulations and
+    /// reports byte-identically (modulo wall-clock) to a cold one. `None`
+    /// (the default) disables caching entirely.
+    pub cache_dir: Option<PathBuf>,
+    /// Eviction bounds applied to the store after the campaign (LRU,
+    /// oldest entries first). All-`None` (the default) keeps everything.
+    pub cache_gc: GcPolicy,
+    /// Run cells on this shared worker pool instead of a private one.
+    /// The serve daemon hands every client campaign the same pool, which
+    /// is what bounds concurrent simulation work (backpressure): excess
+    /// cells queue. `None` (the default) spawns a pool per campaign from
+    /// [`RegressionOptions::jobs`].
+    pub pool: Option<Arc<exec::ThreadPool>>,
 }
 
 impl Default for RegressionOptions {
@@ -70,8 +91,72 @@ impl Default for RegressionOptions {
             compare_waveforms: true,
             jobs: 0,
             telemetry: Telemetry::disabled(),
+            cache_dir: None,
+            cache_gc: GcPolicy::default(),
+            pool: None,
         }
     }
+}
+
+/// The content key of one `{config, test, seed}` cell under `options`.
+///
+/// Every input that can change the cell's result is a key part: the
+/// payload schema (so format changes invalidate), the crate version (the
+/// engine-version proxy — all workspace crates share it), the full
+/// configuration and test spec (via their derived `Debug` forms, which
+/// are pure functions of the struct contents — no map iteration order,
+/// no addresses), the seed, the BCA fidelity and injected bugs, the
+/// simulation backend, and whether waveforms are compared. Flipping any
+/// one of them forces a miss.
+pub fn cell_key(
+    config: &NodeConfig,
+    spec: &TestSpec,
+    seed: u64,
+    options: &RegressionOptions,
+) -> Key {
+    Key::from_parts([
+        format!("schema:{}", cell_codec::CELL_SCHEMA),
+        format!("version:{}", env!("CARGO_PKG_VERSION")),
+        format!("config:{config:?}"),
+        format!("test:{spec:?}"),
+        format!("seed:{seed}"),
+        format!("fidelity:{:?}", options.fidelity),
+        format!("bca_bugs:{:?}", options.bca_bugs),
+        format!("engine:{}", options.engine),
+        format!("compare:{}", options.compare_waveforms),
+    ])
+}
+
+/// Shared hit/miss tallies of one campaign, updated lock-free by the
+/// workers.
+#[derive(Debug, Default)]
+struct CacheTallies {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    corrupt: AtomicU64,
+    simulated: AtomicU64,
+}
+
+/// What the cell cache did during one campaign (on the in-memory report
+/// only — deliberately not part of the manifest, whose metrics must be
+/// byte-identical between cold and warm runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheSummary {
+    /// Cells answered from the store without simulating.
+    pub hits: u64,
+    /// Cells with no usable entry.
+    pub misses: u64,
+    /// Results recorded into the store.
+    pub puts: u64,
+    /// Entries found corrupt/stale and re-simulated (never trusted).
+    pub corrupt: u64,
+    /// Entries evicted by the post-campaign GC pass.
+    pub evicted: u64,
+    /// Cells that actually ran a simulation. A fully warm campaign
+    /// reports `simulated == 0` and `hits == cell count` — the proof the
+    /// acceptance gate checks.
+    pub simulated: u64,
 }
 
 /// One `{test, seed}` entry of a configuration's outcome.
@@ -200,6 +285,10 @@ pub struct RegressionReport {
     /// Snapshot of every metric the campaign recorded (kernel, testbench
     /// and analyzer counters), taken right after the last run.
     pub metrics: telemetry::MetricsSnapshot,
+    /// Cell-cache activity, when [`RegressionOptions::cache_dir`] was
+    /// set. In-memory only: the manifest omits it so cold and warm runs
+    /// stay byte-identical.
+    pub cache: Option<CacheSummary>,
 }
 
 impl RegressionReport {
@@ -254,6 +343,14 @@ impl RegressionReport {
                 run.compare_wall_us = run.compare_wall_us.map(|_| 0);
             }
         }
+        // Cache and daemon bookkeeping metrics describe *how* the result
+        // was obtained, not the result: a warm run counts hits where the
+        // cold run counted misses. Stripped alongside the wall-clocks so
+        // deterministic reports stay byte-identical between the two.
+        let volatile = |name: &str| name.starts_with("cache.") || name.starts_with("serve.");
+        self.metrics.counters.retain(|name, _| !volatile(name));
+        self.metrics.gauges.retain(|name, _| !volatile(name));
+        self.metrics.histograms.retain(|name, _| !volatile(name));
     }
 }
 
@@ -270,6 +367,16 @@ struct CellJob {
     engine: SimBackend,
     compare_waveforms: bool,
     telemetry: Telemetry,
+    /// Memoization context, when the campaign runs with a cache.
+    cache: Option<CellCache>,
+}
+
+/// The store handle, this cell's precomputed content key, and the
+/// campaign-wide tallies.
+struct CellCache {
+    store: Store,
+    key: Key,
+    tallies: Arc<CacheTallies>,
 }
 
 /// What one cell hands back for matrix-order reassembly.
@@ -281,11 +388,63 @@ struct CellResult {
     rtl_activity: sim_kernel_coverage::ActivityCoverage,
 }
 
+/// Tries to answer the cell from the store. A decoded entry must also
+/// agree with the job on test name and seed — the key already encodes
+/// both, so a disagreement means a stale or mis-filed entry, handled
+/// exactly like corruption: drop it and re-simulate.
+fn cached_cell(job: &CellJob, cc: &CellCache) -> Option<CellResult> {
+    let campaign_metrics = job.telemetry.metrics();
+    let (lookup, payload) = cc.store.get(&cc.key);
+    if lookup == Lookup::Miss {
+        return None;
+    }
+    let cell = payload
+        .as_deref()
+        .and_then(cell_codec::decode)
+        .filter(|c| c.record.test == job.spec.name && c.record.seed == job.seed);
+    let Some(cell) = cell else {
+        cc.tallies.corrupt.fetch_add(1, Ordering::Relaxed);
+        campaign_metrics.counter("cache.corrupt").inc();
+        job.telemetry.warn(
+            "cache",
+            "corrupt entry dropped, cell re-simulated",
+            [("key", Json::from(cc.key.as_str()))],
+        );
+        cc.store.remove(&cc.key);
+        return None;
+    };
+    cc.tallies.hits.fetch_add(1, Ordering::Relaxed);
+    campaign_metrics.counter("cache.hit").inc();
+    // Replay the cell's metric contribution so the campaign totals are
+    // the ones a cold run would report.
+    campaign_metrics.absorb(&cell.metrics);
+    Some(CellResult {
+        config_idx: job.config_idx,
+        record: cell.record,
+        rtl_activity: cell.rtl_activity,
+    })
+}
+
 /// Runs one cell: build both views, run the test on each with the same
 /// seed, compare the waveforms if both passed. Executes entirely on one
-/// worker thread.
+/// worker thread. With a cache attached, the store is consulted first
+/// and a simulated result is recorded back.
 fn run_cell(job: &CellJob) -> CellResult {
-    let tel = job.telemetry.buffered();
+    if let Some(cc) = &job.cache {
+        if let Some(hit) = cached_cell(job, cc) {
+            return hit;
+        }
+        cc.tallies.misses.fetch_add(1, Ordering::Relaxed);
+        job.telemetry.metrics().counter("cache.miss").inc();
+    }
+    // With a cache, the cell runs under a scoped handle: a private
+    // metrics registry whose snapshot becomes part of the cache entry
+    // (events still stream to the shared sinks). Without one, workers
+    // share the campaign registry directly, as before.
+    let tel = match &job.cache {
+        Some(_) => job.telemetry.scoped_metrics(),
+        None => job.telemetry.buffered(),
+    };
     let bench = Testbench::new(
         job.config.clone(),
         TestbenchOptions {
@@ -342,7 +501,9 @@ fn run_cell(job: &CellJob) -> CellResult {
         None
     };
 
-    CellResult {
+    let rtl_vcd_digest = cell_codec::vcd_digest(rtl_result.vcd.as_ref());
+    let bca_vcd_digest = cell_codec::vcd_digest(bca_result.vcd.as_ref());
+    let result = CellResult {
         config_idx: job.config_idx,
         record: RunRecord {
             test: job.spec.name.clone(),
@@ -355,7 +516,42 @@ fn run_cell(job: &CellJob) -> CellResult {
             compare_wall_us,
         },
         rtl_activity: rtl.activity_coverage(),
+    };
+
+    if let Some(cc) = &job.cache {
+        cc.tallies.simulated.fetch_add(1, Ordering::Relaxed);
+        // One snapshot serves both the cache entry and the campaign
+        // absorb below — byte-for-byte the same contribution a later
+        // warm run will replay.
+        let contribution = tel.metrics().snapshot();
+        let payload = cell_codec::encode(&cell_codec::CachedCell {
+            record: result.record.clone(),
+            rtl_activity: result.rtl_activity.clone(),
+            metrics: contribution.clone(),
+            rtl_vcd_digest,
+            bca_vcd_digest,
+        });
+        // The store is an optimization: a failed write costs the next
+        // run a re-simulation, never correctness.
+        match cc.store.put(&cc.key, &payload) {
+            Ok(()) => {
+                cc.tallies.puts.fetch_add(1, Ordering::Relaxed);
+                job.telemetry.metrics().counter("cache.put").inc();
+            }
+            Err(err) => job.telemetry.warn(
+                "cache",
+                "failed to record cell",
+                [
+                    ("key", Json::from(cc.key.as_str())),
+                    ("error", Json::from(err.to_string())),
+                ],
+            ),
+        }
+        // The private registry's contribution still has to reach the
+        // campaign totals on this (cold) run.
+        job.telemetry.metrics().absorb(&contribution);
     }
+    result
 }
 
 /// Runs the campaign: `configs × tests × seeds × {RTL, BCA}`.
@@ -381,6 +577,13 @@ pub fn run_regression(
         .field("engine", Json::from(options.engine.to_string()))
         .field("jobs", Json::from(exec::resolve_jobs(options.jobs)));
 
+    // The memoization context, shared by every cell of the campaign.
+    let store = options
+        .cache_dir
+        .as_ref()
+        .map(|root| Store::open(root.clone()));
+    let tallies = Arc::new(CacheTallies::default());
+
     // The work list, in matrix order: config-major, then test, then seed.
     let mut cells = Vec::with_capacity(configs.len() * tests.len() * options.seeds.len());
     for (config_idx, config) in configs.iter().enumerate() {
@@ -396,11 +599,19 @@ pub fn run_regression(
                     engine: options.engine,
                     compare_waveforms: options.compare_waveforms,
                     telemetry: tel.clone(),
+                    cache: store.as_ref().map(|store| CellCache {
+                        store: store.clone(),
+                        key: cell_key(config, spec, seed, options),
+                        tallies: Arc::clone(&tallies),
+                    }),
                 });
             }
         }
     }
-    let results = exec::map_ordered(options.jobs, cells, |job| run_cell(&job));
+    let results = match &options.pool {
+        Some(pool) => pool.map_ordered(cells, |job| run_cell(&job)),
+        None => exec::map_ordered(options.jobs, cells, |job| run_cell(&job)),
+    };
 
     // Reassemble per configuration, in matrix order: merging functional
     // and structural coverage in the same (test, seed) order the serial
@@ -456,6 +667,39 @@ pub fn run_regression(
         report.configs.push(outcome);
     }
     assemble_span.end([("configs", Json::from(configs.len()))]);
+
+    if let Some(store) = &store {
+        let evicted =
+            if options.cache_gc.max_entries.is_some() || options.cache_gc.max_bytes.is_some() {
+                let gc = store.gc(&options.cache_gc);
+                tel.metrics().counter("cache.evict").add(gc.evicted as u64);
+                gc.evicted as u64
+            } else {
+                0
+            };
+        let summary = CacheSummary {
+            hits: tallies.hits.load(Ordering::Relaxed),
+            misses: tallies.misses.load(Ordering::Relaxed),
+            puts: tallies.puts.load(Ordering::Relaxed),
+            corrupt: tallies.corrupt.load(Ordering::Relaxed),
+            evicted,
+            simulated: tallies.simulated.load(Ordering::Relaxed),
+        };
+        tel.info(
+            "cache",
+            "campaign cache summary",
+            [
+                ("hits", Json::from(summary.hits)),
+                ("misses", Json::from(summary.misses)),
+                ("puts", Json::from(summary.puts)),
+                ("corrupt", Json::from(summary.corrupt)),
+                ("evicted", Json::from(summary.evicted)),
+                ("simulated", Json::from(summary.simulated)),
+            ],
+        );
+        report.cache = Some(summary);
+    }
+
     report.wall_us = campaign_started.elapsed().as_micros() as u64;
     report.metrics = tel.metrics().snapshot();
     campaign_span.end([
@@ -558,6 +802,71 @@ mod tests {
         run_regression(&configs, &tests, &options).configs[0].runs[0]
             .rtl
             .clone()
+    }
+
+    #[test]
+    fn warm_cache_run_simulates_nothing_and_reports_identically() {
+        let dir =
+            std::env::temp_dir().join(format!("stbus-runner-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let configs = vec![NodeConfig::reference()];
+        let tests = vec![tests_lib::basic_read_write(8)];
+        // A fresh options value per run: the metrics registry inside a
+        // `Telemetry` handle accumulates for the handle's lifetime, so
+        // sharing one across campaigns would sum their totals (true of
+        // uncached runs too; each CLI invocation builds its own handle).
+        let options = || RegressionOptions {
+            seeds: vec![1, 2],
+            cache_dir: Some(dir.clone()),
+            ..RegressionOptions::default()
+        };
+
+        let mut cold = run_regression(&configs, &tests, &options());
+        let cold_cache = cold.cache.expect("cache enabled");
+        assert_eq!(cold_cache.hits, 0);
+        assert_eq!(cold_cache.simulated, 2);
+        assert_eq!(cold_cache.puts, 2);
+
+        let mut warm = run_regression(&configs, &tests, &options());
+        let warm_cache = warm.cache.expect("cache enabled");
+        assert_eq!(warm_cache.hits, 2, "every cell answered from the store");
+        assert_eq!(warm_cache.simulated, 0, "warm run must not simulate");
+
+        cold.strip_timings();
+        warm.strip_timings();
+        assert_eq!(
+            cold.manifest_json().render_pretty(),
+            warm.manifest_json().render_pretty(),
+            "warm report must be byte-identical to cold"
+        );
+        // The stripped manifest carries no cache bookkeeping.
+        assert!(!cold.manifest_json().render().contains("cache."));
+        // But the warm run still replayed the kernel's counters.
+        assert!(warm.metrics.counters["kernel.delta_cycles"] > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_key_separates_every_input() {
+        let config = NodeConfig::reference();
+        let spec = tests_lib::basic_read_write(8);
+        let options = RegressionOptions::default();
+        let base = cell_key(&config, &spec, 1, &options);
+        assert_eq!(base, cell_key(&config, &spec, 1, &options));
+        assert_ne!(base, cell_key(&config, &spec, 2, &options));
+        let mut other = NodeConfig::reference();
+        other.n_initiators += 1;
+        assert_ne!(base, cell_key(&other, &spec, 1, &options));
+        let compiled = RegressionOptions {
+            engine: SimBackend::Compiled,
+            ..RegressionOptions::default()
+        };
+        assert_ne!(base, cell_key(&config, &spec, 1, &compiled));
+        let exact = RegressionOptions {
+            fidelity: Fidelity::Exact,
+            ..RegressionOptions::default()
+        };
+        assert_ne!(base, cell_key(&config, &spec, 1, &exact));
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! Regression as a standing service: `stbus-regress --serve <socket>`.
+//!
+//! The daemon owns exactly two shared resources and rents them to every
+//! client: the content-addressed cell store (so one client's cold run is
+//! every later client's warm run) and one [`exec::ThreadPool`] (so the
+//! total simulation parallelism is bounded no matter how many clients
+//! connect — excess cells queue behind the pool, which is the service's
+//! backpressure).
+//!
+//! The protocol is deliberately primitive: a Unix stream socket carrying
+//! line-delimited JSON. One request per line, one-or-more response lines
+//! per request, every response line a JSON object with an `"ok"` bool.
+//! Requests:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! {"op":"campaign","configs":["reference"],"seeds":[1,2],"intensity":10,
+//!  "engine":"event","compare":true,"deterministic":true}
+//! ```
+//!
+//! A campaign request answers with an `"accepted"` line (echoing the
+//! resolved shape) and then a `"report"` line carrying the §5 table, the
+//! full manifest JSON and the cache summary. Unknown ops and malformed
+//! lines answer `{"ok":false,...}` without killing the connection.
+//!
+//! Shutdown is cooperative: a `shutdown` request, EOF on the daemon's
+//! stdin (the CLI watches for it), or [`Server::shutdown_flag`] flipped
+//! by the embedder. There is no in-process SIGTERM hook — the workspace
+//! forbids `unsafe`, and signal handlers cannot be installed without it —
+//! so a SIGTERM simply terminates the process and the *next* daemon heals
+//! the stale socket file at bind time (connect-probe, then unlink).
+
+use crate::runner::{run_regression, RegressionOptions};
+use crate::standard_configs;
+use cache::GcPolicy;
+use exec::ThreadPool;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use telemetry::{Json, Telemetry};
+
+/// Protocol identifier echoed by `ping`, bumped with any incompatible
+/// protocol change.
+pub const SERVE_PROTOCOL: &str = "stbus-serve/1";
+
+/// How the daemon is configured at bind time.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Path of the Unix socket to listen on.
+    pub socket: PathBuf,
+    /// Root of the shared cell store.
+    pub cache_dir: PathBuf,
+    /// Worker threads in the shared pool (0 = one per hardware thread).
+    pub jobs: usize,
+    /// Eviction bounds applied after every campaign.
+    pub cache_gc: GcPolicy,
+    /// Telemetry for `serve.*` counters and request events.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            socket: PathBuf::from("stbus-regress.sock"),
+            cache_dir: PathBuf::from(".stbus/cell-cache"),
+            jobs: 0,
+            cache_gc: GcPolicy::default(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Daemon-lifetime tallies, shared across connection threads.
+#[derive(Debug, Default)]
+struct DaemonStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    campaigns: AtomicU64,
+    cells: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: UnixListener,
+    options: ServeOptions,
+    pool: Arc<ThreadPool>,
+    stats: Arc<DaemonStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the socket, healing a stale file left by a killed daemon: if
+    /// the address is taken but nothing answers a connect probe, the file
+    /// is an orphan — unlink it and bind again. A *live* daemon on the
+    /// socket is an error.
+    pub fn bind(options: ServeOptions) -> std::io::Result<Server> {
+        if let Some(dir) = options.socket.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let listener = match UnixListener::bind(&options.socket) {
+            Ok(l) => l,
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                if UnixStream::connect(&options.socket).is_ok() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::AddrInUse,
+                        format!("a daemon is already serving {}", options.socket.display()),
+                    ));
+                }
+                options.telemetry.warn(
+                    "serve",
+                    "recovered stale socket",
+                    [("socket", Json::from(options.socket.display().to_string()))],
+                );
+                std::fs::remove_file(&options.socket)?;
+                UnixListener::bind(&options.socket)?
+            }
+            Err(e) => return Err(e),
+        };
+        listener.set_nonblocking(true)?;
+        let pool = Arc::new(ThreadPool::new(exec::resolve_jobs(options.jobs)));
+        Ok(Server {
+            listener,
+            options,
+            pool,
+            stats: Arc::new(DaemonStats::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The flag that stops [`Server::run`]; flip it from any thread (the
+    /// CLI's stdin-EOF watcher does) for a clean shutdown.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Accepts and serves connections until the shutdown flag flips.
+    /// Returns the number of connections served. The socket file is
+    /// removed on the way out.
+    pub fn run(&self) -> std::io::Result<u64> {
+        let tel = &self.options.telemetry;
+        tel.info(
+            "serve",
+            "daemon listening",
+            [
+                (
+                    "socket",
+                    Json::from(self.options.socket.display().to_string()),
+                ),
+                ("jobs", Json::from(self.pool.threads())),
+                (
+                    "cache_dir",
+                    Json::from(self.options.cache_dir.display().to_string()),
+                ),
+            ],
+        );
+        let mut handlers = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    tel.metrics().counter("serve.connections").inc();
+                    let ctx = ConnCtx {
+                        options: self.options.clone(),
+                        pool: Arc::clone(&self.pool),
+                        stats: Arc::clone(&self.stats),
+                        shutdown: Arc::clone(&self.shutdown),
+                    };
+                    handlers.push(std::thread::spawn(move || serve_connection(stream, &ctx)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.options.socket);
+        let served = self.stats.connections.load(Ordering::Relaxed);
+        tel.info(
+            "serve",
+            "daemon stopped",
+            [
+                ("connections", Json::from(served)),
+                (
+                    "campaigns",
+                    Json::from(self.stats.campaigns.load(Ordering::Relaxed)),
+                ),
+            ],
+        );
+        Ok(served)
+    }
+}
+
+/// Everything a connection thread needs.
+struct ConnCtx {
+    options: ServeOptions,
+    pool: Arc<ThreadPool>,
+    stats: Arc<DaemonStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+fn serve_connection(stream: UnixStream, ctx: &ConnCtx) {
+    let tel = &ctx.options.telemetry;
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+        tel.metrics().counter("serve.requests").inc();
+        let responses = handle_request(&line, ctx);
+        for response in &responses {
+            if writeln!(writer, "{}", response.render()).is_err() {
+                return;
+            }
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+        // A shutdown request stops the daemon after being acknowledged.
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn error_line(message: impl Into<String>) -> Vec<Json> {
+    vec![Json::obj([
+        ("ok", Json::from(false)),
+        ("error", Json::from(message.into())),
+    ])]
+}
+
+fn handle_request(line: &str, ctx: &ConnCtx) -> Vec<Json> {
+    let tel = &ctx.options.telemetry;
+    let request = match Json::parse(line) {
+        Ok(json) => json,
+        Err(e) => {
+            ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return error_line(format!("malformed request: {e:?}"));
+        }
+    };
+    let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+    let span = tel.span("serve.request").field("op", Json::from(op));
+    let responses = match op {
+        "ping" => vec![Json::obj([
+            ("ok", Json::from(true)),
+            ("event", Json::from("pong")),
+            ("protocol", Json::from(SERVE_PROTOCOL)),
+        ])],
+        "stats" => vec![Json::obj([
+            ("ok", Json::from(true)),
+            ("event", Json::from("stats")),
+            (
+                "connections",
+                Json::from(ctx.stats.connections.load(Ordering::Relaxed)),
+            ),
+            (
+                "requests",
+                Json::from(ctx.stats.requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "campaigns",
+                Json::from(ctx.stats.campaigns.load(Ordering::Relaxed)),
+            ),
+            ("cells", Json::from(ctx.stats.cells.load(Ordering::Relaxed))),
+            (
+                "cache_hits",
+                Json::from(ctx.stats.cache_hits.load(Ordering::Relaxed)),
+            ),
+            (
+                "cache_misses",
+                Json::from(ctx.stats.cache_misses.load(Ordering::Relaxed)),
+            ),
+            (
+                "errors",
+                Json::from(ctx.stats.errors.load(Ordering::Relaxed)),
+            ),
+            ("pool_threads", Json::from(ctx.pool.threads())),
+        ])],
+        "shutdown" => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            vec![Json::obj([
+                ("ok", Json::from(true)),
+                ("event", Json::from("shutting-down")),
+            ])]
+        }
+        "campaign" => run_campaign(&request, ctx),
+        other => {
+            ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+            error_line(format!("unknown op `{other}`"))
+        }
+    };
+    let ok = responses
+        .last()
+        .and_then(|r| r.get("ok"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    span.end([("ok", Json::from(ok))]);
+    responses
+}
+
+fn run_campaign(request: &Json, ctx: &ConnCtx) -> Vec<Json> {
+    let tel = &ctx.options.telemetry;
+
+    // Resolve the configuration list: named standard configurations
+    // and/or inline config-file texts; a request naming neither runs the
+    // whole standard sweep.
+    let all = standard_configs();
+    let mut configs = Vec::new();
+    match request.get("configs") {
+        None | Some(Json::Null) => {}
+        Some(Json::Arr(names)) => {
+            for name in names {
+                let Some(name) = name.as_str() else {
+                    return error_line("`configs` must be an array of names");
+                };
+                match all.iter().find(|c| c.name == name) {
+                    Some(config) => configs.push(config.clone()),
+                    None => return error_line(format!("unknown configuration `{name}`")),
+                }
+            }
+        }
+        Some(_) => return error_line("`configs` must be an array of names"),
+    }
+    if let Some(texts) = request.get("config_text").and_then(Json::as_arr) {
+        for text in texts {
+            let Some(text) = text.as_str() else {
+                return error_line("`config_text` must be an array of strings");
+            };
+            match crate::parse_config(text) {
+                Ok(config) => configs.push(config),
+                Err(e) => return error_line(format!("bad config text: {e}")),
+            }
+        }
+    }
+    if configs.is_empty() {
+        configs = all;
+    }
+
+    let seeds = match request.get("seeds") {
+        None | Some(Json::Null) => vec![1, 2],
+        Some(Json::Arr(seeds)) => {
+            let parsed: Option<Vec<u64>> = seeds.iter().map(Json::as_u64).collect();
+            match parsed {
+                Some(s) if !s.is_empty() => s,
+                _ => return error_line("`seeds` must be a non-empty array of integers"),
+            }
+        }
+        Some(_) => return error_line("`seeds` must be an array of integers"),
+    };
+    let intensity = match request.get("intensity") {
+        None | Some(Json::Null) => 10,
+        Some(j) => match j.as_u64() {
+            Some(n) if n > 0 => n as usize,
+            _ => return error_line("`intensity` must be a positive integer"),
+        },
+    };
+    let engine = match request.get("engine").and_then(Json::as_str) {
+        None => sim_kernel::SimBackend::Event,
+        Some(s) => match s.parse() {
+            Ok(engine) => engine,
+            Err(e) => return error_line(e),
+        },
+    };
+    let compare = request
+        .get("compare")
+        .and_then(Json::as_bool)
+        .unwrap_or(true);
+    let deterministic = request
+        .get("deterministic")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+
+    let tests = catg::tests_lib::all(intensity);
+    let cells = configs.len() * tests.len() * seeds.len();
+    let accepted = Json::obj([
+        ("ok", Json::from(true)),
+        ("event", Json::from("accepted")),
+        ("configs", Json::from(configs.len())),
+        ("tests", Json::from(tests.len())),
+        ("seeds", Json::from(seeds.len())),
+        ("cells", Json::from(cells)),
+    ]);
+
+    ctx.stats.campaigns.fetch_add(1, Ordering::Relaxed);
+    ctx.stats.cells.fetch_add(cells as u64, Ordering::Relaxed);
+    tel.metrics().counter("serve.campaigns").inc();
+    let span = tel.span("serve.campaign").field("cells", Json::from(cells));
+
+    // Each campaign gets a fresh telemetry handle (private metrics, the
+    // daemon's sinks) so its manifest reports its own totals, while the
+    // store and pool are the daemon-shared ones.
+    let options = RegressionOptions {
+        seeds,
+        intensity,
+        engine,
+        compare_waveforms: compare,
+        telemetry: tel.scoped_metrics(),
+        cache_dir: Some(ctx.options.cache_dir.clone()),
+        cache_gc: ctx.options.cache_gc,
+        pool: Some(Arc::clone(&ctx.pool)),
+        ..RegressionOptions::default()
+    };
+    let mut report = run_regression(&configs, &tests, &options);
+    if deterministic {
+        report.strip_timings();
+    }
+    let summary = report.cache.unwrap_or_default();
+    ctx.stats
+        .cache_hits
+        .fetch_add(summary.hits, Ordering::Relaxed);
+    ctx.stats
+        .cache_misses
+        .fetch_add(summary.misses, Ordering::Relaxed);
+    tel.metrics().counter("serve.cache_hits").add(summary.hits);
+    tel.metrics()
+        .counter("serve.cache_misses")
+        .add(summary.misses);
+    span.end([
+        ("hits", Json::from(summary.hits)),
+        ("simulated", Json::from(summary.simulated)),
+    ]);
+
+    vec![
+        accepted,
+        Json::obj([
+            ("ok", Json::from(true)),
+            ("event", Json::from("report")),
+            ("table", Json::from(report.table())),
+            ("signed_off", Json::from(report.signed_off_count())),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::from(summary.hits)),
+                    ("misses", Json::from(summary.misses)),
+                    ("puts", Json::from(summary.puts)),
+                    ("corrupt", Json::from(summary.corrupt)),
+                    ("evicted", Json::from(summary.evicted)),
+                    ("simulated", Json::from(summary.simulated)),
+                ]),
+            ),
+            ("manifest", report.manifest_json()),
+        ]),
+    ]
+}
+
+/// Thin client: connect, send one request line, collect response lines
+/// until the final event of the request arrives (`report` for campaigns,
+/// anything else immediately) or the daemon hangs up.
+pub fn client_request(socket: &Path, request: &str) -> std::io::Result<Vec<Json>> {
+    let stream = UnixStream::connect(socket)?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "{}", request.trim())?;
+    writer.flush()?;
+    let is_campaign = Json::parse(request.trim())
+        .ok()
+        .and_then(|j| {
+            j.get("op")
+                .and_then(Json::as_str)
+                .map(|op| op == "campaign")
+        })
+        .unwrap_or(false);
+    let reader = BufReader::new(stream);
+    let mut responses = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json = Json::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("daemon sent malformed JSON: {e:?}"),
+            )
+        })?;
+        let done = {
+            let event = json.get("event").and_then(Json::as_str);
+            let failed = json.get("ok").and_then(Json::as_bool) == Some(false);
+            failed || !is_campaign || event == Some("report")
+        };
+        responses.push(json);
+        if done {
+            break;
+        }
+    }
+    if responses.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection without answering",
+        ));
+    }
+    Ok(responses)
+}

@@ -1,0 +1,163 @@
+//! Properties of the cell store and its content key.
+//!
+//! The cache is only sound if (1) whatever is put into the store comes
+//! back byte-identical — through a *fresh* store handle, as a daemon or
+//! a later process would open — and (2) the content key is a pure
+//! function of the cell's semantic identity: stable across processes,
+//! different whenever any identity component differs.
+
+use cache::{Key, Lookup, Store};
+use proptest::prelude::*;
+use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType};
+use stbus_regression::{cell_codec, cell_key, run_regression, RegressionOptions};
+use std::path::PathBuf;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("stbus-cache-props-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Arbitrary unicode strings (the compat proptest has no string
+/// strategies): sampled code points, invalid ones dropped. Deliberately
+/// spans newlines, NUL, separators and multi-byte characters — the
+/// envelope must survive all of them.
+fn arb_string(max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..0x11_0000, 0..max_len)
+        .prop_map(|points| points.into_iter().filter_map(char::from_u32).collect())
+}
+
+fn arb_config() -> impl Strategy<Value = NodeConfig> {
+    let protocol = prop_oneof![
+        Just(ProtocolType::Type1),
+        Just(ProtocolType::Type2),
+        Just(ProtocolType::Type3),
+    ];
+    let arch = prop_oneof![
+        Just(Architecture::SharedBus),
+        Just(Architecture::FullCrossbar),
+        (1usize..=4).prop_map(|lanes| Architecture::PartialCrossbar { lanes }),
+    ];
+    let arbitration = prop_oneof![
+        Just(ArbitrationKind::FixedPriority),
+        Just(ArbitrationKind::Lru),
+        Just(ArbitrationKind::RoundRobin),
+    ];
+    (
+        1usize..=5,
+        1usize..=5,
+        prop_oneof![Just(4usize), Just(8), Just(16)],
+        protocol,
+        arch,
+        arbitration,
+    )
+        .prop_map(|(initiators, targets, bus, protocol, arch, arbitration)| {
+            NodeConfig::builder("prop")
+                .initiators(initiators)
+                .targets(targets)
+                .bus_bytes(bus)
+                .protocol(protocol)
+                .architecture(arch)
+                .arbitration(arbitration)
+                .build()
+                .expect("sampled configuration is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary payloads survive the store byte-for-byte, read back
+    /// through a freshly opened handle on the same root (what a second
+    /// process — or the serve daemon after a restart — would do).
+    #[test]
+    fn payloads_round_trip_through_a_fresh_store_handle(
+        parts in proptest::collection::vec(arb_string(12), 1..5),
+        payload in arb_string(400),
+    ) {
+        let root = temp_store("payload");
+        let key = Key::from_parts(&parts);
+        let writer = Store::open(root.clone());
+        writer.put(&key, &payload).expect("put succeeds");
+
+        let reader = Store::open(root.clone());
+        let (lookup, got) = reader.get(&key);
+        prop_assert_eq!(lookup, Lookup::Hit);
+        prop_assert_eq!(got.as_deref(), Some(payload.as_str()));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// The content key is a pure function of the cell identity: the hex
+    /// form is canonical, recomputation agrees, and flipping the seed or
+    /// the configuration moves the key.
+    #[test]
+    fn cell_keys_are_pure_and_identity_sensitive(
+        config in arb_config(),
+        test_idx in 0usize..12,
+        seed in 1u64..=1_000_000,
+    ) {
+        let options = RegressionOptions::default();
+        let spec = &catg::tests_lib::all(6)[test_idx];
+        let key = cell_key(&config, spec, seed, &options);
+        prop_assert_eq!(key.as_str().len(), 32);
+        prop_assert!(key.as_str().chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        prop_assert_eq!(&cell_key(&config, spec, seed, &options), &key);
+        prop_assert_ne!(&cell_key(&config, spec, seed + 1, &options), &key);
+        let mut other = config.clone();
+        other.max_outstanding += 1;
+        prop_assert_ne!(&cell_key(&other, spec, seed, &options), &key);
+    }
+}
+
+/// The key must be stable across processes and versions of *this build*:
+/// it is derived only from hashed strings, never from pointers, map
+/// iteration order or per-process state. Two derivations in any two
+/// processes agree — pinned here against a literal computed once.
+#[test]
+fn content_key_is_stable_across_processes() {
+    let key = Key::from_parts(["stbus-cell/1", "alpha", "beta"]);
+    assert_eq!(key.as_str(), "6e74c7ea4ee08e3376f87a3dcc899620");
+}
+
+/// Every cell a real campaign records decodes back to a `CachedCell`
+/// that re-encodes byte-identically — the codec is canonical, so no
+/// information is lost between the simulated result and its stored form.
+#[test]
+fn recorded_cells_round_trip_losslessly() {
+    let dir = temp_store("cells");
+    let configs = vec![NodeConfig::reference()];
+    let tests = vec![
+        catg::tests_lib::basic_read_write(5),
+        catg::tests_lib::random_mixed(5),
+    ];
+    let options = RegressionOptions {
+        seeds: vec![1, 2],
+        cache_dir: Some(dir.clone()),
+        ..RegressionOptions::default()
+    };
+    run_regression(&configs, &tests, &options);
+
+    let store = Store::open(dir.clone());
+    let mut checked = 0;
+    for config in &configs {
+        for spec in &tests {
+            for &seed in &options.seeds {
+                let key = cell_key(config, spec, seed, &options);
+                let (lookup, payload) = store.get(&key);
+                assert_eq!(lookup, Lookup::Hit, "campaign recorded every cell");
+                let payload = payload.unwrap();
+                let cell = cell_codec::decode(&payload).expect("recorded payload decodes");
+                assert_eq!(cell.record.test, spec.name);
+                assert_eq!(cell.record.seed, seed);
+                assert_eq!(
+                    cell_codec::encode(&cell),
+                    payload,
+                    "decode ∘ encode must be the identity on recorded cells"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert_eq!(checked, 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,204 @@
+//! The serve daemon: concurrent clients over one Unix socket, one shared
+//! cell store (a cold campaign warms every later client), clean
+//! cooperative shutdown (request op and the embedder's flag, which is
+//! what the CLI's stdin-EOF watcher flips), and stale-socket recovery.
+
+#![cfg(unix)]
+
+use stbus_regression::serve::{client_request, ServeOptions, Server, SERVE_PROTOCOL};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use telemetry::Json;
+
+fn temp_base(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("stbus-serve-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn wait_for_socket(path: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !path.exists() {
+        assert!(Instant::now() < deadline, "daemon socket never appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A quick overlapping campaign: one standard configuration, the whole
+/// test library at low intensity.
+fn campaign_request(seeds: &str) -> String {
+    format!(
+        r#"{{"op":"campaign","configs":["cfg01"],"seeds":{seeds},"intensity":4,"deterministic":true}}"#
+    )
+}
+
+fn report_of(responses: &[Json]) -> &Json {
+    responses
+        .iter()
+        .find(|r| r.get("event").and_then(Json::as_str) == Some("report"))
+        .expect("campaign answers with a report line")
+}
+
+fn cache_stat(report: &Json, name: &str) -> u64 {
+    report
+        .get("cache")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(u64::MAX)
+}
+
+#[test]
+fn daemon_shares_one_cache_across_concurrent_clients() {
+    let base = temp_base("shared");
+    let socket = base.join("daemon.sock");
+    let server = Server::bind(ServeOptions {
+        socket: socket.clone(),
+        cache_dir: base.join("cache"),
+        jobs: 2,
+        ..ServeOptions::default()
+    })
+    .expect("bind");
+    let daemon = std::thread::spawn(move || server.run().expect("daemon run"));
+    wait_for_socket(&socket);
+
+    // The daemon answers a ping with its protocol tag.
+    let pong = client_request(&socket, r#"{"op":"ping"}"#).expect("ping");
+    assert_eq!(
+        pong[0].get("protocol").and_then(Json::as_str),
+        Some(SERVE_PROTOCOL)
+    );
+
+    // Two concurrent clients with overlapping campaigns (seed 1 is in
+    // both). Each must get a complete, correct report.
+    let sock_a = socket.clone();
+    let client_a =
+        std::thread::spawn(move || client_request(&sock_a, &campaign_request("[1]")).unwrap());
+    let sock_b = socket.clone();
+    let client_b =
+        std::thread::spawn(move || client_request(&sock_b, &campaign_request("[1,2]")).unwrap());
+    let responses_a = client_a.join().unwrap();
+    let responses_b = client_b.join().unwrap();
+    let report_a = report_of(&responses_a);
+    let report_b = report_of(&responses_b);
+    // 12 library tests × seeds; every cell either hit the shared store
+    // or was simulated exactly once into it.
+    assert_eq!(
+        cache_stat(report_a, "hits") + cache_stat(report_a, "misses"),
+        12
+    );
+    assert_eq!(
+        cache_stat(report_b, "hits") + cache_stat(report_b, "misses"),
+        24
+    );
+    assert!(report_a
+        .get("table")
+        .and_then(Json::as_str)
+        .is_some_and(|t| t.contains("cfg01")));
+
+    // A third client repeating the wider campaign is fully warm: the
+    // store the other clients filled answers every cell, and the
+    // deterministic report is byte-identical to the cold one.
+    let responses_c = client_request(&socket, &campaign_request("[1,2]")).expect("warm client");
+    let report_c = report_of(&responses_c);
+    assert_eq!(
+        cache_stat(report_c, "hits"),
+        24,
+        "warm client must be all hits"
+    );
+    assert_eq!(cache_stat(report_c, "simulated"), 0);
+    assert_eq!(
+        report_b.get("manifest").map(Json::render_pretty),
+        report_c.get("manifest").map(Json::render_pretty),
+        "cold and warm clients must receive byte-identical manifests"
+    );
+
+    // Lifetime stats aggregate across connections.
+    let stats = client_request(&socket, r#"{"op":"stats"}"#).expect("stats");
+    assert!(stats[0].get("campaigns").and_then(Json::as_u64) >= Some(3));
+    assert!(stats[0].get("cache_hits").and_then(Json::as_u64) >= Some(24));
+
+    // A shutdown request is acknowledged, then the daemon exits and
+    // removes its socket.
+    let bye = client_request(&socket, r#"{"op":"shutdown"}"#).expect("shutdown");
+    assert_eq!(
+        bye[0].get("event").and_then(Json::as_str),
+        Some("shutting-down")
+    );
+    daemon.join().expect("daemon thread");
+    assert!(!socket.exists(), "socket file must be removed on shutdown");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn malformed_and_unknown_requests_do_not_kill_the_connection() {
+    let base = temp_base("errors");
+    let socket = base.join("daemon.sock");
+    let server = Server::bind(ServeOptions {
+        socket: socket.clone(),
+        cache_dir: base.join("cache"),
+        jobs: 1,
+        ..ServeOptions::default()
+    })
+    .expect("bind");
+    let flag = server.shutdown_flag();
+    let daemon = std::thread::spawn(move || server.run().expect("daemon run"));
+    wait_for_socket(&socket);
+
+    let bad = client_request(&socket, "this is not json").expect("error answer");
+    assert_eq!(bad[0].get("ok").and_then(Json::as_bool), Some(false));
+    let unknown = client_request(&socket, r#"{"op":"frobnicate"}"#).expect("error answer");
+    assert_eq!(unknown[0].get("ok").and_then(Json::as_bool), Some(false));
+    let rejected =
+        client_request(&socket, r#"{"op":"campaign","configs":["no-such-config"]}"#).unwrap();
+    assert_eq!(rejected[0].get("ok").and_then(Json::as_bool), Some(false));
+    // The daemon is still alive and answering.
+    let pong = client_request(&socket, r#"{"op":"ping"}"#).expect("ping after errors");
+    assert_eq!(pong[0].get("event").and_then(Json::as_str), Some("pong"));
+
+    // The embedder's shutdown flag (the CLI flips it on stdin EOF) stops
+    // the accept loop without any request.
+    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    daemon.join().expect("daemon thread");
+    assert!(!socket.exists());
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn stale_socket_files_are_recovered_live_daemons_are_not_displaced() {
+    let base = temp_base("stale");
+    let socket = base.join("daemon.sock");
+
+    // A dead daemon's leftover: nothing listens on the path.
+    std::fs::write(&socket, b"").unwrap();
+    let server = Server::bind(ServeOptions {
+        socket: socket.clone(),
+        cache_dir: base.join("cache"),
+        jobs: 1,
+        ..ServeOptions::default()
+    })
+    .expect("stale socket file must be healed");
+
+    // While that daemon is bound, a second bind on the same path must
+    // refuse rather than displace it.
+    let err = match Server::bind(ServeOptions {
+        socket: socket.clone(),
+        cache_dir: base.join("cache2"),
+        jobs: 1,
+        ..ServeOptions::default()
+    }) {
+        Err(e) => e,
+        Ok(_) => panic!("live daemon must not be displaced"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+
+    let flag = server.shutdown_flag();
+    let daemon = std::thread::spawn(move || server.run().expect("daemon run"));
+    wait_for_socket(&socket);
+    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    daemon.join().expect("daemon thread");
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -239,8 +239,35 @@ impl Telemetry {
                 min_level: parent.inner.min_level,
                 enabled: true,
                 sinks: Mutex::new(Vec::new()),
-                metrics: parent.inner.metrics.clone(),
+                // This handle's registry, not the parent's: a scoped
+                // handle keeps its private registry through buffering
+                // (for plain handles the two are the same object).
+                metrics: self.inner.metrics.clone(),
                 parent: Some(parent),
+                buffer: Mutex::new(Vec::with_capacity(WORKER_BUFFER_BATCH)),
+            }),
+        }
+    }
+
+    /// A handle that shares this one's sinks, clock and level but records
+    /// metrics into a fresh, private registry.
+    ///
+    /// A memoized unit of work (a regression cell) runs under a scoped
+    /// handle so its exact metric contribution can be snapshotted into a
+    /// cache entry and replayed later with [`MetricsRegistry::absorb`] —
+    /// a warm run then reports the same totals the cold run did. Events
+    /// still stream to the shared sinks (batched, as with
+    /// [`Telemetry::buffered`]).
+    pub fn scoped_metrics(&self) -> Telemetry {
+        let base = self.buffered();
+        Telemetry {
+            inner: Arc::new(TelemetryInner {
+                start: base.inner.start,
+                min_level: base.inner.min_level,
+                enabled: base.inner.enabled,
+                sinks: Mutex::new(Vec::new()),
+                metrics: MetricsRegistry::new(),
+                parent: base.inner.parent.clone(),
                 buffer: Mutex::new(Vec::with_capacity(WORKER_BUFFER_BATCH)),
             }),
         }
@@ -591,6 +618,41 @@ mod tests {
         });
         assert_eq!(handle.events().len(), 400);
         assert_eq!(tel.metrics().snapshot().counters["events"], 400);
+    }
+
+    #[test]
+    fn scoped_metrics_isolates_the_registry_but_shares_sinks() {
+        let (sink, handle) = MemorySink::new();
+        let tel = Telemetry::builder().with_sink(Box::new(sink)).build();
+        tel.metrics().counter("shared").add(7);
+        let scoped = tel.scoped_metrics();
+        scoped.info("cell", "working", NO_FIELDS);
+        scoped.metrics().counter("kernel.steps").add(3);
+        // Buffering a scoped handle keeps the private registry.
+        let worker = scoped.buffered();
+        worker.metrics().counter("kernel.steps").add(2);
+        drop(worker);
+        drop(scoped.clone());
+        let snap = scoped.metrics().snapshot();
+        assert_eq!(snap.counters["kernel.steps"], 5);
+        assert!(!snap.counters.contains_key("shared"));
+        assert!(!tel
+            .metrics()
+            .snapshot()
+            .counters
+            .contains_key("kernel.steps"));
+        drop(scoped);
+        // Events flowed through to the shared sinks.
+        assert_eq!(handle.events().len(), 1);
+        // Replay lands the contribution in the campaign registry.
+        tel.metrics().absorb(&snap);
+        assert_eq!(tel.metrics().snapshot().counters["kernel.steps"], 5);
+
+        // A disabled handle still scopes its registry.
+        let off = Telemetry::disabled();
+        let cell = off.scoped_metrics();
+        cell.metrics().counter("x").inc();
+        assert!(!off.metrics().snapshot().counters.contains_key("x"));
     }
 
     #[test]

@@ -130,6 +130,23 @@ impl Histogram {
         self.snapshot().percentile(p)
     }
 
+    /// Merges a snapshot's observations into this histogram,
+    /// bucket-for-bucket. Requires identical bounds — on a mismatch
+    /// nothing is recorded and `false` comes back, so a shape conflict
+    /// can't half-apply.
+    fn absorb(&self, snap: &HistogramSnapshot) -> bool {
+        if self.inner.bounds != snap.bounds || self.inner.buckets.len() != snap.buckets.len() {
+            return false;
+        }
+        for (bucket, &n) in self.inner.buckets.iter().zip(&snap.buckets) {
+            bucket.fetch_add(n, Ordering::Relaxed);
+        }
+        self.inner.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.inner.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.inner.max.fetch_max(snap.max, Ordering::Relaxed);
+        true
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             bounds: self.inner.bounds.clone(),
@@ -251,6 +268,25 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Merges a snapshot into this registry: counters add their totals,
+    /// gauges take the snapshot's value (last write wins), histograms
+    /// merge bucket-for-bucket (bounds come from the snapshot when the
+    /// name is new; an existing histogram with different bounds skips the
+    /// merge rather than corrupt its shape). This is how a memoized
+    /// cell's private metrics replay into a campaign registry, making a
+    /// warm run's totals identical to the cold run's.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        for (name, v) in &snap.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge(name).set(*v);
+        }
+        for (name, h) in &snap.histograms {
+            self.histogram(name, &h.bounds).absorb(h);
+        }
+    }
+
     /// A point-in-time snapshot of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().expect("metrics lock");
@@ -318,6 +354,52 @@ impl MetricsSnapshot {
                 ),
             ),
         ])
+    }
+
+    /// Parses the [`MetricsSnapshot::to_json`] form back. `None` on any
+    /// structural defect (wrong types, bucket/bound arity mismatch,
+    /// non-integral values) — callers treat the containing artifact as
+    /// corrupt and recompute.
+    pub fn from_json(json: &Json) -> Option<MetricsSnapshot> {
+        fn entries(j: &Json) -> Option<&[(String, Json)]> {
+            match j {
+                Json::Obj(pairs) => Some(pairs),
+                _ => None,
+            }
+        }
+        fn as_i64(j: &Json) -> Option<i64> {
+            let n = j.as_f64()?;
+            (n.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&n))
+                .then_some(n as i64)
+        }
+        let mut snap = MetricsSnapshot::default();
+        for (name, v) in entries(json.get("counters")?)? {
+            snap.counters.insert(name.clone(), v.as_u64()?);
+        }
+        for (name, v) in entries(json.get("gauges")?)? {
+            snap.gauges.insert(name.clone(), as_i64(v)?);
+        }
+        for (name, h) in entries(json.get("histograms")?)? {
+            let nums = |key: &str| -> Option<Vec<u64>> {
+                h.get(key)?.as_arr()?.iter().map(Json::as_u64).collect()
+            };
+            let bounds = nums("bounds")?;
+            let buckets = nums("buckets")?;
+            if buckets.len() != bounds.len() + 1 {
+                return None;
+            }
+            snap.histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    bounds,
+                    buckets,
+                    count: h.get("count")?.as_u64()?,
+                    sum: h.get("sum")?.as_u64()?,
+                    max: h.get("max")?.as_u64()?,
+                },
+            );
+        }
+        Some(snap)
     }
 
     /// A human-readable multi-line rendering.
@@ -450,6 +532,65 @@ mod tests {
         assert_eq!(h.percentile(83.0), 1000);
         assert_eq!(h.percentile(100.0), 7000); // overflow reports the true max
         assert_eq!(h.percentile(250.0), 7000); // out-of-range p clamps
+    }
+
+    #[test]
+    fn snapshot_parses_back_from_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("kernel.steps").add(42);
+        reg.gauge("pool.depth").set(-3);
+        let h = reg.histogram("lat", &[10, 100]);
+        h.observe(7);
+        h.observe(5000);
+        let snap = reg.snapshot();
+        let round =
+            MetricsSnapshot::from_json(&Json::parse(&snap.to_json().render()).unwrap()).unwrap();
+        assert_eq!(round, snap);
+        // Structural defects read as None, never a partial snapshot.
+        assert!(MetricsSnapshot::from_json(&Json::Null).is_none());
+        let mut mangled = snap.to_json();
+        if let Json::Obj(pairs) = &mut mangled {
+            pairs.retain(|(k, _)| k != "gauges");
+        }
+        assert!(MetricsSnapshot::from_json(&mangled).is_none());
+    }
+
+    #[test]
+    fn absorb_replays_a_snapshot_into_a_fresh_registry() {
+        let src = MetricsRegistry::new();
+        src.counter("kernel.steps").add(10);
+        src.gauge("depth").set(5);
+        let h = src.histogram("lat", &[10, 100]);
+        for v in [3, 50, 700] {
+            h.observe(v);
+        }
+        let snap = src.snapshot();
+
+        let dst = MetricsRegistry::new();
+        dst.counter("kernel.steps").add(2);
+        dst.absorb(&snap);
+        dst.absorb(&snap);
+        let merged = dst.snapshot();
+        assert_eq!(merged.counters["kernel.steps"], 22);
+        assert_eq!(merged.gauges["depth"], 5);
+        let lat = &merged.histograms["lat"];
+        assert_eq!(lat.count, 6);
+        assert_eq!(lat.sum, 1506);
+        assert_eq!(lat.max, 700);
+        assert_eq!(lat.buckets, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn absorb_with_mismatched_bounds_is_a_clean_no_op() {
+        let src = MetricsRegistry::new();
+        src.histogram("lat", &[1, 2]).observe(1);
+        let snap = src.snapshot();
+        let dst = MetricsRegistry::new();
+        dst.histogram("lat", &[10, 100]).observe(50);
+        dst.absorb(&snap);
+        let lat = &dst.snapshot().histograms["lat"];
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.sum, 50);
     }
 
     #[test]
