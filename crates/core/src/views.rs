@@ -4,6 +4,7 @@ use sim_kernel::SimBackend;
 use stbus_bca::{BcaNode, Fidelity};
 use stbus_protocol::{DutView, NodeConfig, ViewKind};
 use stbus_rtl::RtlNode;
+use stbus_tlm::TlmNode;
 
 /// Elaborates one design view for a configuration on the default (event)
 /// simulation backend.
@@ -19,7 +20,8 @@ pub fn build_view(config: &NodeConfig, kind: ViewKind) -> Box<dyn DutView> {
 ///
 /// Only the RTL view runs on a kernel, so `engine` selects between the
 /// event-driven reference scheduler and the levelized compiled backend
-/// there; the BCA view bypasses the kernel entirely and ignores it.
+/// there; the BCA and TLM views bypass the kernel entirely and ignore
+/// it.
 pub fn build_view_with_engine(
     config: &NodeConfig,
     kind: ViewKind,
@@ -28,6 +30,7 @@ pub fn build_view_with_engine(
     match kind {
         ViewKind::Rtl => Box::new(RtlNode::with_engine(config.clone(), engine)),
         ViewKind::Bca => Box::new(BcaNode::new(config.clone(), Fidelity::Relaxed)),
+        ViewKind::Tlm => Box::new(TlmNode::new(config.clone())),
     }
 }
 
@@ -36,10 +39,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn factory_builds_both_views() {
+    fn factory_builds_every_view() {
         let cfg = NodeConfig::reference();
-        assert_eq!(build_view(&cfg, ViewKind::Rtl).view_kind(), ViewKind::Rtl);
-        assert_eq!(build_view(&cfg, ViewKind::Bca).view_kind(), ViewKind::Bca);
+        for kind in ViewKind::ALL {
+            assert_eq!(build_view(&cfg, kind).view_kind(), kind);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::report::{AlignmentCell, Detection, MutationOutcome, QualificationRepo
 use crate::{catalogue, CatalogueEntry, Detector, Mutation};
 use catg::tests_lib::qualification as qual;
 use catg::{CoverageReport, TestSpec, Testbench, TestbenchOptions};
-use stba::compare_vcd_with;
+use stba::{compare_transactions_with, compare_vcd_with};
 use stbus_protocol::{NodeConfig, ViewKind};
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -138,10 +138,18 @@ fn run_cell(job: &CellJob) -> CellOut {
                 .field("test", Json::from(spec.name.as_str()));
             let ra = bench.run(clean.as_mut(), spec, qual::ALIGNMENT_SEED);
             let rb = bench.run(mutated.as_mut(), spec, qual::ALIGNMENT_SEED);
+            // The untimed view holds no cycle discipline, so TLM-view
+            // entries are compared by committed transaction order; every
+            // cycle-accurate view keeps the paper's per-cycle comparison.
             let rate = match (&ra.vcd, &rb.vcd) {
-                (Some(a), Some(b)) => compare_vcd_with(a, b, catg::vcd_cycle_time(), &tel)
-                    .ok()
-                    .map(|r| r.min_rate()),
+                (Some(a), Some(b)) => {
+                    let outcome = if job.entry.mutated_view() == ViewKind::Tlm {
+                        compare_transactions_with(a, b, catg::vcd_cycle_time(), &tel)
+                    } else {
+                        compare_vcd_with(a, b, catg::vcd_cycle_time(), &tel)
+                    };
+                    outcome.ok().map(|r| r.min_rate())
+                }
                 _ => None,
             };
             span.end([("min_rate_pct", Json::from(rate.map(|r| r * 100.0)))]);
@@ -265,6 +273,7 @@ pub fn run_qualification(options: &QualifyOptions) -> QualificationReport {
         let control = match view {
             ViewKind::Rtl => CatalogueEntry::CleanRtl,
             ViewKind::Bca => CatalogueEntry::CleanBca,
+            ViewKind::Tlm => CatalogueEntry::CleanTlm,
         };
         data.iter()
             .find(|d| d.entry == control)
@@ -278,6 +287,15 @@ pub fn run_qualification(options: &QualifyOptions) -> QualificationReport {
 
         // Alignment: a pair only counts as detected where the clean pair
         // of the same view signs off on the same `{config, spec}` cell.
+        // (That baseline guard is also what keeps the TLM entries honest:
+        // a *cycle* comparison of clean TLM vs RTL is far below sign-off,
+        // so only the transaction-order figures — whose clean baseline is
+        // 100% — can convict the untimed view.)
+        let alignment_detector = if d.entry.mutated_view() == ViewKind::Tlm {
+            Detector::TxOrder
+        } else {
+            Detector::Alignment
+        };
         let mut alignment = Vec::new();
         for (ci, config) in options.configs.iter().enumerate() {
             for (si, spec) in options.alignment_specs.iter().enumerate() {
@@ -290,7 +308,7 @@ pub fn run_qualification(options: &QualifyOptions) -> QualificationReport {
                         config: config.name.clone(),
                         test: spec.name.clone(),
                         seed: qual::ALIGNMENT_SEED,
-                        detector: Detector::Alignment,
+                        detector: alignment_detector,
                     });
                 }
                 alignment.push(AlignmentCell {

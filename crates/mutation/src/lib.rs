@@ -3,11 +3,15 @@
 //! The paper's environment claims to be a *common reusable* bench: the same
 //! checkers, scoreboard, coverage and alignment comparison catch defects in
 //! either design view. This crate turns that claim into a measured score.
-//! It carries a unified [`Mutation`] interface over the two defect
-//! catalogues — the five historical BCA bugs ([`stbus_bca::BcaBug`]) and
-//! the six injectable RTL defects ([`stbus_rtl::RtlBug`]) — and runs each
+//! It carries a unified [`Mutation`] interface over the three defect
+//! catalogues — the five historical BCA bugs ([`stbus_bca::BcaBug`]), the
+//! six injectable RTL defects ([`stbus_rtl::RtlBug`]) and the two
+//! transaction-order TLM defects ([`stbus_tlm::TlmBug`]) — and runs each
 //! one through the full `{configuration × test × seed}` hunt, recording
-//! *which* environment component fired ([`Detector`]).
+//! *which* environment component fired ([`Detector`]). TLM entries align
+//! against clean RTL by committed transaction order
+//! ([`stba::compare_transactions`]) instead of by cycle — the discipline
+//! an untimed view can actually be held to.
 //!
 //! The campaign ([`run_qualification`]) fans out on the [`exec`] worker
 //! pool exactly like the regression runner: every cell is plain `Send`
@@ -36,6 +40,7 @@ use stbus_bca::{BcaBug, BcaNode, Fidelity};
 use stbus_protocol::rules::RuleId;
 use stbus_protocol::{DutView, NodeConfig, ViewKind};
 use stbus_rtl::{RtlBug, RtlNode};
+use stbus_tlm::{TlmBug, TlmNode};
 use std::fmt;
 
 /// Which component of the common environment caught a mutation.
@@ -48,8 +53,12 @@ pub enum Detector {
     /// The scoreboard (data integrity, error-flag accounting, or traffic
     /// that never drained).
     Scoreboard,
-    /// The bus-accurate (STBA) alignment comparison against the clean
-    /// opposite view.
+    /// The transaction-order (STBA) comparison against clean RTL — the
+    /// alignment discipline of the untimed TLM view
+    /// ([`stba::compare_transactions`]).
+    TxOrder,
+    /// The bus-accurate (STBA) cycle-alignment comparison against the
+    /// clean opposite view.
     Alignment,
     /// A functional-coverage shortfall relative to the clean same-view
     /// control.
@@ -57,12 +66,13 @@ pub enum Detector {
 }
 
 impl Detector {
-    /// The five categories in report-column order (checker rules collapse
+    /// The six categories in report-column order (checker rules collapse
     /// into one column).
-    pub const COLUMNS: [&'static str; 5] = [
+    pub const COLUMNS: [&'static str; 6] = [
         "checker",
         "starvation",
         "scoreboard",
+        "tx-order",
         "alignment",
         "coverage",
     ];
@@ -73,6 +83,7 @@ impl Detector {
             Detector::Checker(_) => "checker",
             Detector::Starvation => "starvation",
             Detector::Scoreboard => "scoreboard",
+            Detector::TxOrder => "tx-order",
             Detector::Alignment => "alignment",
             Detector::Coverage => "coverage",
         }
@@ -88,14 +99,20 @@ impl Detector {
 
     /// Precedence used for campaign-level attribution: lower is stronger.
     /// A protocol-rule violation names the defect most precisely; the
-    /// coverage shortfall is the weakest (most indirect) evidence.
+    /// coverage shortfall is the weakest (most indirect) evidence. The
+    /// transaction-order diff outranks the scoreboard: for an untimed
+    /// view it is the *designed* instrument — it names the port and the
+    /// first diverging transfer — while a scoreboard error on the same
+    /// defect is secondary evidence (e.g. the replayed request a dropped
+    /// response provokes).
     pub(crate) fn precedence(self) -> u8 {
         match self {
             Detector::Checker(_) => 0,
             Detector::Starvation => 1,
-            Detector::Scoreboard => 2,
-            Detector::Alignment => 3,
-            Detector::Coverage => 4,
+            Detector::TxOrder => 2,
+            Detector::Scoreboard => 3,
+            Detector::Alignment => 4,
+            Detector::Coverage => 5,
         }
     }
 }
@@ -106,6 +123,7 @@ impl fmt::Display for Detector {
             Detector::Checker(rule) => write!(f, "checker {rule}"),
             Detector::Starvation => f.write_str("starvation watchdog"),
             Detector::Scoreboard => f.write_str("scoreboard"),
+            Detector::TxOrder => f.write_str("tx-order alignment"),
             Detector::Alignment => f.write_str("STBA alignment"),
             Detector::Coverage => f.write_str("coverage shortfall"),
         }
@@ -145,16 +163,25 @@ pub enum CatalogueEntry {
     /// Clean BCA view at exact fidelity (negative control / BCA-side
     /// reference).
     CleanBca,
+    /// Clean untimed TLM view (negative control / TLM-side reference;
+    /// its transaction-order rate against clean RTL is the baseline the
+    /// TLM mutations are judged against).
+    CleanTlm,
     /// A BCA catalogue bug injected into the BCA view.
     Bca(BcaBug),
     /// An RTL catalogue bug injected into the RTL view.
     Rtl(RtlBug),
+    /// A TLM catalogue bug injected into the untimed view.
+    Tlm(TlmBug),
 }
 
 impl CatalogueEntry {
-    /// True for the two clean negative-control entries.
+    /// True for the three clean negative-control entries.
     pub fn is_control(self) -> bool {
-        matches!(self, CatalogueEntry::CleanRtl | CatalogueEntry::CleanBca)
+        matches!(
+            self,
+            CatalogueEntry::CleanRtl | CatalogueEntry::CleanBca | CatalogueEntry::CleanTlm
+        )
     }
 }
 
@@ -169,13 +196,19 @@ fn clean_bca(config: &NodeConfig) -> Box<dyn DutView> {
     Box::new(BcaNode::new(config.clone(), Fidelity::Exact))
 }
 
+fn clean_tlm(config: &NodeConfig) -> Box<dyn DutView> {
+    Box::new(TlmNode::new(config.clone()))
+}
+
 impl Mutation for CatalogueEntry {
     fn label(&self) -> String {
         match self {
             CatalogueEntry::CleanRtl => "C-RTL".to_owned(),
             CatalogueEntry::CleanBca => "C-BCA".to_owned(),
+            CatalogueEntry::CleanTlm => "C-TLM".to_owned(),
             CatalogueEntry::Bca(b) => b.label().to_owned(),
             CatalogueEntry::Rtl(b) => b.label().to_owned(),
+            CatalogueEntry::Tlm(b) => b.label().to_owned(),
         }
     }
 
@@ -183,8 +216,10 @@ impl Mutation for CatalogueEntry {
         match self {
             CatalogueEntry::CleanRtl => "clean RTL view (negative control)".to_owned(),
             CatalogueEntry::CleanBca => "clean BCA view (negative control)".to_owned(),
+            CatalogueEntry::CleanTlm => "clean TLM view (negative control)".to_owned(),
             CatalogueEntry::Bca(b) => b.description().to_owned(),
             CatalogueEntry::Rtl(b) => b.description().to_owned(),
+            CatalogueEntry::Tlm(b) => b.description().to_owned(),
         }
     }
 
@@ -192,14 +227,18 @@ impl Mutation for CatalogueEntry {
         match self {
             CatalogueEntry::CleanRtl | CatalogueEntry::Rtl(_) => ViewKind::Rtl,
             CatalogueEntry::CleanBca | CatalogueEntry::Bca(_) => ViewKind::Bca,
+            CatalogueEntry::CleanTlm | CatalogueEntry::Tlm(_) => ViewKind::Tlm,
         }
     }
 
     fn expected_detector(&self) -> String {
         match self {
-            CatalogueEntry::CleanRtl | CatalogueEntry::CleanBca => "none".to_owned(),
+            CatalogueEntry::CleanRtl | CatalogueEntry::CleanBca | CatalogueEntry::CleanTlm => {
+                "none".to_owned()
+            }
             CatalogueEntry::Bca(b) => b.expected_detector().to_owned(),
             CatalogueEntry::Rtl(b) => b.expected_detector().to_owned(),
+            CatalogueEntry::Tlm(b) => b.expected_detector().to_owned(),
         }
     }
 
@@ -207,12 +246,18 @@ impl Mutation for CatalogueEntry {
         match self {
             CatalogueEntry::CleanRtl => clean_rtl(config),
             CatalogueEntry::CleanBca => clean_bca(config),
+            CatalogueEntry::CleanTlm => clean_tlm(config),
             CatalogueEntry::Bca(bug) => {
                 let mut node = BcaNode::new(config.clone(), Fidelity::Exact);
                 node.inject_bug(*bug);
                 Box::new(node)
             }
             CatalogueEntry::Rtl(bug) => Box::new(RtlNode::with_bugs(config.clone(), &[*bug])),
+            CatalogueEntry::Tlm(bug) => {
+                let mut node = TlmNode::new(config.clone());
+                node.inject_bug(*bug);
+                Box::new(node)
+            }
         }
     }
 
@@ -220,16 +265,24 @@ impl Mutation for CatalogueEntry {
         match self.mutated_view() {
             ViewKind::Rtl => clean_bca(config),
             ViewKind::Bca => clean_rtl(config),
+            // The untimed view aligns (by transaction order) against the
+            // golden RTL model.
+            ViewKind::Tlm => clean_rtl(config),
         }
     }
 }
 
-/// The unified qualification catalogue: the two clean controls first, then
-/// the five BCA bugs, then the six RTL bugs.
+/// The unified qualification catalogue: the three clean controls first,
+/// then the five BCA bugs, the six RTL bugs, and the two TLM bugs.
 pub fn catalogue() -> Vec<CatalogueEntry> {
-    let mut entries = vec![CatalogueEntry::CleanRtl, CatalogueEntry::CleanBca];
+    let mut entries = vec![
+        CatalogueEntry::CleanRtl,
+        CatalogueEntry::CleanBca,
+        CatalogueEntry::CleanTlm,
+    ];
     entries.extend(BcaBug::ALL.into_iter().map(CatalogueEntry::Bca));
     entries.extend(RtlBug::ALL.into_iter().map(CatalogueEntry::Rtl));
+    entries.extend(TlmBug::ALL.into_iter().map(CatalogueEntry::Tlm));
     entries
 }
 
@@ -238,13 +291,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalogue_has_two_controls_and_eleven_mutations() {
+    fn catalogue_has_three_controls_and_thirteen_mutations() {
         let entries = catalogue();
-        assert_eq!(entries.len(), 13);
-        assert_eq!(entries.iter().filter(|e| e.is_control()).count(), 2);
+        assert_eq!(entries.len(), 16);
+        assert_eq!(entries.iter().filter(|e| e.is_control()).count(), 3);
         let labels: Vec<String> = entries.iter().map(Mutation::label).collect();
         assert!(labels.contains(&"B1".to_owned()));
         assert!(labels.contains(&"R6".to_owned()));
+        assert!(labels.contains(&"T2".to_owned()));
         // Labels are unique.
         let set: std::collections::BTreeSet<&String> = labels.iter().collect();
         assert_eq!(set.len(), labels.len());
@@ -255,6 +309,7 @@ mod tests {
         let known = [
             Detector::Starvation.to_string(),
             Detector::Scoreboard.to_string(),
+            Detector::TxOrder.to_string(),
             Detector::Alignment.to_string(),
             Detector::Coverage.to_string(),
         ];
@@ -300,6 +355,7 @@ mod tests {
             Detector::Checker(RuleId::TidMatch),
             Detector::Starvation,
             Detector::Scoreboard,
+            Detector::TxOrder,
             Detector::Alignment,
             Detector::Coverage,
         ] {

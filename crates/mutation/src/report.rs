@@ -40,7 +40,8 @@ pub struct AlignmentCell {
 /// The campaign verdict on one catalogue entry.
 #[derive(Clone, Debug)]
 pub struct MutationOutcome {
-    /// Catalogue label (`B1`..`B5`, `R1`..`R6`, `C-RTL`, `C-BCA`).
+    /// Catalogue label (`B1`..`B5`, `R1`..`R6`, `T1`..`T2`, `C-RTL`,
+    /// `C-BCA`, `C-TLM`).
     pub label: String,
     /// One-line description.
     pub description: String,
@@ -143,17 +144,18 @@ impl QualificationReport {
     pub fn table(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "entry  view  checker  starve  scoreboard  align  coverage  attribution          expected             verdict\n",
+            "entry  view  checker  starve  scoreboard  tx-order  align  coverage  attribution          expected             verdict\n",
         );
         for o in &self.outcomes {
             let attributed = o.detector.map_or("-".to_owned(), |d| d.to_string());
             out.push_str(&format!(
-                "{:<6} {:<5} {:>7} {:>7} {:>11} {:>6} {:>9}  {:<20} {:<20} {}\n",
+                "{:<6} {:<5} {:>7} {:>7} {:>11} {:>9} {:>6} {:>9}  {:<20} {:<20} {}\n",
                 o.label,
                 o.view.to_string(),
                 o.column_count("checker"),
                 o.column_count("starvation"),
                 o.column_count("scoreboard"),
+                o.column_count("tx-order"),
                 o.column_count("alignment"),
                 o.column_count("coverage"),
                 attributed,

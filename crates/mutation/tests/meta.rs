@@ -26,7 +26,7 @@ fn tiny_options(jobs: usize) -> QualifyOptions {
 fn clean_controls_come_out_with_zero_detections() {
     let report = run_qualification(&tiny_options(0));
     let controls: Vec<_> = report.outcomes.iter().filter(|o| o.control).collect();
-    assert_eq!(controls.len(), 2);
+    assert_eq!(controls.len(), 3);
     for o in controls {
         assert!(
             o.detections.is_empty(),
@@ -93,6 +93,6 @@ fn qualification_json_parses_and_mirrors_the_report() {
         .and_then(|c| c.get("mutation.cells"))
         .and_then(Json::as_u64)
         .unwrap();
-    // 13 entries × 1 config × (2 tests × 1 seed + 1 alignment spec).
-    assert_eq!(cells, 13 * 3);
+    // 16 entries × 1 config × (2 tests × 1 seed + 1 alignment spec).
+    assert_eq!(cells, 16 * 3);
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N]
 //!               [--jobs N] [--engine event|compiled] [--deterministic]
-//!               [--no-compare] [--exact]
+//!               [--views rtl,bca[,tlm]] [--no-compare] [--exact]
 //!               [--cache] [--cache-dir DIR] [--cache-max-entries N]
 //!               [--cache-max-bytes N]
 //!               [--log-format text|json] [--log-file PATH] [--quiet]
@@ -20,8 +20,16 @@
 //! loaded ("It's sufficient to indicate the directory to which the tool
 //! has to point"); otherwise the built-in >36-configuration sweep runs.
 //!
+//! `--views rtl,bca,tlm` adds the untimed transaction-level view to
+//! every cell: TLM runs the same tests with the same seeds through the
+//! same checkers/scoreboard/coverage, then is compared against RTL both
+//! cycle-accurately (expected <99% — an untimed model holds no cycle
+//! discipline) and by committed transaction order (expected 100% on a
+//! clean model). The summary gains a per-configuration TLM block; RTL
+//! and BCA are always required.
+//!
 //! `--qualify` switches the tool into mutation-qualification mode: every
-//! catalogue defect (five BCA, six RTL) is injected in turn and run
+//! catalogue defect (five BCA, six RTL, two TLM) is injected in turn and run
 //! through the common environment's hunt shape; the run fails unless all
 //! mutations are killed *and* each is attributed to its declared
 //! detector. `--jobs`, `--deterministic`, `--seeds`, `--intensity`,
@@ -122,7 +130,7 @@
 //! when any phase slowed beyond `--max-regression` percent (default 20).
 
 use stbus_bca::Fidelity;
-use stbus_protocol::NodeConfig;
+use stbus_protocol::{NodeConfig, ViewKind};
 use stbus_regression::{
     parse_config, render_config, run_regression, serve, standard_configs, RegressionOptions,
 };
@@ -229,6 +237,28 @@ fn main() {
             }
             "--no-compare" => options.compare_waveforms = false,
             "--exact" => options.fidelity = Fidelity::Exact,
+            "--views" => {
+                let list = args.next().unwrap_or_default();
+                let mut views = Vec::new();
+                for name in list.split(',').filter(|s| !s.is_empty()) {
+                    let view = ViewKind::ALL
+                        .into_iter()
+                        .find(|v| v.to_string().eq_ignore_ascii_case(name));
+                    match view {
+                        Some(v) if !views.contains(&v) => views.push(v),
+                        Some(_) => {}
+                        None => {
+                            eprintln!("--views takes a comma list of rtl, bca, tlm (got `{name}`)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                if !views.contains(&ViewKind::Rtl) || !views.contains(&ViewKind::Bca) {
+                    eprintln!("--views must include both rtl and bca (they anchor the alignment comparisons)");
+                    std::process::exit(2);
+                }
+                options.views = views;
+            }
             "--cache" => cache_flag = true,
             "--cache-dir" => {
                 cache_dir = match args.next() {
@@ -298,7 +328,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--engine event|compiled] [--deterministic] [--no-compare] [--exact] [--cache] [--cache-dir DIR] [--cache-max-entries N] [--cache-max-bytes N] [--log-format text|json] [--log-file PATH] [--quiet] [--profile] [--trace-out FILE] [--no-history] [--history-dir DIR] [--qualify] [--close-coverage] [--batch N] [--budget N] [--signoff] [--waivers FILE] [--from-closure FILE]\n       stbus-regress --serve SOCKET [--cache-dir DIR] [--cache-max-entries N] [--cache-max-bytes N] [--jobs N]\n       stbus-regress --client SOCKET [--configs <dir>] [--seeds N] [--intensity N] [--engine event|compiled] [--no-compare] [--deterministic] [--out <dir>]\n       stbus-regress history [--baseline N] [--max-regression PCT] [--dir DIR]"
+                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--engine event|compiled] [--deterministic] [--views rtl,bca[,tlm]] [--no-compare] [--exact] [--cache] [--cache-dir DIR] [--cache-max-entries N] [--cache-max-bytes N] [--log-format text|json] [--log-file PATH] [--quiet] [--profile] [--trace-out FILE] [--no-history] [--history-dir DIR] [--qualify] [--close-coverage] [--batch N] [--budget N] [--signoff] [--waivers FILE] [--from-closure FILE]\n       stbus-regress --serve SOCKET [--cache-dir DIR] [--cache-max-entries N] [--cache-max-bytes N] [--jobs N]\n       stbus-regress --client SOCKET [--configs <dir>] [--seeds N] [--intensity N] [--engine event|compiled] [--views rtl,bca[,tlm]] [--no-compare] [--deterministic] [--out <dir>]\n       stbus-regress history [--baseline N] [--max-regression PCT] [--dir DIR]"
                 );
                 return;
             }
@@ -527,6 +557,16 @@ fn main() {
             ),
             ("intensity", Json::from(options.intensity)),
             ("engine", Json::from(options.engine.to_string())),
+            (
+                "views",
+                Json::Arr(
+                    options
+                        .views
+                        .iter()
+                        .map(|v| Json::from(v.to_string().to_ascii_lowercase()))
+                        .collect(),
+                ),
+            ),
             ("compare", Json::from(options.compare_waveforms)),
             ("deterministic", Json::from(deterministic)),
         ]);
@@ -757,6 +797,17 @@ fn main() {
             ("seeds", Json::from(options.seeds.len())),
             ("intensity", Json::from(options.intensity)),
             ("engine", Json::from(options.engine.to_string())),
+            (
+                "views",
+                Json::from(
+                    options
+                        .views
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(","),
+                ),
+            ),
             ("compare", Json::from(options.compare_waveforms)),
             ("jobs", Json::from(exec::resolve_jobs(options.jobs))),
         ],
@@ -813,6 +864,7 @@ fn main() {
             parts.extend(tests.iter().map(|t| format!("test:{}", t.name)));
             parts.push(format!("intensity:{}", options.intensity));
             parts.push(format!("seeds:{:?}", options.seeds));
+            parts.push(format!("views:{:?}", options.views));
             parts.push(format!("fidelity:{:?}", options.fidelity));
             parts.push(format!("engine_backend:{}", options.engine));
             parts.push(format!("compare:{}", options.compare_waveforms));

@@ -25,7 +25,11 @@ use telemetry::{Json, MetricsSnapshot};
 
 /// Payload schema tag; part of the content key, so bumping it naturally
 /// invalidates every entry written by older code.
-pub const CELL_SCHEMA: &str = "stbus-cell/1";
+///
+/// `/2` added the TLM view fields: per-run result, the two TLM-vs-RTL
+/// alignment figures (cycle and transaction-order) and the TLM VCD
+/// digest.
+pub const CELL_SCHEMA: &str = "stbus-cell/2";
 
 /// Everything one cell contributes to a campaign, in cacheable form.
 #[derive(Clone, Debug)]
@@ -43,6 +47,9 @@ pub struct CachedCell {
     pub rtl_vcd_digest: Option<u64>,
     /// See `rtl_vcd_digest`.
     pub bca_vcd_digest: Option<u64>,
+    /// See `rtl_vcd_digest`; `None` when the cell did not run the TLM
+    /// view.
+    pub tlm_vcd_digest: Option<u64>,
 }
 
 /// Serializes a cell to the canonical payload string.
@@ -58,6 +65,7 @@ pub fn encode(cell: &CachedCell) -> String {
         ("metrics", cell.metrics.to_json()),
         ("rtl_vcd_digest", digest(cell.rtl_vcd_digest)),
         ("bca_vcd_digest", digest(cell.bca_vcd_digest)),
+        ("tlm_vcd_digest", digest(cell.tlm_vcd_digest)),
     ])
     .render()
 }
@@ -80,13 +88,14 @@ pub fn decode(payload: &str) -> Option<CachedCell> {
         metrics: MetricsSnapshot::from_json(json.get("metrics")?)?,
         rtl_vcd_digest: digest("rtl_vcd_digest")?,
         bca_vcd_digest: digest("bca_vcd_digest")?,
+        tlm_vcd_digest: digest("tlm_vcd_digest")?,
     })
 }
 
 // ---- RunRecord ---------------------------------------------------------
 
-fn record_to_json(r: &RunRecord) -> Json {
-    let alignment = match &r.alignment {
+fn ports_to_json(ports: &Option<Vec<(String, u64, u64)>>) -> Json {
+    match ports {
         Some(ports) => Json::Arr(
             ports
                 .iter()
@@ -100,23 +109,15 @@ fn record_to_json(r: &RunRecord) -> Json {
                 .collect(),
         ),
         None => Json::Null,
-    };
-    Json::obj([
-        ("test", Json::from(r.test.as_str())),
-        // Stringified: a seed is a full u64 and must survive exactly,
-        // beyond f64's 2^53 integer range.
-        ("seed", Json::from(r.seed.to_string())),
-        ("rtl", result_to_json(&r.rtl)),
-        ("bca", result_to_json(&r.bca)),
-        ("alignment", alignment),
-        ("compared", Json::from(r.compare_wall_us.is_some())),
-    ])
+    }
 }
 
-fn record_from_json(json: &Json) -> Option<RunRecord> {
-    let alignment = match json.get("alignment")? {
-        Json::Null => None,
-        Json::Arr(ports) => Some(
+/// `Some(figures)` on a well-formed value, `None` on a defect — the
+/// inner option distinguishes "not compared" (`null`).
+fn ports_from_json(json: &Json) -> Option<Option<Vec<(String, u64, u64)>>> {
+    match json {
+        Json::Null => Some(None),
+        Json::Arr(ports) => Some(Some(
             ports
                 .iter()
                 .map(|p| {
@@ -127,18 +128,53 @@ fn record_from_json(json: &Json) -> Option<RunRecord> {
                     }
                 })
                 .collect::<Option<Vec<_>>>()?,
+        )),
+        _ => None,
+    }
+}
+
+fn record_to_json(r: &RunRecord) -> Json {
+    Json::obj([
+        ("test", Json::from(r.test.as_str())),
+        // Stringified: a seed is a full u64 and must survive exactly,
+        // beyond f64's 2^53 integer range.
+        ("seed", Json::from(r.seed.to_string())),
+        ("rtl", result_to_json(&r.rtl)),
+        ("bca", result_to_json(&r.bca)),
+        (
+            "tlm",
+            match &r.tlm {
+                Some(tlm) => result_to_json(tlm),
+                None => Json::Null,
+            },
         ),
-        _ => return None,
+        ("alignment", ports_to_json(&r.alignment)),
+        ("tlm_alignment", ports_to_json(&r.tlm_alignment)),
+        ("tlm_tx_alignment", ports_to_json(&r.tlm_tx_alignment)),
+        ("compared", Json::from(r.compare_wall_us.is_some())),
+        ("tlm_compared", Json::from(r.tlm_compare_wall_us.is_some())),
+    ])
+}
+
+fn record_from_json(json: &Json) -> Option<RunRecord> {
+    let tlm = match json.get("tlm")? {
+        Json::Null => None,
+        j => Some(result_from_json(j)?),
     };
     Some(RunRecord {
         test: json.get("test")?.as_str()?.to_owned(),
         seed: json.get("seed")?.as_str()?.parse().ok()?,
         rtl: result_from_json(json.get("rtl")?)?,
         bca: result_from_json(json.get("bca")?)?,
-        alignment,
+        tlm,
+        alignment: ports_from_json(json.get("alignment")?)?,
+        tlm_alignment: ports_from_json(json.get("tlm_alignment")?)?,
+        tlm_tx_alignment: ports_from_json(json.get("tlm_tx_alignment")?)?,
         rtl_wall_us: 0,
         bca_wall_us: 0,
+        tlm_wall_us: 0,
         compare_wall_us: json.get("compared")?.as_bool()?.then_some(0),
+        tlm_compare_wall_us: json.get("tlm_compared")?.as_bool()?.then_some(0),
     })
 }
 
@@ -410,9 +446,7 @@ fn activity_from_json(json: &Json) -> Option<ActivityCoverage> {
 // ---- Display-name parsers ----------------------------------------------
 
 fn parse_view(s: &str) -> Option<ViewKind> {
-    [ViewKind::Rtl, ViewKind::Bca]
-        .into_iter()
-        .find(|v| v.to_string() == s)
+    ViewKind::ALL.into_iter().find(|v| v.to_string() == s)
 }
 
 fn parse_rule(s: &str) -> Option<RuleId> {

@@ -15,7 +15,14 @@ use telemetry::Json;
 ///
 /// `/2` added the top-level `"engine"` string naming the simulation
 /// backend the RTL runs used (`"event"` or `"compiled"`).
-pub const MANIFEST_SCHEMA: &str = "stbus-regress-manifest/2";
+///
+/// `/3` added the TLM view: per-run `"tlm"` result,
+/// `"tlm_alignment"` / `"tlm_tx_alignment"` port figures with their
+/// minima, the TLM wall-clock fields, and the per-config
+/// `"tlm_functional_coverage_pct"` / `"tlm_signed_off"` entries. The
+/// fields are always present and `null` when the campaign did not run
+/// the untimed view.
+pub const MANIFEST_SCHEMA: &str = "stbus-regress-manifest/3";
 
 fn run_result_json(result: &RunResult) -> Json {
     Json::obj([
@@ -42,8 +49,12 @@ fn run_result_json(result: &RunResult) -> Json {
     ])
 }
 
-fn run_record_json(run: &RunRecord) -> Json {
-    let alignment = match &run.alignment {
+/// Per-port alignment figures as JSON. `matching`/`total` count cycles
+/// for the cycle comparisons and committed transfers for the
+/// transaction-order one; the empty-total rate mirrors
+/// [`stba::PortAlignment::rate`].
+fn alignment_json(ports: &Option<Vec<(String, u64, u64)>>) -> Json {
+    match ports {
         Some(ports) => Json::Arr(
             ports
                 .iter()
@@ -63,20 +74,42 @@ fn run_record_json(run: &RunRecord) -> Json {
                 .collect(),
         ),
         None => Json::Null,
-    };
+    }
+}
+
+fn run_record_json(run: &RunRecord) -> Json {
     Json::obj([
         ("test", Json::from(run.test.as_str())),
         ("seed", Json::from(run.seed)),
         ("rtl", run_result_json(&run.rtl)),
         ("bca", run_result_json(&run.bca)),
-        ("alignment", alignment),
+        (
+            "tlm",
+            match &run.tlm {
+                Some(tlm) => run_result_json(tlm),
+                None => Json::Null,
+            },
+        ),
+        ("alignment", alignment_json(&run.alignment)),
         (
             "min_alignment_pct",
             Json::from(run.min_alignment().map(|a| a * 100.0)),
         ),
+        ("tlm_alignment", alignment_json(&run.tlm_alignment)),
+        (
+            "min_tlm_alignment_pct",
+            Json::from(run.min_tlm_alignment().map(|a| a * 100.0)),
+        ),
+        ("tlm_tx_alignment", alignment_json(&run.tlm_tx_alignment)),
+        (
+            "min_tlm_tx_alignment_pct",
+            Json::from(run.min_tlm_tx_alignment().map(|a| a * 100.0)),
+        ),
         ("rtl_wall_us", Json::from(run.rtl_wall_us)),
         ("bca_wall_us", Json::from(run.bca_wall_us)),
+        ("tlm_wall_us", Json::from(run.tlm_wall_us)),
         ("compare_wall_us", Json::from(run.compare_wall_us)),
+        ("tlm_compare_wall_us", Json::from(run.tlm_compare_wall_us)),
     ])
 }
 
@@ -115,8 +148,34 @@ fn config_outcome_json(outcome: &ConfigOutcome) -> Json {
             "min_alignment_pct",
             Json::from(outcome.min_alignment().map(|a| a * 100.0)),
         ),
+        (
+            "tlm_functional_coverage_pct",
+            Json::from(
+                outcome
+                    .coverage_tlm
+                    .as_ref()
+                    .map(|cov| cov.coverage() * 100.0),
+            ),
+        ),
+        (
+            "min_tlm_alignment_pct",
+            Json::from(outcome.min_tlm_alignment().map(|a| a * 100.0)),
+        ),
+        (
+            "min_tlm_tx_alignment_pct",
+            Json::from(outcome.min_tlm_tx_alignment().map(|a| a * 100.0)),
+        ),
         ("code_coverage_rtl", code_cov),
         ("signed_off", Json::from(outcome.signed_off())),
+        (
+            "tlm_signed_off",
+            Json::from(
+                outcome
+                    .coverage_tlm
+                    .as_ref()
+                    .map(|_| outcome.tlm_signed_off()),
+            ),
+        ),
         (
             "runs",
             Json::Arr(outcome.runs.iter().map(run_record_json).collect()),

@@ -37,7 +37,11 @@ impl RegressionReport {
             std::fs::create_dir_all(&cfg_dir)?;
             std::fs::write(cfg_dir.join("config.cfg"), render_config(&outcome.config))?;
             for run in &outcome.runs {
-                for (view, result) in [("rtl", &run.rtl), ("bca", &run.bca)] {
+                let mut views = vec![("rtl", &run.rtl), ("bca", &run.bca)];
+                if let Some(tlm) = &run.tlm {
+                    views.push(("tlm", tlm));
+                }
+                for (view, result) in views {
                     let stem = format!("{}_seed{}_{}", run.test, run.seed, view);
                     std::fs::write(
                         cfg_dir.join(format!("{stem}.verify.txt")),

@@ -21,10 +21,11 @@ use crate::cell_codec;
 use cache::{GcPolicy, Key, Lookup, Store};
 use catg::{CoverageReport, RunResult, TestSpec, Testbench, TestbenchOptions};
 use sim_kernel::SimBackend;
-use stba::compare_vcd_with;
+use stba::{compare_transactions_with, compare_vcd_with};
 use stbus_bca::{BcaBug, BcaNode, Fidelity};
 use stbus_protocol::{DutView, NodeConfig, ViewKind};
 use stbus_rtl::RtlNode;
+use stbus_tlm::TlmNode;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -43,6 +44,15 @@ pub struct RegressionOptions {
     pub fidelity: Fidelity,
     /// Defects injected into the BCA view (experiment E2).
     pub bca_bugs: Vec<BcaBug>,
+    /// Design views every cell runs. The default pair `[Rtl, Bca]` is the
+    /// paper's flow; adding [`ViewKind::Tlm`] runs the untimed
+    /// transaction-level model through the same testbench and compares it
+    /// against RTL twice — cycle-accurately (expected to fail sign-off:
+    /// an untimed model holds no cycle discipline) and by committed
+    /// transaction order (expected to pass; see
+    /// [`stba::compare_transactions`]). RTL and BCA are always required:
+    /// they anchor the alignment comparisons.
+    pub views: Vec<ViewKind>,
     /// Simulation backend the RTL view is elaborated onto: the
     /// event-driven reference kernel (default) or the levelized compiled
     /// engine. Results — pass/fail, coverage, alignment, the report tree —
@@ -87,6 +97,7 @@ impl Default for RegressionOptions {
             intensity: 15,
             fidelity: Fidelity::Relaxed,
             bca_bugs: Vec::new(),
+            views: vec![ViewKind::Rtl, ViewKind::Bca],
             engine: SimBackend::Event,
             compare_waveforms: true,
             jobs: 0,
@@ -120,6 +131,7 @@ pub fn cell_key(
         format!("config:{config:?}"),
         format!("test:{spec:?}"),
         format!("seed:{seed}"),
+        format!("views:{:?}", options.views),
         format!("fidelity:{:?}", options.fidelity),
         format!("bca_bugs:{:?}", options.bca_bugs),
         format!("engine:{}", options.engine),
@@ -173,12 +185,29 @@ pub struct RunRecord {
     /// Per-port `(port, matching cycles, total cycles)` of this pair,
     /// when compared.
     pub alignment: Option<Vec<(String, u64, u64)>>,
+    /// TLM run result, when [`RegressionOptions::views`] includes the
+    /// untimed view.
+    pub tlm: Option<RunResult>,
+    /// Per-port cycle alignment of TLM against RTL — the figure the
+    /// untimed view is *expected* to fail (`rate < 0.99`), demonstrating
+    /// why the cycle discipline cannot accept it.
+    pub tlm_alignment: Option<Vec<(String, u64, u64)>>,
+    /// Per-port `(port, matching transfers, total transfers)` of TLM
+    /// against RTL under transaction-order comparison
+    /// ([`stba::compare_transactions`]) — the discipline an untimed view
+    /// signs off under.
+    pub tlm_tx_alignment: Option<Vec<(String, u64, u64)>>,
     /// Wall-clock microseconds of the RTL run.
     pub rtl_wall_us: u64,
     /// Wall-clock microseconds of the BCA run.
     pub bca_wall_us: u64,
+    /// Wall-clock microseconds of the TLM run, when it ran.
+    pub tlm_wall_us: u64,
     /// Wall-clock microseconds of the waveform comparison, when it ran.
     pub compare_wall_us: Option<u64>,
+    /// Wall-clock microseconds of both TLM-vs-RTL comparisons, when they
+    /// ran.
+    pub tlm_compare_wall_us: Option<u64>,
 }
 
 /// Minimum over `(matching, total)` port figures of `matching / total`
@@ -198,6 +227,27 @@ impl RunRecord {
     pub fn min_alignment(&self) -> Option<f64> {
         min_port_rate(self.alignment.as_ref()?.iter().map(|(_, m, t)| (*m, *t)))
     }
+
+    /// Minimum per-port *cycle* alignment rate of TLM against RTL.
+    pub fn min_tlm_alignment(&self) -> Option<f64> {
+        min_port_rate(
+            self.tlm_alignment
+                .as_ref()?
+                .iter()
+                .map(|(_, m, t)| (*m, *t)),
+        )
+    }
+
+    /// Minimum per-port *transaction-order* alignment rate of TLM against
+    /// RTL.
+    pub fn min_tlm_tx_alignment(&self) -> Option<f64> {
+        min_port_rate(
+            self.tlm_tx_alignment
+                .as_ref()?
+                .iter()
+                .map(|(_, m, t)| (*m, *t)),
+        )
+    }
 }
 
 /// The outcome of one configuration.
@@ -211,6 +261,9 @@ pub struct ConfigOutcome {
     pub coverage_rtl: Option<CoverageReport>,
     /// Functional coverage merged over all BCA runs.
     pub coverage_bca: Option<CoverageReport>,
+    /// Functional coverage merged over all TLM runs, when the campaign
+    /// ran the untimed view.
+    pub coverage_tlm: Option<CoverageReport>,
     /// RTL structural (process/branch) coverage merged over the campaign.
     pub code_coverage_rtl: Option<sim_kernel_coverage::ActivityCoverage>,
 }
@@ -271,6 +324,64 @@ impl ConfigOutcome {
                 .is_some_and(CoverageReport::is_full)
             && self.min_alignment().is_some_and(|a| a >= 0.99)
     }
+
+    /// All checker/scoreboard checks green on the TLM runs; `false` when
+    /// the campaign did not run the untimed view.
+    pub fn tlm_all_passed(&self) -> bool {
+        !self.runs.is_empty()
+            && self
+                .runs
+                .iter()
+                .all(|r| r.tlm.as_ref().is_some_and(RunResult::passed))
+    }
+
+    /// Campaign-aggregate per-port *cycle* alignment of TLM against RTL
+    /// (minimum over ports), mirroring [`ConfigOutcome::min_alignment`].
+    pub fn min_tlm_alignment(&self) -> Option<f64> {
+        self.aggregate_min_rate(|r| r.tlm_alignment.as_ref())
+    }
+
+    /// Campaign-aggregate per-port *transaction-order* alignment of TLM
+    /// against RTL (minimum over ports).
+    pub fn min_tlm_tx_alignment(&self) -> Option<f64> {
+        self.aggregate_min_rate(|r| r.tlm_tx_alignment.as_ref())
+    }
+
+    fn aggregate_min_rate(
+        &self,
+        figures: impl Fn(&RunRecord) -> Option<&Vec<(String, u64, u64)>>,
+    ) -> Option<f64> {
+        let mut per_port: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+        for run in &self.runs {
+            for (port, m, t) in figures(run).into_iter().flatten() {
+                let e = per_port.entry(port).or_insert((0, 0));
+                e.0 += m;
+                e.1 += t;
+            }
+        }
+        min_port_rate(per_port.into_values())
+    }
+
+    /// The untimed view's sign-off: every functional gate green, full
+    /// *behavioral* coverage (the `stall` wait-time bins are exempt — a
+    /// model with no arbitration can never stall, so only its zero-wait
+    /// bin must be hit), and ≥99% transaction-order alignment against
+    /// RTL. Cycle alignment is deliberately *not* part of this gate: the
+    /// companion figure [`ConfigOutcome::min_tlm_alignment`] documents
+    /// that the untimed view fails the cycle discipline.
+    pub fn tlm_signed_off(&self) -> bool {
+        self.tlm_all_passed()
+            && self.coverage_tlm.as_ref().is_some_and(|cov| {
+                cov.groups.iter().all(|g| {
+                    if g.name == "stall" {
+                        g.bins.get("zero").copied().unwrap_or(0) > 0
+                    } else {
+                        g.coverage() == 1.0
+                    }
+                })
+            })
+            && self.min_tlm_tx_alignment().is_some_and(|a| a >= 0.99)
+    }
 }
 
 /// A whole campaign's outcome.
@@ -320,6 +431,32 @@ impl RegressionReport {
                 if c.signed_off() { "YES" } else { "no" },
             ));
         }
+        // The TLM block only renders when the campaign actually ran the
+        // untimed view, so two-view output stays byte-stable.
+        if self.configs.iter().any(|c| c.coverage_tlm.is_some()) {
+            out.push_str("\ntlm view      runs  pass  fcov%  cyc-align%  tx-align%  tlm-signoff\n");
+            for c in &self.configs {
+                let pct = |rate: Option<f64>| {
+                    rate.map_or("n/a".to_owned(), |a| format!("{:.3}", a * 100.0))
+                };
+                out.push_str(&format!(
+                    "{:<13} {:>4} {:>5} {:>6.1} {:>11} {:>10} {:>12}\n",
+                    c.config.name,
+                    c.runs.len(),
+                    c.runs
+                        .iter()
+                        .filter(|r| r.tlm.as_ref().is_some_and(RunResult::passed))
+                        .count(),
+                    c.coverage_tlm
+                        .as_ref()
+                        .map_or(0.0, CoverageReport::coverage)
+                        * 100.0,
+                    pct(c.min_tlm_alignment()),
+                    pct(c.min_tlm_tx_alignment()),
+                    if c.tlm_signed_off() { "YES" } else { "no" },
+                ));
+            }
+        }
         out
     }
 
@@ -340,7 +477,9 @@ impl RegressionReport {
             for run in &mut config.runs {
                 run.rtl_wall_us = 0;
                 run.bca_wall_us = 0;
+                run.tlm_wall_us = 0;
                 run.compare_wall_us = run.compare_wall_us.map(|_| 0);
+                run.tlm_compare_wall_us = run.tlm_compare_wall_us.map(|_| 0);
             }
         }
         // Cache and daemon bookkeeping metrics describe *how* the result
@@ -364,6 +503,7 @@ struct CellJob {
     seed: u64,
     fidelity: Fidelity,
     bca_bugs: Vec<BcaBug>,
+    run_tlm: bool,
     engine: SimBackend,
     compare_waveforms: bool,
     telemetry: Telemetry,
@@ -478,7 +618,21 @@ fn run_cell(job: &CellJob) -> CellResult {
     };
     let (rtl_result, rtl_wall_us) = timed_run(&mut rtl, ViewKind::Rtl);
     let (bca_result, bca_wall_us) = timed_run(&mut bca, ViewKind::Bca);
+    let (tlm_result, tlm_wall_us) = if job.run_tlm {
+        let mut tlm = TlmNode::new(job.config.clone());
+        tlm.attach_metrics(tel.metrics());
+        let (result, wall) = timed_run(&mut tlm, ViewKind::Tlm);
+        (Some(result), wall)
+    } else {
+        (None, 0)
+    };
 
+    let ports_of = |r: stba::AlignmentReport| {
+        r.ports
+            .into_iter()
+            .map(|p| (p.port, p.matching_cycles, p.total_cycles))
+            .collect::<Vec<_>>()
+    };
     // Figure 4: the alignment comparison only happens once both
     // verification runs passed.
     let mut compare_wall_us = None;
@@ -488,21 +642,36 @@ fn run_cell(job: &CellJob) -> CellResult {
                 let started = Instant::now();
                 let outcome = compare_vcd_with(a, b, catg::vcd_cycle_time(), &tel);
                 compare_wall_us = Some(started.elapsed().as_micros() as u64);
-                outcome.ok().map(|r| {
-                    r.ports
-                        .into_iter()
-                        .map(|p| (p.port, p.matching_cycles, p.total_cycles))
-                        .collect()
-                })
+                outcome.ok().map(ports_of)
             }
             _ => None,
         }
     } else {
         None
     };
+    // The untimed view is compared against RTL twice: cycle-accurately
+    // (the discipline it is expected to fail) and by committed
+    // transaction order (the discipline it signs off under).
+    let mut tlm_compare_wall_us = None;
+    let (tlm_alignment, tlm_tx_alignment) = match &tlm_result {
+        Some(tlm_result) if job.compare_waveforms && rtl_result.passed() && tlm_result.passed() => {
+            match (&rtl_result.vcd, &tlm_result.vcd) {
+                (Some(a), Some(b)) => {
+                    let started = Instant::now();
+                    let cycles = compare_vcd_with(a, b, catg::vcd_cycle_time(), &tel);
+                    let transfers = compare_transactions_with(a, b, catg::vcd_cycle_time(), &tel);
+                    tlm_compare_wall_us = Some(started.elapsed().as_micros() as u64);
+                    (cycles.ok().map(&ports_of), transfers.ok().map(&ports_of))
+                }
+                _ => (None, None),
+            }
+        }
+        _ => (None, None),
+    };
 
     let rtl_vcd_digest = cell_codec::vcd_digest(rtl_result.vcd.as_ref());
     let bca_vcd_digest = cell_codec::vcd_digest(bca_result.vcd.as_ref());
+    let tlm_vcd_digest = cell_codec::vcd_digest(tlm_result.as_ref().and_then(|r| r.vcd.as_ref()));
     let result = CellResult {
         config_idx: job.config_idx,
         record: RunRecord {
@@ -511,9 +680,14 @@ fn run_cell(job: &CellJob) -> CellResult {
             rtl: strip_vcd(rtl_result),
             bca: strip_vcd(bca_result),
             alignment,
+            tlm: tlm_result.map(strip_vcd),
+            tlm_alignment,
+            tlm_tx_alignment,
             rtl_wall_us,
             bca_wall_us,
+            tlm_wall_us,
             compare_wall_us,
+            tlm_compare_wall_us,
         },
         rtl_activity: rtl.activity_coverage(),
     };
@@ -530,6 +704,7 @@ fn run_cell(job: &CellJob) -> CellResult {
             metrics: contribution.clone(),
             rtl_vcd_digest,
             bca_vcd_digest,
+            tlm_vcd_digest,
         });
         // The store is an optimization: a failed write costs the next
         // run a re-simulation, never correctness.
@@ -596,6 +771,7 @@ pub fn run_regression(
                     seed,
                     fidelity: options.fidelity,
                     bca_bugs: options.bca_bugs.clone(),
+                    run_tlm: options.views.contains(&ViewKind::Tlm),
                     engine: options.engine,
                     compare_waveforms: options.compare_waveforms,
                     telemetry: tel.clone(),
@@ -627,12 +803,16 @@ pub fn run_regression(
         let mut runs = Vec::with_capacity(per_config);
         let mut coverage_rtl: Option<CoverageReport> = None;
         let mut coverage_bca: Option<CoverageReport> = None;
+        let mut coverage_tlm: Option<CoverageReport> = None;
         let mut code_coverage_rtl: Option<sim_kernel_coverage::ActivityCoverage> = None;
         for _ in 0..per_config {
             let cell = results.next().expect("one result per cell");
             debug_assert_eq!(cell.config_idx, config_idx);
             merge_cov(&mut coverage_rtl, &cell.record.rtl.coverage);
             merge_cov(&mut coverage_bca, &cell.record.bca.coverage);
+            if let Some(tlm) = &cell.record.tlm {
+                merge_cov(&mut coverage_tlm, &tlm.coverage);
+            }
             match &mut code_coverage_rtl {
                 Some(acc) => acc.merge(&cell.rtl_activity),
                 None => code_coverage_rtl = Some(cell.rtl_activity),
@@ -644,6 +824,7 @@ pub fn run_regression(
             runs,
             coverage_rtl,
             coverage_bca,
+            coverage_tlm,
             code_coverage_rtl,
         };
         tel.info(
@@ -783,11 +964,18 @@ mod tests {
             rtl: dummy_result(),
             bca: dummy_result(),
             alignment: Some(vec![("p0".into(), 9, 10), ("p1".into(), 10, 10)]),
+            tlm: None,
+            tlm_alignment: None,
+            tlm_tx_alignment: Some(vec![("p0".into(), 20, 20)]),
             rtl_wall_us: 0,
             bca_wall_us: 0,
+            tlm_wall_us: 0,
             compare_wall_us: None,
+            tlm_compare_wall_us: None,
         };
         assert_eq!(record.min_alignment(), Some(0.9));
+        assert_eq!(record.min_tlm_alignment(), None);
+        assert_eq!(record.min_tlm_tx_alignment(), Some(1.0));
     }
 
     fn dummy_result() -> RunResult {
@@ -802,6 +990,43 @@ mod tests {
         run_regression(&configs, &tests, &options).configs[0].runs[0]
             .rtl
             .clone()
+    }
+
+    #[test]
+    fn three_view_cell_passes_functionally_and_fails_only_the_cycle_discipline() {
+        let configs = vec![NodeConfig::reference()];
+        let tests = vec![tests_lib::random_mixed(12)];
+        let options = RegressionOptions {
+            seeds: vec![1],
+            views: vec![ViewKind::Rtl, ViewKind::Bca, ViewKind::Tlm],
+            ..RegressionOptions::default()
+        };
+        let report = run_regression(&configs, &tests, &options);
+        let c = &report.configs[0];
+        assert!(c.all_passed());
+        assert!(c.tlm_all_passed(), "{:?}", c.runs[0].tlm);
+        let cycle = c.min_tlm_alignment().expect("compared");
+        assert!(
+            cycle < 0.99,
+            "untimed view must fail cycle sign-off: {cycle}"
+        );
+        let tx = c.min_tlm_tx_alignment().expect("compared");
+        assert_eq!(tx, 1.0, "clean TLM must match RTL transaction order");
+        let table = report.table();
+        assert!(table.contains("tlm view"), "{table}");
+    }
+
+    #[test]
+    fn two_view_table_has_no_tlm_block() {
+        let configs = vec![NodeConfig::reference()];
+        let tests = vec![tests_lib::basic_read_write(5)];
+        let options = RegressionOptions {
+            seeds: vec![1],
+            compare_waveforms: false,
+            ..RegressionOptions::default()
+        };
+        let report = run_regression(&configs, &tests, &options);
+        assert!(!report.table().contains("tlm view"));
     }
 
     #[test]
@@ -867,6 +1092,15 @@ mod tests {
             ..RegressionOptions::default()
         };
         assert_ne!(base, cell_key(&config, &spec, 1, &exact));
+        let three_views = RegressionOptions {
+            views: vec![ViewKind::Rtl, ViewKind::Bca, ViewKind::Tlm],
+            ..RegressionOptions::default()
+        };
+        assert_ne!(
+            base,
+            cell_key(&config, &spec, 1, &three_views),
+            "adding the TLM view must miss the two-view entry"
+        );
     }
 
     #[test]
@@ -875,6 +1109,7 @@ mod tests {
         let tests = vec![tests_lib::basic_read_write(5)];
         let options = RegressionOptions {
             seeds: vec![1],
+            views: vec![ViewKind::Rtl, ViewKind::Bca, ViewKind::Tlm],
             ..RegressionOptions::default()
         };
         let mut report = run_regression(&configs, &tests, &options);
@@ -884,6 +1119,8 @@ mod tests {
         let run = &report.configs[0].runs[0];
         assert_eq!(run.rtl_wall_us, 0);
         assert_eq!(run.bca_wall_us, 0);
+        assert_eq!(run.tlm_wall_us, 0);
         assert_eq!(run.compare_wall_us, Some(0));
+        assert_eq!(run.tlm_compare_wall_us, Some(0));
     }
 }

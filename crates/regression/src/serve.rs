@@ -17,7 +17,8 @@
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! {"op":"campaign","configs":["reference"],"seeds":[1,2],"intensity":10,
-//!  "engine":"event","compare":true,"deterministic":true}
+//!  "engine":"event","views":["rtl","bca","tlm"],"compare":true,
+//!  "deterministic":true}
 //! ```
 //!
 //! A campaign request answers with an `"accepted"` line (echoing the
@@ -36,6 +37,7 @@ use crate::runner::{run_regression, RegressionOptions};
 use crate::standard_configs;
 use cache::GcPolicy;
 use exec::ThreadPool;
+use stbus_protocol::ViewKind;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -381,6 +383,32 @@ fn run_campaign(request: &Json, ctx: &ConnCtx) -> Vec<Json> {
             Err(e) => return error_line(e),
         },
     };
+    // Optional view list ("rtl"/"bca"/"tlm" names); the default pair is
+    // the paper's two-view flow. RTL and BCA stay mandatory — they anchor
+    // the alignment comparisons.
+    let views = match request.get("views") {
+        None | Some(Json::Null) => vec![ViewKind::Rtl, ViewKind::Bca],
+        Some(Json::Arr(names)) => {
+            let mut views = Vec::new();
+            for name in names {
+                let view = name.as_str().and_then(|s| {
+                    ViewKind::ALL
+                        .into_iter()
+                        .find(|v| v.to_string().eq_ignore_ascii_case(s))
+                });
+                match view {
+                    Some(v) if !views.contains(&v) => views.push(v),
+                    Some(_) => {}
+                    None => return error_line("`views` must name rtl, bca and/or tlm"),
+                }
+            }
+            if !views.contains(&ViewKind::Rtl) || !views.contains(&ViewKind::Bca) {
+                return error_line("`views` must include both rtl and bca");
+            }
+            views
+        }
+        Some(_) => return error_line("`views` must be an array of view names"),
+    };
     let compare = request
         .get("compare")
         .and_then(Json::as_bool)
@@ -413,6 +441,7 @@ fn run_campaign(request: &Json, ctx: &ConnCtx) -> Vec<Json> {
         seeds,
         intensity,
         engine,
+        views,
         compare_waveforms: compare,
         telemetry: tel.scoped_metrics(),
         cache_dir: Some(ctx.options.cache_dir.clone()),

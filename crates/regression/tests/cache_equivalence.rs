@@ -12,7 +12,7 @@
 
 use sim_kernel::SimBackend;
 use stbus_bca::Fidelity;
-use stbus_protocol::NodeConfig;
+use stbus_protocol::{NodeConfig, ViewKind};
 use stbus_regression::{run_regression, standard_configs, RegressionOptions, RegressionReport};
 use std::path::PathBuf;
 
@@ -156,6 +156,58 @@ fn every_key_component_forces_a_miss() {
         (cache.hits, cache.misses),
         (0, 1),
         "compare flag must be in the key"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn three_view_campaign_is_cached_and_worker_invariant() {
+    let dir = temp_store("threeview");
+    let (configs, tests) = matrix();
+    let options = |jobs: usize, views: Vec<ViewKind>| RegressionOptions {
+        seeds: vec![1, 2],
+        jobs,
+        views,
+        cache_dir: Some(dir.clone()),
+        ..RegressionOptions::default()
+    };
+    let three = || vec![ViewKind::Rtl, ViewKind::Bca, ViewKind::Tlm];
+    let cells = (configs.len() * tests.len() * 2) as u64;
+
+    let mut cold = run_regression(&configs, &tests, &options(1, three()));
+    let cold_cache = cold.cache.expect("cache summary present");
+    assert_eq!((cold_cache.hits, cold_cache.misses), (0, cells));
+    let cold_manifest = stripped_manifest(&mut cold);
+
+    // Warm, on more workers: zero simulations, byte-identical evidence
+    // including the TLM columns.
+    let mut warm = run_regression(&configs, &tests, &options(4, three()));
+    let cache = warm.cache.expect("cache summary present");
+    assert_eq!(
+        (cache.hits, cache.simulated),
+        (cells, 0),
+        "a warm three-view campaign performs zero simulations"
+    );
+    assert_eq!(cold.table(), warm.table());
+    assert_eq!(
+        stripped_manifest(&mut warm),
+        cold_manifest,
+        "three-view evidence must be worker-count invariant under the cache"
+    );
+
+    // Dropping the TLM view changes the cell key: the two-view campaign
+    // must not be answered from three-view cells (or vice versa).
+    let report = run_regression(
+        &configs,
+        &tests,
+        &options(1, vec![ViewKind::Rtl, ViewKind::Bca]),
+    );
+    let cache = report.cache.unwrap();
+    assert_eq!(
+        (cache.hits, cache.misses),
+        (0, cells),
+        "the view list must be part of the cell key"
     );
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -132,6 +132,62 @@ fn daemon_shares_one_cache_across_concurrent_clients() {
 }
 
 #[test]
+fn three_view_campaigns_warm_their_own_cells() {
+    let base = temp_base("threeview");
+    let socket = base.join("daemon.sock");
+    let server = Server::bind(ServeOptions {
+        socket: socket.clone(),
+        cache_dir: base.join("cache"),
+        jobs: 2,
+        ..ServeOptions::default()
+    })
+    .expect("bind");
+    let daemon = std::thread::spawn(move || server.run().expect("daemon run"));
+    wait_for_socket(&socket);
+
+    let request = r#"{"op":"campaign","configs":["cfg01"],"seeds":[1],"intensity":4,"views":["rtl","bca","tlm"],"deterministic":true}"#;
+    let cold = client_request(&socket, request).expect("cold three-view campaign");
+    let cold_report = report_of(&cold);
+    assert_eq!(cache_stat(cold_report, "misses"), 12);
+    assert!(cold_report
+        .get("table")
+        .and_then(Json::as_str)
+        .is_some_and(|t| t.contains("tx-align")));
+
+    // The same request again is fully warm and byte-identical.
+    let warm = client_request(&socket, request).expect("warm three-view campaign");
+    let warm_report = report_of(&warm);
+    assert_eq!(cache_stat(warm_report, "hits"), 12);
+    assert_eq!(cache_stat(warm_report, "simulated"), 0);
+    assert_eq!(
+        cold_report.get("manifest").map(Json::render_pretty),
+        warm_report.get("manifest").map(Json::render_pretty),
+        "warm three-view manifest must be byte-identical"
+    );
+
+    // A two-view campaign must not be answered from three-view cells.
+    let two = client_request(
+        &socket,
+        r#"{"op":"campaign","configs":["cfg01"],"seeds":[1],"intensity":4,"deterministic":true}"#,
+    )
+    .expect("two-view campaign");
+    let two_report = report_of(&two);
+    assert_eq!(
+        cache_stat(two_report, "hits"),
+        0,
+        "the view list must be part of the daemon's cell key"
+    );
+
+    let bye = client_request(&socket, r#"{"op":"shutdown"}"#).expect("shutdown");
+    assert_eq!(
+        bye[0].get("event").and_then(Json::as_str),
+        Some("shutting-down")
+    );
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
 fn malformed_and_unknown_requests_do_not_kill_the_connection() {
     let base = temp_base("errors");
     let socket = base.join("daemon.sock");

@@ -118,7 +118,7 @@ impl std::fmt::Display for CompareVcdError {
 impl std::error::Error for CompareVcdError {}
 
 /// Groups a document's variables by their `tb.<port>.<var>` path.
-fn ports_of(doc: &VcdDocument) -> BTreeMap<String, Vec<(String, vcd::VarId)>> {
+pub(crate) fn ports_of(doc: &VcdDocument) -> BTreeMap<String, Vec<(String, vcd::VarId)>> {
     let mut out: BTreeMap<String, Vec<(String, vcd::VarId)>> = BTreeMap::new();
     for (idx, info) in doc.vars().iter().enumerate() {
         let parts: Vec<&str> = info.path.split('.').collect();

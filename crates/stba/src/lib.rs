@@ -18,8 +18,10 @@
 
 mod align;
 mod extract;
+mod txalign;
 
 pub use align::{compare_vcd, compare_vcd_with, AlignmentReport, CompareVcdError, PortAlignment};
 pub use extract::{
     diff_transfers, extract_transfers, ExtractedTransfer, TransferDiff, TransferPhase,
 };
+pub use txalign::{compare_transactions, compare_transactions_with, AlignmentMode};

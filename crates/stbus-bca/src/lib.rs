@@ -25,8 +25,6 @@
 
 mod bugs;
 mod node;
-mod tlm;
 
 pub use bugs::BcaBug;
 pub use node::{BcaNode, Fidelity};
-pub use tlm::TlmNode;

@@ -146,6 +146,14 @@ pub enum ViewKind {
     Rtl,
     /// The bus-cycle-accurate transactional model (`stbus-bca`).
     Bca,
+    /// The untimed transaction-level model (`stbus-tlm`): functionally
+    /// complete, deliberately not cycle-aligned with either timed view.
+    Tlm,
+}
+
+impl ViewKind {
+    /// Every view kind, in display order.
+    pub const ALL: [ViewKind; 3] = [ViewKind::Rtl, ViewKind::Bca, ViewKind::Tlm];
 }
 
 impl fmt::Display for ViewKind {
@@ -153,6 +161,7 @@ impl fmt::Display for ViewKind {
         match self {
             ViewKind::Rtl => f.write_str("RTL"),
             ViewKind::Bca => f.write_str("BCA"),
+            ViewKind::Tlm => f.write_str("TLM"),
         }
     }
 }
@@ -236,5 +245,7 @@ mod tests {
     fn view_kind_display() {
         assert_eq!(ViewKind::Rtl.to_string(), "RTL");
         assert_eq!(ViewKind::Bca.to_string(), "BCA");
+        assert_eq!(ViewKind::Tlm.to_string(), "TLM");
+        assert_eq!(ViewKind::ALL.len(), 3);
     }
 }

@@ -1,0 +1,92 @@
+//! The injected TLM defect catalogue.
+//!
+//! The BCA catalogue (`stbus_bca::BcaBug`) exists to prove the functional
+//! and cycle-alignment detectors detect; this catalogue plays the same
+//! role for the transaction-order phase. Both defects preserve enough
+//! functional behavior to slip past the cycle-agnostic checks the TLM
+//! phase relies on (the scoreboard deliberately tolerates commit
+//! reordering, and a retried transaction still completes), yet both
+//! corrupt the committed transaction streams that the transaction-order
+//! STBA comparison pins against the RTL.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One injectable TLM defect.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum TlmBug {
+    /// T1 — the out-of-order commit path lets a newly assembled packet
+    /// jump ahead of its queued predecessor from the same initiator at
+    /// the same target. *Plausible origin:* a priority-insertion shortcut
+    /// in the OOO fast path (locked chunks take the safe path, so chunks
+    /// stay atomic). *Invisible functionally:* the scoreboard follows
+    /// target-commit order by design, and out-of-order responses are
+    /// legal on Type 3. *Caught by:* transaction-order STBA — the
+    /// per-initiator request sequence at the target port no longer
+    /// matches the RTL's.
+    ReorderedCommit,
+    /// T2 — when two targets present responses for the same initiator
+    /// simultaneously, the losing response is dropped (consumed from the
+    /// target, never delivered) and the model's retry path re-commits the
+    /// transaction. *Plausible origin:* a lost event in the OOO
+    /// response-collision path. *Caught by:* transaction-order STBA —
+    /// the replayed commit duplicates transfers at the target port.
+    DroppedResponse,
+}
+
+impl TlmBug {
+    /// Both bugs, in catalogue order.
+    pub const ALL: [TlmBug; 2] = [TlmBug::ReorderedCommit, TlmBug::DroppedResponse];
+
+    /// The catalogue label used in the experiment tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            TlmBug::ReorderedCommit => "T1",
+            TlmBug::DroppedResponse => "T2",
+        }
+    }
+
+    /// A one-line description for reports.
+    pub const fn description(self) -> &'static str {
+        match self {
+            TlmBug::ReorderedCommit => "commit queue reorders same-initiator packets",
+            TlmBug::DroppedResponse => "colliding response dropped, transaction replayed",
+        }
+    }
+
+    /// Which environment component is expected to catch the bug.
+    pub const fn expected_detector(self) -> &'static str {
+        match self {
+            TlmBug::ReorderedCommit => "tx-order alignment",
+            TlmBug::DroppedResponse => "tx-order alignment",
+        }
+    }
+}
+
+impl fmt::Display for TlmBug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.label(), self.description())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_labeled() {
+        assert_eq!(TlmBug::ALL.len(), 2);
+        for (k, b) in TlmBug::ALL.iter().enumerate() {
+            assert_eq!(b.label(), format!("T{}", k + 1));
+            assert!(!b.description().is_empty());
+            assert_eq!(b.expected_detector(), "tx-order alignment");
+        }
+    }
+
+    #[test]
+    fn display_joins_label_and_description() {
+        let s = TlmBug::ReorderedCommit.to_string();
+        assert!(s.starts_with("T1:"));
+        assert!(s.contains("reorder"));
+    }
+}

@@ -1,0 +1,35 @@
+//! The TLM (transaction-level) view of the STBus node — the paper's
+//! future work, promoted to a first-class design view.
+//!
+//! "Future including of SystemC Verification in verification flow will be
+//! a great opportunity to add TLM (Transaction Level Modeling)
+//! development and verification phase in the flow." This crate supplies
+//! that third view: an *untimed* functional model behind the same
+//! [`DutView`] seam as the RTL and BCA views, so the whole common
+//! environment — harnesses, monitors, checkers, scoreboard, coverage,
+//! VCD dump — verifies it unchanged.
+//!
+//! The TLM view is functionally complete but deliberately carries no
+//! micro-architectural timing: every request is granted immediately, no
+//! arbitration policy or architecture lane limit exists, and responses
+//! route back as soon as targets produce them. The environment therefore
+//! signs it off *functionally* (checkers, scoreboard, coverage) while the
+//! cycle-level STBA comparison against the RTL correctly rejects it; the
+//! transaction-order STBA mode (`stba::compare_transactions`) is the
+//! instrument that holds it to account — committed transaction sequences,
+//! per port and per initiator, must still match the RTL exactly.
+//!
+//! Like the BCA view, the TLM view carries an injectable defect catalogue
+//! ([`TlmBug`]) used by the mutation-qualification campaign to prove the
+//! transaction-order detector actually detects.
+//!
+//! [`DutView`]: stbus_protocol::DutView
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bugs;
+mod node;
+
+pub use bugs::TlmBug;
+pub use node::TlmNode;

@@ -4,9 +4,9 @@
 //! phases.
 
 use catg::{tests_lib, Testbench, TestbenchOptions};
-use stbus_bca::TlmNode;
 use stbus_protocol::NodeConfig;
 use stbus_rtl::RtlNode;
+use stbus_tlm::TlmNode;
 
 #[test]
 fn tlm_view_passes_the_functional_suite() {
