@@ -30,7 +30,9 @@
 
 mod bias;
 mod campaign;
+mod random;
 mod recipe;
+mod reduce;
 mod replay;
 
 pub use bias::bias_recipe;
@@ -38,6 +40,7 @@ pub use campaign::{
     close_coverage, ClosureOptions, ClosureReport, IterationRecord, CLOSURE_SCHEMA,
 };
 pub use recipe::Recipe;
+pub use reduce::{clamp_recipe, recipe_reductions, Reduction};
 pub use replay::{parse_closure_replay, ReplayEntry};
 
 #[cfg(test)]

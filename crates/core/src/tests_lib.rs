@@ -245,6 +245,120 @@ pub fn all(intensity: usize) -> Vec<TestSpec> {
     ]
 }
 
+pub mod strategy {
+    //! The shared legal-configuration distribution.
+    //!
+    //! One audited generator of *legal* node configurations — every shape
+    //! it produces must elaborate and run clean on both views. The
+    //! workspace property tests sample it through the proptest
+    //! [`Strategy`] adapter ([`config_strategy`]) and the differential
+    //! bug-hunt fleet (`crates/hunt`) draws from the bare
+    //! [`draw_config`], so both hunt over exactly the same configuration
+    //! space: a shape the fleet finds a divergence on is a shape the
+    //! property suite could have drawn, and vice versa.
+
+    use proptest::{Strategy, TestRng};
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, RngCore as _};
+    use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType};
+
+    /// Draws one legal configuration from the shared distribution:
+    /// 1..=4 initiators and targets, any power-of-two bus width up to 32
+    /// bytes, all three protocol types, all three architectures (partial
+    /// crossbars at 2 lanes), all six arbitration policies, pipeline
+    /// depths 0..=2, optional programming port, and outstanding depths
+    /// 1..=6.
+    pub fn draw_config(rng: &mut StdRng) -> NodeConfig {
+        let ni = rng.gen_range(1usize..=4);
+        let nt = rng.gen_range(1usize..=4);
+        let bus_log2 = rng.gen_range(0usize..=5);
+        let protocol = rng.gen_range(0usize..=2);
+        let arch = rng.gen_range(0usize..=2);
+        let arbitration = rng.gen_range(0usize..=5);
+        let pipe = rng.gen_range(0usize..=2);
+        let prog = rng.next_u64() & 1 == 1;
+        let outstanding = rng.gen_range(1usize..=6);
+        NodeConfig::builder("random")
+            .initiators(ni)
+            .targets(nt)
+            .bus_bytes(1 << bus_log2)
+            .protocol(
+                [
+                    ProtocolType::Type1,
+                    ProtocolType::Type2,
+                    ProtocolType::Type3,
+                ][protocol],
+            )
+            .architecture(
+                [
+                    Architecture::SharedBus,
+                    Architecture::PartialCrossbar { lanes: 2 },
+                    Architecture::FullCrossbar,
+                ][arch],
+            )
+            .arbitration(ArbitrationKind::ALL[arbitration])
+            .pipe_depth(pipe)
+            .prog_port(prog)
+            .max_outstanding(outstanding)
+            .build()
+            .expect("strategy produces legal configs")
+    }
+
+    /// The proptest adapter over [`draw_config`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct ConfigStrategy;
+
+    impl Strategy for ConfigStrategy {
+        type Value = NodeConfig;
+        fn sample(&self, rng: &mut TestRng) -> NodeConfig {
+            draw_config(rng)
+        }
+    }
+
+    /// A strategy over legal node configurations, for `proptest!` blocks.
+    pub fn config_strategy() -> ConfigStrategy {
+        ConfigStrategy
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use rand::SeedableRng as _;
+
+        #[test]
+        fn draws_are_deterministic_per_seed_and_legal() {
+            for seed in 0..32u64 {
+                let a = draw_config(&mut StdRng::seed_from_u64(seed));
+                let b = draw_config(&mut StdRng::seed_from_u64(seed));
+                assert_eq!(a, b, "seed {seed} not reproducible");
+                assert!((1..=4).contains(&a.n_initiators));
+                assert!((1..=4).contains(&a.n_targets));
+                assert!(a.bus_bytes.is_power_of_two() && a.bus_bytes <= 32);
+            }
+        }
+
+        #[test]
+        fn adapter_and_bare_draw_share_one_stream() {
+            let mut a = StdRng::seed_from_u64(7);
+            let mut b = StdRng::seed_from_u64(7);
+            assert_eq!(config_strategy().sample(&mut a), draw_config(&mut b));
+        }
+
+        #[test]
+        fn distribution_reaches_every_policy_and_architecture() {
+            let mut arbs = std::collections::BTreeSet::new();
+            let mut archs = std::collections::BTreeSet::new();
+            for seed in 0..256u64 {
+                let c = draw_config(&mut StdRng::seed_from_u64(seed));
+                arbs.insert(format!("{:?}", c.arbitration));
+                archs.insert(format!("{:?}", c.arch));
+            }
+            assert_eq!(arbs.len(), 6, "{arbs:?}");
+            assert_eq!(archs.len(), 3, "{archs:?}");
+        }
+    }
+}
+
 pub mod qualification {
     //! The shared qualification campaign shape.
     //!

@@ -28,9 +28,15 @@
 #![warn(missing_docs)]
 
 mod campaign;
+pub mod differential;
+pub mod promoted;
 mod report;
 
 pub use campaign::{run_qualification, QualifyOptions};
+pub use differential::{run_differential, DiffFinding, Injections};
+pub use promoted::{
+    run_promoted, PromotedOutcome, PromotedRepro, PROMOTED_SCHEMA,
+};
 pub use report::{
     AlignmentCell, Detection, MutationOutcome, QualificationReport, QUALIFICATION_SCHEMA,
 };
@@ -89,7 +95,8 @@ impl Detector {
         }
     }
 
-    pub(crate) fn from_functional(f: FunctionalDetection) -> Detector {
+    /// Lifts a triaged functional failure into the detector taxonomy.
+    pub fn from_functional(f: FunctionalDetection) -> Detector {
         match f {
             FunctionalDetection::Checker(rule) => Detector::Checker(rule),
             FunctionalDetection::Starvation => Detector::Starvation,
@@ -105,7 +112,7 @@ impl Detector {
     /// first diverging transfer — while a scoreboard error on the same
     /// defect is secondary evidence (e.g. the replayed request a dropped
     /// response provokes).
-    pub(crate) fn precedence(self) -> u8 {
+    pub fn precedence(self) -> u8 {
         match self {
             Detector::Checker(_) => 0,
             Detector::Starvation => 1,
@@ -284,6 +291,12 @@ pub fn catalogue() -> Vec<CatalogueEntry> {
     entries.extend(RtlBug::ALL.into_iter().map(CatalogueEntry::Rtl));
     entries.extend(TlmBug::ALL.into_iter().map(CatalogueEntry::Tlm));
     entries
+}
+
+/// Looks up a catalogue entry by label (`"R2"`, `"B4"`, `"T1"`,
+/// `"C-RTL"`, …) — the form promoted reproducers and CLI flags use.
+pub fn entry_by_label(label: &str) -> Option<CatalogueEntry> {
+    catalogue().into_iter().find(|e| e.label() == label)
 }
 
 #[cfg(test)]

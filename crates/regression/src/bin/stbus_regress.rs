@@ -9,8 +9,15 @@
 //!               [--log-format text|json] [--log-file PATH] [--quiet]
 //!               [--profile] [--trace-out FILE] [--no-history]
 //!               [--history-dir DIR]
-//!               [--qualify] [--close-coverage] [--batch N] [--budget N]
+//!               [--qualify] [--hunts-dir DIR]
+//!               [--close-coverage] [--batch N] [--budget N]
 //!               [--signoff] [--waivers FILE] [--from-closure FILE]
+//! stbus-regress --hunt [--hunt-budget N] [--hunt-seed N]
+//!               [--hunt-inject LABEL[,LABEL]] [--hunt-shrink N]
+//!               [--hunt-shrink-budget N] [--jobs N] [--deterministic]
+//!               [--out <dir>]
+//! stbus-regress --hunt-replay FILE
+//! stbus-regress --hunt-promote FILE [--hunts-dir DIR]
 //! stbus-regress --serve SOCKET [--cache-dir DIR] [--jobs N] [...]
 //! stbus-regress --client SOCKET [--configs <dir>] [--seeds N] [...]
 //! stbus-regress history [--baseline N] [--max-regression PCT] [--dir DIR]
@@ -34,7 +41,33 @@
 //! mutations are killed *and* each is attributed to its declared
 //! detector. `--jobs`, `--deterministic`, `--seeds`, `--intensity`,
 //! `--out` and the logging flags apply as in regression mode; the report
-//! directory receives `qualification.json`.
+//! directory receives `qualification.json`. When a promoted-reproducer
+//! catalogue exists (`hunts/` by default, `--hunts-dir` relocates it),
+//! every pinned entry is also replayed through the differential runner;
+//! the run fails unless each reproducer still fires its recorded
+//! detector class, and `qualification.json` gains a `promoted` section.
+//!
+//! `--hunt` switches the tool into differential bug-hunt mode: the fleet
+//! spends `--hunt-budget` probes (default 24) drawing random
+//! `(configuration, recipe, seed)` triples from the audited legal space,
+//! runs each with identical stimulus on the RTL view and the
+//! exact-fidelity BCA view — protocol checkers armed on both, STBA cycle
+//! comparison as the backstop — and delta-debugs up to `--hunt-shrink`
+//! divergences (default 4, `--hunt-shrink-budget` re-validations each)
+//! down to minimal reproducers. `--hunt-seed` keys the campaign;
+//! `--hunt-inject R2` seeds catalogue defects for meta-testing the
+//! fleet. `--out` receives `hunt.json` (schema `stbus-hunt/1`) plus one
+//! `repro_<k>.json` (schema `stbus-repro/1`) per shrunk divergence;
+//! under `--deterministic` both are byte-identical for any `--jobs`.
+//! A clean hunt (no `--hunt-inject`) exits 1 when it finds a divergence
+//! — a real cross-view bug is a failure of the models, loudly; a seeded
+//! hunt exits 1 when the planted defect escapes.
+//!
+//! `--hunt-replay FILE` re-runs one reproducer and exits 0 only when the
+//! divergence still fires with the recorded detector class.
+//! `--hunt-promote FILE` validates a reproducer the same way, then pins
+//! it into the `--hunts-dir` catalogue under its content id, where every
+//! later `--qualify` run picks it up.
 //!
 //! `--close-coverage` switches the tool into coverage-closure mode: the
 //! CDG engine starts from a deliberately narrow generated test and
@@ -157,6 +190,12 @@ fn main() {
     let mut quiet = false;
     let mut deterministic = false;
     let mut qualify = false;
+    let mut hunt_mode = false;
+    let mut hunt_opts = hunt::HuntOptions::default();
+    let mut hunt_inject_labels: Vec<String> = Vec::new();
+    let mut hunt_replay: Option<String> = None;
+    let mut hunt_promote: Option<String> = None;
+    let mut hunts_dir = "hunts".to_owned();
     let mut close_coverage = false;
     let mut signoff_mode = false;
     let mut waivers_path: Option<String> = None;
@@ -176,6 +215,82 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--qualify" => qualify = true,
+            "--hunt" => hunt_mode = true,
+            "--hunt-budget" => {
+                hunt_opts.budget = match args.next().and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--hunt-budget takes a positive probe count");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--hunt-seed" => {
+                hunt_opts.campaign_seed = match args.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--hunt-seed takes a campaign seed");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--hunt-inject" => {
+                let list = args.next().unwrap_or_default();
+                if list.is_empty() {
+                    eprintln!("--hunt-inject takes a comma list of catalogue labels (R1..R6, B1..B5)");
+                    std::process::exit(2);
+                }
+                hunt_inject_labels.extend(
+                    list.split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_owned),
+                );
+            }
+            "--hunt-shrink" => {
+                hunt_opts.max_shrinks = match args.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--hunt-shrink takes a divergence cap (0 = report only)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--hunt-shrink-budget" => {
+                hunt_opts.shrink_budget = match args.next().and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--hunt-shrink-budget takes a positive re-validation count");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--hunt-replay" => {
+                hunt_replay = match args.next() {
+                    Some(p) => Some(p),
+                    None => {
+                        eprintln!("--hunt-replay takes a repro.json path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--hunt-promote" => {
+                hunt_promote = match args.next() {
+                    Some(p) => Some(p),
+                    None => {
+                        eprintln!("--hunt-promote takes a repro.json path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--hunts-dir" => {
+                hunts_dir = match args.next() {
+                    Some(d) => d,
+                    None => {
+                        eprintln!("--hunts-dir takes a directory");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--close-coverage" => close_coverage = true,
             "--signoff" => signoff_mode = true,
             "--waivers" => waivers_path = args.next(),
@@ -328,7 +443,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--engine event|compiled] [--deterministic] [--views rtl,bca[,tlm]] [--no-compare] [--exact] [--cache] [--cache-dir DIR] [--cache-max-entries N] [--cache-max-bytes N] [--log-format text|json] [--log-file PATH] [--quiet] [--profile] [--trace-out FILE] [--no-history] [--history-dir DIR] [--qualify] [--close-coverage] [--batch N] [--budget N] [--signoff] [--waivers FILE] [--from-closure FILE]\n       stbus-regress --serve SOCKET [--cache-dir DIR] [--cache-max-entries N] [--cache-max-bytes N] [--jobs N]\n       stbus-regress --client SOCKET [--configs <dir>] [--seeds N] [--intensity N] [--engine event|compiled] [--views rtl,bca[,tlm]] [--no-compare] [--deterministic] [--out <dir>]\n       stbus-regress history [--baseline N] [--max-regression PCT] [--dir DIR]"
+                    "usage: stbus-regress [--configs <dir>] [--out <dir>] [--seeds N] [--intensity N] [--jobs N] [--engine event|compiled] [--deterministic] [--views rtl,bca[,tlm]] [--no-compare] [--exact] [--cache] [--cache-dir DIR] [--cache-max-entries N] [--cache-max-bytes N] [--log-format text|json] [--log-file PATH] [--quiet] [--profile] [--trace-out FILE] [--no-history] [--history-dir DIR] [--qualify] [--hunts-dir DIR] [--close-coverage] [--batch N] [--budget N] [--signoff] [--waivers FILE] [--from-closure FILE]\n       stbus-regress --hunt [--hunt-budget N] [--hunt-seed N] [--hunt-inject LABEL[,LABEL]] [--hunt-shrink N] [--hunt-shrink-budget N] [--jobs N] [--deterministic] [--out <dir>]\n       stbus-regress --hunt-replay FILE\n       stbus-regress --hunt-promote FILE [--hunts-dir DIR]\n       stbus-regress --serve SOCKET [--cache-dir DIR] [--cache-max-entries N] [--cache-max-bytes N] [--jobs N]\n       stbus-regress --client SOCKET [--configs <dir>] [--seeds N] [--intensity N] [--engine event|compiled] [--views rtl,bca[,tlm]] [--no-compare] [--deterministic] [--out <dir>]\n       stbus-regress history [--baseline N] [--max-regression PCT] [--dir DIR]"
                 );
                 return;
             }
@@ -368,6 +483,9 @@ fn main() {
     let capture_events = !qualify
         && !close_coverage
         && !signoff_mode
+        && !hunt_mode
+        && hunt_replay.is_none()
+        && hunt_promote.is_none()
         && (profile_flag || trace_out.is_some() || !no_history);
     let capture_handle = if capture_events {
         let (sink, handle) = telemetry::MemorySink::new();
@@ -436,6 +554,201 @@ fn main() {
         }
     }
 
+    if let Some(path) = &hunt_replay {
+        let repro = load_repro(path);
+        tel.info(
+            "hunt.replay",
+            "replaying reproducer",
+            [
+                ("id", Json::from(repro.id())),
+                ("path", Json::str(path.as_str())),
+            ],
+        );
+        match repro.replay(&tel) {
+            Ok(Some(finding)) => {
+                println!(
+                    "replay {}: {} fired on the {} view (recorded {})",
+                    repro.id(),
+                    finding.detector,
+                    finding.view,
+                    repro.detector,
+                );
+                tel.flush();
+                if !repro.matches(&finding) {
+                    eprintln!(
+                        "replay misattributed: expected class `{}`, got `{}`",
+                        repro.detector_column,
+                        finding.detector.column(),
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Ok(None) => {
+                tel.flush();
+                eprintln!(
+                    "replay {}: no divergence — the reproducer no longer fires",
+                    repro.id()
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                tel.flush();
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    if let Some(path) = &hunt_promote {
+        let mut repro = load_repro(path);
+        tel.info(
+            "hunt.promote",
+            "validating reproducer before promotion",
+            [
+                ("id", Json::from(repro.id())),
+                ("path", Json::str(path.as_str())),
+            ],
+        );
+        // A reproducer is only pinned if it still fires its recorded
+        // detector class right now — the catalogue must never accumulate
+        // entries that fail on their very first qualification replay.
+        match repro.replay(&tel) {
+            Ok(Some(finding)) if repro.matches(&finding) => {}
+            Ok(Some(finding)) => {
+                tel.flush();
+                eprintln!(
+                    "refusing to promote {path}: detector class drifted to `{}` (recorded `{}`)",
+                    finding.detector.column(),
+                    repro.detector_column,
+                );
+                std::process::exit(1);
+            }
+            Ok(None) => {
+                tel.flush();
+                eprintln!("refusing to promote {path}: the reproducer no longer diverges");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                tel.flush();
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        let dir = std::path::Path::new(&hunts_dir);
+        let dest = dir.join(format!("{}.json", repro.id()));
+        repro.replay = format!("stbus-regress --hunt-replay {}", dest.display());
+        let write = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(&dest, repro.to_json().render_pretty()));
+        if let Err(e) = write {
+            tel.flush();
+            eprintln!("cannot write {}: {e}", dest.display());
+            std::process::exit(1);
+        }
+        println!(
+            "promoted {path} -> {} ({}, class {})",
+            dest.display(),
+            repro.detector,
+            repro.detector_column,
+        );
+        tel.flush();
+        return;
+    }
+
+    if hunt_mode {
+        hunt_opts.jobs = options.jobs;
+        hunt_opts.telemetry = tel.clone();
+        hunt_opts.inject = match hunt::Injections::from_labels(&hunt_inject_labels) {
+            Ok(inject) => inject,
+            Err(e) => {
+                eprintln!("--hunt-inject: {e}");
+                std::process::exit(2);
+            }
+        };
+        tel.info(
+            "hunt.start",
+            "differential hunt starting",
+            [
+                ("budget", Json::from(hunt_opts.budget)),
+                ("campaign_seed", Json::from(hunt_opts.campaign_seed)),
+                (
+                    "inject",
+                    Json::Arr(
+                        hunt_opts
+                            .inject
+                            .labels()
+                            .iter()
+                            .map(|s| Json::str(s.as_str()))
+                            .collect(),
+                    ),
+                ),
+                ("jobs", Json::from(exec::resolve_jobs(hunt_opts.jobs))),
+            ],
+        );
+        let mut report = hunt::run_hunt(&hunt_opts);
+        if deterministic {
+            report.strip_timings();
+        }
+        println!("{}", report.table());
+        if let Some(out) = &out_dir {
+            let dir = std::path::Path::new(out);
+            let write = std::fs::create_dir_all(dir).and_then(|()| {
+                let mut status =
+                    std::fs::write(dir.join("hunt.json"), report.hunt_json().render_pretty());
+                for (k, repro) in report.repros.iter().enumerate() {
+                    if status.is_ok() {
+                        status = std::fs::write(
+                            dir.join(format!("repro_{k}.json")),
+                            repro.to_json().render_pretty(),
+                        );
+                    }
+                }
+                status
+            });
+            match write {
+                Ok(()) => tel.info(
+                    "hunt.reports",
+                    "hunt.json written",
+                    [
+                        ("dir", Json::from(dir.display().to_string())),
+                        ("repros", Json::from(report.repros.len())),
+                    ],
+                ),
+                Err(e) => {
+                    tel.error(
+                        "hunt.reports",
+                        "cannot write hunt reports",
+                        [("error", Json::from(e.to_string()))],
+                    );
+                    tel.flush();
+                    eprintln!("cannot write reports to {out}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        tel.flush();
+        // A clean hunt that diverges has found a real cross-view bug —
+        // fail loudly so CI notices. A seeded hunt that does NOT diverge
+        // let a planted defect escape the fleet — also a failure.
+        let diverged = report.divergences() > 0;
+        if hunt_opts.inject.is_empty() && diverged {
+            eprintln!(
+                "hunt found {} cross-view divergence(s); see the repro files",
+                report.divergences()
+            );
+            std::process::exit(1);
+        }
+        if !hunt_opts.inject.is_empty() && !diverged {
+            eprintln!(
+                "seeded defect(s) {} escaped the {}-probe hunt",
+                report.injected.join("+"),
+                report.budget,
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
     if qualify {
         let mut qopts = mutation::QualifyOptions {
             jobs: options.jobs,
@@ -462,14 +775,34 @@ fn main() {
         if deterministic {
             report.strip_timings();
         }
+        // The promoted-reproducer catalogue rides along: every pinned
+        // hunt find must still fire its recorded detector class, or the
+        // qualification fails like any escaped mutation.
+        let promoted_entries =
+            match mutation::PromotedRepro::load_dir(std::path::Path::new(&hunts_dir)) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    tel.flush();
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            };
+        let promoted = mutation::run_promoted(&promoted_entries, &tel);
         println!("{}", report.table());
+        if !promoted.is_empty() {
+            println!("{}", mutation::promoted::promoted_table(&promoted));
+        }
         if let Some(out) = out_dir {
             let dir = std::path::Path::new(&out);
+            let mut qjson = report.qualification_json();
+            if let Json::Obj(pairs) = &mut qjson {
+                pairs.push((
+                    "promoted".to_owned(),
+                    mutation::promoted::promoted_json(&promoted),
+                ));
+            }
             let write = std::fs::create_dir_all(dir).and_then(|()| {
-                std::fs::write(
-                    dir.join("qualification.json"),
-                    report.qualification_json().render_pretty(),
-                )
+                std::fs::write(dir.join("qualification.json"), qjson.render_pretty())
             });
             match write {
                 Ok(()) => tel.info(
@@ -485,7 +818,8 @@ fn main() {
             }
         }
         tel.flush();
-        if !report.passed() {
+        let promoted_failed = promoted.iter().any(|o| !o.attributed);
+        if !report.passed() || promoted_failed {
             for o in report.attribution_issues() {
                 eprintln!(
                     "qualification failure: {} expected {}, got {}",
@@ -493,6 +827,14 @@ fn main() {
                     o.expected_detector,
                     o.detector
                         .map_or("no detection".to_owned(), |d| d.to_string()),
+                );
+            }
+            for o in promoted.iter().filter(|o| !o.attributed) {
+                eprintln!(
+                    "promoted reproducer failure: {} expected class `{}`, got {}",
+                    o.source,
+                    o.expected_column,
+                    o.observed.as_deref().unwrap_or("no divergence"),
                 );
             }
             std::process::exit(1);
@@ -954,6 +1296,32 @@ fn main() {
         report.signed_off_count(),
         report.configs.len()
     );
+}
+
+///// Loads and parses one `stbus-repro/1` file; a missing or malformed
+/// file is a bad argument (exit 2), like any other unusable flag value.
+fn load_repro(path: &str) -> hunt::Repro {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match hunt::Repro::from_json(&json) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The `history` subcommand: trend table plus a comparison of the latest

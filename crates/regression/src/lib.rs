@@ -10,7 +10,7 @@
 //! files defining HDL parameters of each of them."
 //!
 //! This crate is that tool, minus the GUI: a text configuration-file
-//! format ([`config_file`]), a configuration sweep generator
+//! format ([`parse_config`]/[`render_config`]), a configuration sweep generator
 //! ([`standard_configs`]), and a batch runner ([`run_regression`]) that executes the
 //! twelve-test suite with the same seeds on both design views, merges
 //! functional coverage, and — when all checks pass — calls the `stba`
@@ -20,7 +20,6 @@
 #![warn(missing_docs)]
 
 pub mod cell_codec;
-pub mod config_file;
 mod manifest;
 mod matrix;
 mod report_files;
@@ -28,7 +27,12 @@ mod runner;
 #[cfg(unix)]
 pub mod serve;
 
-pub use config_file::{parse_config, render_config, ParseConfigError};
+// The text configuration-file format now lives with the types it encodes
+// (`stbus_protocol::config_file`), so lower layers — the bug-hunt fleet's
+// `repro.json`, the promoted-reproducer catalogue — can embed and parse
+// configurations without depending on this crate. Re-exported here so
+// existing `stbus_regression::parse_config` callers keep compiling.
+pub use stbus_protocol::config_file::{parse_config, render_config, ParseConfigError};
 pub use manifest::MANIFEST_SCHEMA;
 pub use matrix::standard_configs;
 pub use runner::{

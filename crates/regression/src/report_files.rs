@@ -14,7 +14,7 @@
 //!     <test>_seed<N>_<view>.coverage.txt
 //! ```
 
-use crate::config_file::render_config;
+use crate::render_config;
 use crate::runner::RegressionReport;
 use std::io;
 use std::path::Path;

@@ -24,8 +24,8 @@
 //! window       = 16
 //! ```
 
-use stbus_protocol::arbitration::ArbiterParams;
-use stbus_protocol::{
+use crate::arbitration::ArbiterParams;
+use crate::{
     AddressMap, AddressRange, ArbitrationKind, Architecture, ConfigError, Endianness, NodeConfig,
     ProtocolType, TargetId,
 };

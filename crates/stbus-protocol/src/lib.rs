@@ -30,6 +30,7 @@ pub mod address;
 pub mod arbitration;
 pub mod cell;
 pub mod config;
+pub mod config_file;
 pub mod convert;
 pub mod error;
 pub mod opcode;
@@ -42,6 +43,7 @@ pub use address::{AddressMap, AddressRange};
 pub use arbitration::{make_arbiter, Arbiter, ArbiterParams, ArbitrationKind};
 pub use cell::{CellData, InitiatorId, ReqCell, RspCell, RspKind, TargetId, TransactionId};
 pub use config::{Architecture, Endianness, NodeConfig, NodeConfigBuilder, ProtocolType};
+pub use config_file::{parse_config, render_config, ParseConfigError};
 pub use error::{BuildPacketError, ConfigError};
 pub use opcode::{OpKind, Opcode, TransferSize};
 pub use packet::{PacketParams, RequestPacket, ResponsePacket};

@@ -4,10 +4,8 @@
 //! qualification suite ("some bugs could be given by verification
 //! environment", §4 — this guards against those).
 
-mod common;
-
+use catg::tests_lib::strategy::config_strategy;
 use catg::{tests_lib, Testbench, TestbenchOptions};
-use common::config_strategy;
 use proptest::prelude::*;
 use stbus_protocol::ViewKind;
 

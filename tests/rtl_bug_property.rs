@@ -7,10 +7,8 @@
 //! cell — or the alignment comparison against the clean opposite view —
 //! to fire.
 
-mod common;
-
+use catg::tests_lib::strategy::config_strategy;
 use catg::tests_lib::{self, qualification as qual};
-use common::config_strategy;
 use proptest::prelude::*;
 use stbus_bca::{BcaNode, Fidelity};
 use stbus_protocol::{ArbitrationKind, Architecture, NodeConfig, ProtocolType};
@@ -184,4 +182,93 @@ proptest! {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Equivalent mutants: the inverse property. On configurations where a
+// defect's trigger hardware is absent or its observable effect collapses
+// onto clean behaviour, "not detected" is the *correct* verdict — these
+// pin the prose rationales in `specialize` as executable facts, so a
+// future environment change that starts "detecting" dead code (or stops
+// needing the specialization) breaks a test instead of a comment.
+// ---------------------------------------------------------------------
+
+/// Re-arbitrating mid-wait under latency-based arbitration re-picks the
+/// longest-waiting port — the same winner the dropped hold would have
+/// kept, so the mutant is equivalent.
+#[test]
+fn dropped_grant_hold_is_equivalent_under_latency_based_arbitration() {
+    let config = NodeConfig::builder("eq_r1_latency")
+        .initiators(3)
+        .targets(2)
+        .bus_bytes(8)
+        .protocol(ProtocolType::Type3)
+        .arbitration(ArbitrationKind::LatencyBased)
+        .max_outstanding(3)
+        .build()
+        .expect("config is legal");
+    assert!(
+        !detected(RtlBug::DroppedGrantHold, &config),
+        "a dropped grant hold must be invisible under latency-based arbitration"
+    );
+}
+
+/// Only the variable-priority policy reads the priority register; under
+/// fixed priority the unsampled port is dead code even with the
+/// programming port present and programmed.
+#[test]
+fn unsampled_priority_port_is_equivalent_without_variable_priority() {
+    let config = NodeConfig::builder("eq_r3_fixed")
+        .initiators(3)
+        .targets(2)
+        .bus_bytes(8)
+        .protocol(ProtocolType::Type3)
+        .arbitration(ArbitrationKind::FixedPriority)
+        .prog_port(true)
+        .max_outstanding(3)
+        .build()
+        .expect("config is legal");
+    assert!(
+        !detected(RtlBug::UnsampledPriorityPort, &config),
+        "the priority register is unread under fixed priority; the mutant is dead code"
+    );
+}
+
+/// The off-by-one lane mask only binds when the partial crossbar's lane
+/// count is both limiting and greater than one; a full crossbar has no
+/// lane arbitration at all.
+#[test]
+fn partial_lane_off_by_one_is_equivalent_on_a_full_crossbar() {
+    let config = NodeConfig::builder("eq_r4_full")
+        .initiators(3)
+        .targets(3)
+        .bus_bytes(8)
+        .protocol(ProtocolType::Type3)
+        .architecture(Architecture::FullCrossbar)
+        .arbitration(ArbitrationKind::Lru)
+        .build()
+        .expect("config is legal");
+    assert!(
+        !detected(RtlBug::PartialLaneOffByOne, &config),
+        "without partial-crossbar lanes the lane mask is never consulted"
+    );
+}
+
+/// Chunk filtering only exists for the split-transaction protocols; on
+/// blocking Type1 the `ChunkFiltered` probe point is gated off and an
+/// early release has nothing to release early.
+#[test]
+fn early_chunk_release_is_equivalent_under_type1() {
+    let config = NodeConfig::builder("eq_r6_type1")
+        .initiators(3)
+        .targets(2)
+        .bus_bytes(4)
+        .protocol(ProtocolType::Type1)
+        .arbitration(ArbitrationKind::Lru)
+        .build()
+        .expect("config is legal");
+    assert!(
+        !detected(RtlBug::EarlyChunkRelease, &config),
+        "chunk locking does not exist on Type1; the mutant must stay silent"
+    );
 }
